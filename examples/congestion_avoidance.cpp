@@ -1,0 +1,141 @@
+// Rerouting before congestion — the Section 5 application sketch:
+//
+//   "they could enable the data plane to reroute packets before congestion,
+//    when traffic starts to surge"
+//
+// Topology: source -> switch -> {primary link (capacity-limited, short
+// queue) -> sink, backup link (fast) -> sink}.  A traffic surge ramps up
+// past the primary link's capacity.  Two runs:
+//
+//   A. plain forwarding: the primary queue overflows and drops packets;
+//   B. Stat4 monitoring + in-switch reroute: the rate check fires within
+//      one 8 ms interval of the surge starting — while the queue still has
+//      headroom — and the reroute stage steers the monitored aggregate onto
+//      the backup path; (almost) nothing drops.
+//
+// Usage:  congestion_avoidance [seed]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "netsim/netsim.hpp"
+#include "p4sim/craft.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace {
+
+using p4sim::ipv4;
+using stat4::kMillisecond;
+using stat4::kSecond;
+using stat4::TimeNs;
+
+struct RunResult {
+  std::uint64_t delivered_primary = 0;
+  std::uint64_t delivered_backup = 0;
+  std::uint64_t queue_drops = 0;
+  TimeNs reroute_time = -1;
+};
+
+RunResult run(bool with_stat4, std::uint64_t seed) {
+  netsim::Rng rng(seed);
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+
+  stat4p4::MonitorApp app;
+  app.install_forward(ipv4(10, 0, 0, 0), 8, /*port=*/1);  // primary path
+  if (with_stat4) {
+    app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, /*dist=*/0,
+                             8 * static_cast<std::uint64_t>(kMillisecond),
+                             100, /*min_history=*/8);
+    stat4p4::FreqBindingSpec match_all;
+    match_all.dst_prefix = ipv4(10, 0, 0, 0);
+    match_all.dst_prefix_len = 8;
+    match_all.dist = 0;   // keyed to the rate monitor's alert latch
+    app.install_reroute(match_all, /*alt_port=*/2);  // backup path
+  }
+
+  const auto sw = net.add_node(std::make_unique<netsim::P4SwitchNode>(app.sw()));
+  const auto src = net.add_node(std::make_unique<netsim::HostNode>());
+  const auto sink_primary = net.add_node(std::make_unique<netsim::HostNode>());
+  const auto sink_backup = net.add_node(std::make_unique<netsim::HostNode>());
+
+  net.link(src, 0, sw, 0, 10'000);
+  // Primary: 100 Mb/s with an 8-packet queue.  At 1000-byte frames that is
+  // 12.5k pps of capacity.
+  net.link(sw, 1, sink_primary, 0, 10'000, 100'000'000, 8);
+  // Backup: 1 Gb/s, plenty.
+  net.link(sw, 2, sink_backup, 0, 10'000, 1'000'000'000, 64);
+
+  RunResult result;
+  net.node<netsim::P4SwitchNode>(sw).set_digest_sink(
+      [&](const p4sim::Digest& d) {
+        if (d.id == stat4p4::kDigestRateSpike && result.reroute_time < 0) {
+          result.reroute_time = d.time;
+        }
+      });
+
+  auto& source = net.node<netsim::HostNode>(src);
+  netsim::PacketPump pump(sim, [&](p4sim::Packet pkt) {
+    source.transmit(0, std::move(pkt));
+  });
+  std::vector<std::uint32_t> dests;
+  for (unsigned h = 1; h <= 16; ++h) dests.push_back(ipv4(10, 0, 1, h));
+
+  // Baseline: 8k pps of 1000-byte frames — 64% of primary capacity.
+  pump.launch(0, 0, 125'000,
+              netsim::uniform_udp_factory(rng, ipv4(1, 1, 1, 1), dests,
+                                          /*pad_to=*/1000));
+  // Surge from t=1s: +12k pps, pushing the aggregate to 160% of capacity.
+  pump.launch(1 * kSecond, 0, 83'000,
+              netsim::uniform_udp_factory(rng, ipv4(2, 2, 2, 2), dests,
+                                          /*pad_to=*/1000));
+
+  sim.run_until(3 * kSecond);
+  pump.stop_all();
+  sim.run();
+
+  result.delivered_primary =
+      net.node<netsim::HostNode>(sink_primary).packets_received();
+  result.delivered_backup =
+      net.node<netsim::HostNode>(sink_backup).packets_received();
+  result.queue_drops = net.packets_dropped_queue();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  std::printf("Congestion avoidance (Section 5), seed %" PRIu64 "\n", seed);
+  std::puts("primary link: 100 Mb/s, 8-packet queue; surge to 160% of "
+            "capacity at t=1s\n");
+
+  const auto plain = run(false, seed);
+  const auto stat4 = run(true, seed);
+
+  std::printf("%-28s | %12s | %12s\n", "", "plain", "with Stat4");
+  std::puts("-----------------------------+--------------+-------------");
+  std::printf("%-28s | %12" PRIu64 " | %12" PRIu64 "\n",
+              "delivered via primary", plain.delivered_primary,
+              stat4.delivered_primary);
+  std::printf("%-28s | %12" PRIu64 " | %12" PRIu64 "\n",
+              "delivered via backup", plain.delivered_backup,
+              stat4.delivered_backup);
+  std::printf("%-28s | %12" PRIu64 " | %12" PRIu64 "\n",
+              "packets dropped (queue)", plain.queue_drops,
+              stat4.queue_drops);
+  if (stat4.reroute_time >= 0) {
+    std::printf("\nreroute engaged %.1f ms after surge onset — within one "
+                "monitoring interval,\nentirely in the data plane.\n",
+                static_cast<double>(stat4.reroute_time - kSecond) / 1e6);
+  }
+
+  const bool ok = stat4.queue_drops * 10 < plain.queue_drops &&
+                  stat4.delivered_backup > 0 && plain.queue_drops > 0;
+  std::printf("\n%s\n",
+              ok ? "CONGESTION AVOIDED: early in-switch detection rerouted "
+                   "the surge before the queue overflowed."
+                 : "UNEXPECTED OUTCOME");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Hybrid monitoring: in-switch detection decides WHEN the controller pulls.
+//
+// Section 5, "Combining in-switch and in-controller monitoring": future
+// systems "may use in-switch anomaly detection to decide when a controller
+// should extract sketches from switches, e.g., to properly process a
+// received alert".  This example runs that loop end to end:
+//
+//   1. the switch tracks per-/24 traffic and raises an imbalance digest;
+//   2. the alert triggers ONE register pull (instead of continuous polling);
+//   3. the controller analyzes the pulled distribution — top destinations,
+//      modality — and reports what a human operator (or an automated
+//      mitigation) would need.
+//
+// Usage:  hybrid_monitoring [seed]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "control/control.hpp"
+#include "p4sim/craft.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  netsim::Rng rng(seed);
+
+  std::printf("Hybrid monitoring (Section 5), seed %" PRIu64 "\n\n", seed);
+
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+  stat4p4::MonitorApp app;
+  app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+  stat4p4::FreqBindingSpec per24;
+  per24.dst_prefix = p4sim::ipv4(10, 0, 0, 0);
+  per24.dst_prefix_len = 8;
+  per24.dist = 1;
+  per24.shift = 8;
+  per24.check = true;
+  per24.min_total = 512;
+  app.install_freq_binding(per24);
+
+  const auto sw = net.add_node(std::make_unique<netsim::P4SwitchNode>(app.sw()));
+  const auto src = net.add_node(std::make_unique<netsim::HostNode>());
+  const auto dst = net.add_node(std::make_unique<netsim::HostNode>());
+  net.link(src, 0, sw, 0, 50 * stat4::kMicrosecond);
+  net.link(sw, 1, dst, 0, 50 * stat4::kMicrosecond);
+
+  netsim::ControlChannel channel(sim);
+  control::DistributionInspector inspector(channel, app);
+  bool analyzed = false;
+
+  channel.set_digest_handler([&](const p4sim::Digest& digest) {
+    if (digest.id != stat4p4::kDigestImbalance || analyzed) return;
+    std::printf("t=%8.1f ms  ALERT: /24 index %" PRIu64
+                " is a frequency outlier (digest)\n",
+                static_cast<double>(sim.now()) / 1e6, digest.payload[1]);
+    std::printf("t=%8.1f ms  controller reacts: pulling the distribution "
+                "registers ONCE\n",
+                static_cast<double>(sim.now()) / 1e6);
+    inspector.pull(1, [&](const control::DistributionSnapshot& snap) {
+      analyzed = true;
+      std::printf("t=%8.1f ms  snapshot back at controller (pull cost "
+                  "%.2f ms for %zu registers)\n\n",
+                  static_cast<double>(snap.pulled_at) / 1e6,
+                  static_cast<double>(snap.pull_cost) / 1e6,
+                  snap.frequencies.size() + 4);
+      std::puts("controller-side analysis of the pulled distribution:");
+      std::printf("  total observations : %" PRIu64 "\n", snap.total());
+      std::printf("  distinct /24s      : %" PRIu64 "\n", snap.n);
+      std::printf("  modes in histogram : %u  (bimodal would trigger a "
+                  "mode-split re-binding)\n",
+                  snap.mode_count());
+      std::puts("  top-3 subnets:");
+      for (const auto& [value, count] : snap.top_k(3)) {
+        std::printf("    10.0.%-3" PRIu64 "  %8" PRIu64 " packets\n", value,
+                    count);
+      }
+    });
+  });
+  net.node<netsim::P4SwitchNode>(sw).set_digest_sink(
+      [&](const p4sim::Digest& d) { channel.push_digest(d); });
+
+  // Traffic: uniform across six /24s, then subnet 4 turns hot.
+  auto& source = net.node<netsim::HostNode>(src);
+  netsim::PacketPump pump(sim, [&](p4sim::Packet pkt) {
+    source.transmit(0, std::move(pkt));
+  });
+  std::vector<std::uint32_t> dests;
+  for (unsigned s = 1; s <= 6; ++s) {
+    for (unsigned h = 1; h <= 6; ++h) dests.push_back(p4sim::ipv4(10, 0, s, h));
+  }
+  pump.launch(0, 0, 40 * stat4::kMicrosecond,
+              netsim::uniform_udp_factory(rng, p4sim::ipv4(1, 1, 1, 1),
+                                          dests));
+  const unsigned hot = 1 + static_cast<unsigned>(rng.below(6));
+  pump.launch(stat4::kSecond, 0, 5 * stat4::kMicrosecond,
+              netsim::fixed_udp_factory(p4sim::ipv4(1, 1, 1, 1),
+                                        p4sim::ipv4(10, 0, hot, 1)));
+  std::printf("t=%8.1f ms  spike to 10.0.%u.0/24 begins\n", 1000.0, hot);
+
+  while (!analyzed && sim.now() < 10 * stat4::kSecond) {
+    sim.run_until(sim.now() + 10 * stat4::kMillisecond);
+  }
+  pump.stop_all();
+
+  std::printf("\n%s\n", analyzed
+                            ? "HYBRID LOOP COMPLETE: one alert, one pull — "
+                              "no standing polling overhead."
+                            : "no alert raised (unexpected)");
+  return analyzed ? 0 : 1;
+}

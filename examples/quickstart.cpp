@@ -1,0 +1,108 @@
+// Quickstart: the Stat4 C++ library in five minutes.
+//
+// Demonstrates the three core primitives of the paper on synthetic data:
+//   1. RunningStats   — division-free mean/variance/sd over N-scaled values
+//   2. FreqDist       — frequency distributions with O(1) incremental stats
+//                       and online percentile tracking (Figure 3)
+//   3. IntervalWindow — rate-over-time monitoring with the mean + 2 sd
+//                       spike check of the case study
+//
+// Build & run:  ./build/examples/quickstart
+#include <cinttypes>
+#include <cstdio>
+#include <random>
+
+#include "stat4/stat4.hpp"
+
+namespace {
+
+void demo_running_stats() {
+  std::puts("== 1. RunningStats: outliers without division ==");
+  stat4::RunningStats stats;
+
+  // Track per-interval packet counts of a healthy link: ~1000 +- jitter.
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    stats.add(980 + rng() % 40);
+  }
+  std::printf("  N=%" PRIu64 "  Xsum=%" PRId64 "  Xsumsq=%" PRId64
+              "  var(NX)=%" PRId64 "  sd(NX)=%" PRIu64 "\n",
+              stats.n(), stats.xsum(), stats.xsumsq(), stats.variance_nx(),
+              stats.stddev_nx());
+
+  // Is a rate of 1010 anomalous?  Of 2500?  The check is N*x vs Xsum+2sd —
+  // all integer, no division, exactly what a switch can evaluate.
+  for (const stat4::Value probe : {1010u, 2500u}) {
+    const auto verdict = stats.upper_outlier(probe);
+    std::printf("  rate %4" PRIu64 " -> N*x=%" PRId64 " vs threshold %" PRId64
+                "  => %s\n",
+                probe, verdict.scaled_value, verdict.threshold,
+                verdict.is_outlier ? "OUTLIER" : "normal");
+  }
+}
+
+void demo_freq_dist() {
+  std::puts("\n== 2. FreqDist: per-value counters + online median ==");
+  stat4::FreqDist dist(/*domain_size=*/64);
+  const auto median = dist.attach_percentile(stat4::Percentile{50});
+  const auto p90 = dist.attach_percentile(stat4::Percentile{90});
+
+  // Packet sizes (in 64-byte units) from a bimodal-ish distribution.
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    dist.observe(rng() % 3 == 0 ? 1 + rng() % 4 : 20 + rng() % 4);
+  }
+  std::printf("  distinct values N=%" PRIu64 "  total observations=%" PRIu64
+              "\n",
+              dist.distinct(), dist.total());
+  std::printf("  median=%" PRIu64 "  90th percentile=%" PRIu64 "\n",
+              dist.percentile(median).position(),
+              dist.percentile(p90).position());
+
+  // The drill-down primitive: is one value's frequency an outlier?
+  for (int i = 0; i < 30000; ++i) dist.observe(42);
+  const auto verdict = dist.frequency_outlier(42);
+  std::printf("  after a burst to value 42: frequency_outlier(42) => %s\n",
+              verdict.is_outlier ? "OUTLIER (alert!)" : "normal");
+}
+
+void demo_interval_window() {
+  std::puts("\n== 3. IntervalWindow: the case-study spike check ==");
+  // 100 intervals of 8 ms — the paper's default circular buffer.
+  stat4::IntervalWindow window(100, 8 * stat4::kMillisecond);
+  int alerts = 0;
+  std::size_t closed = 0;
+  window.set_on_interval([&](const stat4::IntervalReport& r) {
+    ++closed;
+    if (closed > 8 && r.upper.is_outlier) {
+      std::printf("  ALERT at t=%.1f ms: interval count %" PRIu64
+                  " exceeded mean+2sd (threshold %" PRId64 " in NX units)\n",
+                  static_cast<double>(r.start) / 1e6, r.value,
+                  r.upper.threshold);
+      ++alerts;
+    }
+  });
+
+  std::mt19937_64 rng(3);
+  stat4::TimeNs t = 0;
+  for (int interval = 0; interval < 80; ++interval) {
+    // ~200 packets per interval of steady traffic...
+    const int rate = (interval == 60) ? 2000 : 190 + static_cast<int>(rng() % 20);
+    // ...with a 10x spike in interval 60.
+    for (int p = 0; p < rate; ++p) window.record(t + p * 1000);
+    t += 8 * stat4::kMillisecond;
+  }
+  window.advance_to(t);
+  std::printf("  total alerts: %d (expected 1)\n", alerts);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Stat4-C++ quickstart — statistics a P4 switch can compute\n");
+  demo_running_stats();
+  demo_freq_dist();
+  demo_interval_window();
+  std::puts("\nDone.  Next: examples/echo_validation, examples/case_study.");
+  return 0;
+}

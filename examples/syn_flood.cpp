@@ -1,0 +1,117 @@
+// SYN-flood detection — the Table 1 "SYN flood / protect servers" use case.
+//
+// The switch tracks, via a binding-table entry matching TCP packets with the
+// SYN flag, the frequency of SYNs per destination inside a server subnet.
+// Benign clients open connections uniformly across the servers; then a
+// spoofed-source SYN flood hits one victim.  The in-switch outlier check
+// (N * f[v] > Xsum + 2 sd + N) raises a digest naming the victim.
+//
+// Usage:  syn_flood [seed]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "netsim/netsim.hpp"
+#include "p4sim/craft.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  netsim::Rng rng(seed);
+
+  constexpr unsigned kServers = 20;  // 10.0.1.1 .. 10.0.1.20
+  const unsigned victim = 1 + static_cast<unsigned>(rng.below(kServers));
+  const std::uint32_t victim_ip = p4sim::ipv4(10, 0, 1, victim);
+
+  std::printf("SYN-flood detection: %u servers in 10.0.1.0/24, seed %" PRIu64
+              "\n(ground truth victim: 10.0.1.%u — the switch must find it)"
+              "\n\n",
+              kServers, seed, victim);
+
+  // Switch: forward the subnet; bind "TCP && SYN" to a per-destination
+  // frequency distribution with the outlier check enabled.  The check runs
+  // on every packet, so we use a 4-sigma threshold: with thousands of
+  // checks per second, 2 sigma would trip on benign multinomial noise
+  // (a multiple-comparisons effect the paper's single-run evaluation does
+  // not surface).
+  stat4p4::MonitorApp app({4, 256, /*k_sigma=*/4});
+  app.install_forward(p4sim::ipv4(10, 0, 1, 0), 24, 1);
+  stat4p4::FreqBindingSpec syn_binding;
+  syn_binding.dst_prefix = p4sim::ipv4(10, 0, 1, 0);
+  syn_binding.dst_prefix_len = 24;
+  syn_binding.protocol = p4sim::kIpProtoTcp;
+  syn_binding.flag_mask = p4sim::kTcpSyn;
+  syn_binding.flag_value = p4sim::kTcpSyn;
+  syn_binding.dist = 1;
+  syn_binding.shift = 0;   // last octet identifies the server
+  syn_binding.mask = 0xFF;
+  syn_binding.check = true;
+  syn_binding.min_total = 1000;
+  app.install_freq_binding(syn_binding);
+
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+  const auto sw =
+      net.add_node(std::make_unique<netsim::P4SwitchNode>(app.sw()));
+  const auto clients = net.add_node(std::make_unique<netsim::HostNode>());
+  const auto servers = net.add_node(std::make_unique<netsim::HostNode>());
+  net.link(clients, 0, sw, 0, 100 * stat4::kMicrosecond);
+  net.link(sw, 1, servers, 0, 100 * stat4::kMicrosecond);
+
+  std::vector<p4sim::Digest> alerts;
+  net.node<netsim::P4SwitchNode>(sw).set_digest_sink(
+      [&](const p4sim::Digest& d) { alerts.push_back(d); });
+
+  auto& client_host = net.node<netsim::HostNode>(clients);
+  netsim::PacketPump pump(sim, [&](p4sim::Packet pkt) {
+    client_host.transmit(0, std::move(pkt));
+  });
+
+  // Benign load: ~2000 new connections/s spread across all servers (each
+  // connection = one SYN, then an ACK data packet).
+  pump.launch(0, 0, 500 * stat4::kMicrosecond,
+              [&rng](std::uint64_t seq) {
+                const auto server =
+                    1 + static_cast<unsigned>(rng.below(kServers));
+                const std::uint8_t flags =
+                    (seq % 3 == 0) ? p4sim::kTcpSyn : p4sim::kTcpAck;
+                return p4sim::make_tcp_packet(
+                    p4sim::ipv4(172, 16, 0,
+                                1 + static_cast<unsigned>(seq % 50)),
+                    p4sim::ipv4(10, 0, 1, server),
+                    static_cast<std::uint16_t>(1024 + seq % 5000), 80, flags);
+              });
+
+  // The flood: 20k SYNs/s to the victim, spoofed sources, from t = 2 s.
+  const stat4::TimeNs flood_start = 2 * stat4::kSecond;
+  pump.launch(flood_start, 0, 50 * stat4::kMicrosecond,
+              netsim::syn_flood_factory(rng, victim_ip));
+
+  // Run until the switch alerts (or give up at 10 s).
+  while (alerts.empty() && sim.now() < 10 * stat4::kSecond) {
+    sim.run_until(sim.now() + 10 * stat4::kMillisecond);
+  }
+  pump.stop_all();
+
+  if (alerts.empty()) {
+    std::puts("NO ALERT RAISED — detection failed");
+    return 1;
+  }
+  const auto& alert = alerts.front();
+  const auto detected = static_cast<unsigned>(alert.payload[1]);
+  std::printf("t=%.1f ms  flood starts\n",
+              static_cast<double>(flood_start) / 1e6);
+  std::printf("t=%.1f ms  switch digest: SYN-rate outlier at destination "
+              "10.0.1.%u (frequency %" PRIu64 ")\n",
+              static_cast<double>(alert.time) / 1e6, detected,
+              alert.payload[2]);
+  std::printf("detection latency: %.1f ms after flood onset\n",
+              static_cast<double>(alert.time - flood_start) / 1e6);
+  std::printf("\n%s\n", detected == victim
+                            ? "VICTIM CORRECTLY IDENTIFIED ENTIRELY IN THE "
+                              "DATA PLANE."
+                            : "WRONG VICTIM IDENTIFIED");
+  return detected == victim ? 0 : 1;
+}

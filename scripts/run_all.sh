@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every result in EXPERIMENTS.md: builds, runs the full test
+# suite, every benchmark harness, and every example, teeing outputs into
+# results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p results
+
+ctest --test-dir build 2>&1 | tee results/tests.txt
+
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" 2>&1 | tee "results/$name.txt"
+done
+
+for e in quickstart "echo_validation 10000" "case_study_drilldown 2021" \
+         "syn_flood 7" "hybrid_monitoring 11" "multi_switch 3" \
+         "congestion_avoidance 5"; do
+  set -- $e
+  name=$1
+  echo "=== example: $e ==="
+  "build/examples/$@" 2>&1 | tee "results/example_$name.txt"
+done
+
+build/examples/emit_p4_source results/stat4_case_study.p4
+build/examples/emit_p4_source --echo results/stat4_echo.p4
+echo "All results written to results/."

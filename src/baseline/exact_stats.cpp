@@ -1,0 +1,57 @@
+#include "baseline/exact_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace baseline {
+
+NxStatsSnapshot compute_nx_stats(const std::vector<std::uint64_t>& values) {
+  NxStatsSnapshot s;
+  s.n = values.size();
+  for (const auto v : values) {
+    const auto sv = static_cast<std::int64_t>(v);
+    s.xsum += sv;
+    s.xsumsq += sv * sv;
+  }
+  s.variance_nx =
+      static_cast<std::int64_t>(s.n) * s.xsumsq - s.xsum * s.xsum;
+  s.stddev_nx = std::sqrt(static_cast<double>(s.variance_nx));
+  return s;
+}
+
+std::uint64_t exact_percentile(const std::vector<std::uint64_t>& freqs,
+                               unsigned percentile) {
+  if (percentile == 0 || percentile >= 100) {
+    throw std::invalid_argument("exact_percentile: percentile in (0,100)");
+  }
+  std::uint64_t total = 0;
+  for (const auto f : freqs) total += f;
+  if (total == 0) return 0;
+
+  // Nearest-rank: the value at rank ceil(P/100 * total) in sorted order.
+  const std::uint64_t rank =
+      (total * percentile + 99) / 100;  // ceil without floating point
+  std::uint64_t cum = 0;
+  for (std::uint64_t v = 0; v < freqs.size(); ++v) {
+    cum += freqs[v];
+    if (cum >= rank) return v;
+  }
+  return freqs.empty() ? 0 : freqs.size() - 1;
+}
+
+std::uint64_t exact_median(const std::vector<std::uint64_t>& freqs) {
+  return exact_percentile(freqs, 50);
+}
+
+double sample_percentile(std::vector<double> sample, double percentile) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = percentile / 100.0 * static_cast<double>(sample.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // 1-based rank to 0-based index
+  if (idx >= sample.size()) idx = sample.size() - 1;
+  return sample[idx];
+}
+
+}  // namespace baseline

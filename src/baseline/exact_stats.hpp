@@ -1,0 +1,41 @@
+// Exact reference statistics used to validate and score Stat4's
+// approximations (Tables 2 and 3, Section 3 validation).
+//
+// Everything here is allowed to be slow and to use floating point / sorting:
+// these are host-side ground-truth computations, not data-plane code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace baseline {
+
+/// Exact statistics of the N-scaled distribution NX, computed from scratch
+/// over the raw values — the host-side cross-check of the echo experiment.
+struct NxStatsSnapshot {
+  std::uint64_t n = 0;
+  std::int64_t xsum = 0;
+  std::int64_t xsumsq = 0;
+  std::int64_t variance_nx = 0;  ///< N*Xsumsq - Xsum^2
+  double stddev_nx = 0.0;        ///< fractional sqrt of variance_nx
+};
+
+[[nodiscard]] NxStatsSnapshot compute_nx_stats(
+    const std::vector<std::uint64_t>& values);
+
+/// Exact P-th percentile of a multiset given as a frequency array over the
+/// domain [0, freqs.size()): the smallest domain value v such that at least
+/// P% of the mass is <= v (nearest-rank definition).  Returns 0 for an empty
+/// distribution.
+[[nodiscard]] std::uint64_t exact_percentile(
+    const std::vector<std::uint64_t>& freqs, unsigned percentile);
+
+/// Exact median — exact_percentile(freqs, 50).
+[[nodiscard]] std::uint64_t exact_median(
+    const std::vector<std::uint64_t>& freqs);
+
+/// Percentile over a plain sample vector (sorts a copy).
+[[nodiscard]] double sample_percentile(std::vector<double> sample,
+                                       double percentile);
+
+}  // namespace baseline

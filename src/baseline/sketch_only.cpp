@@ -1,0 +1,54 @@
+#include "baseline/sketch_only.hpp"
+
+#include <stdexcept>
+
+namespace baseline {
+
+using stat4::TimeNs;
+
+SketchOnlyOutcome sketch_only_detection(const SketchOnlyConfig& cfg,
+                                        TimeNs change_time) {
+  if (cfg.pull_period <= 0) {
+    throw std::invalid_argument("sketch_only: pull period must be positive");
+  }
+  SketchOnlyOutcome out;
+  out.pull_service_time = static_cast<TimeNs>(cfg.registers_per_pull) *
+                          cfg.per_register_read;
+
+  // Pull k is issued at k * period, reaches the device one link delay later,
+  // spends the service time reading registers, and returns one link delay
+  // after that.  The first pull whose snapshot time (arrival at device) is
+  // >= change_time is the one that can see the change.
+  const TimeNs snapshot_offset = cfg.link_delay;
+  TimeNs k_issue = 0;
+  if (change_time > snapshot_offset) {
+    const TimeNs delta = change_time - snapshot_offset;
+    k_issue = ((delta + cfg.pull_period - 1) / cfg.pull_period) *
+              cfg.pull_period;
+  }
+  const TimeNs detect_at =
+      k_issue + cfg.link_delay + out.pull_service_time + cfg.link_delay;
+  out.detection_delay = detect_at - change_time;
+
+  const double bytes_per_pull = static_cast<double>(
+      cfg.registers_per_pull * cfg.bytes_per_register);
+  out.overhead_bytes_per_second =
+      bytes_per_pull *
+      (static_cast<double>(stat4::kSecond) /
+       static_cast<double>(cfg.pull_period));
+  return out;
+}
+
+TimeNs in_switch_detection_delay(TimeNs interval_len, TimeNs link_delay,
+                                 TimeNs change_time) {
+  if (interval_len <= 0) {
+    throw std::invalid_argument("in_switch: interval must be positive");
+  }
+  // The change lands mid-interval; the check runs at the interval boundary,
+  // then one alert crosses the link.  No standing overhead at all.
+  const TimeNs boundary =
+      ((change_time + interval_len) / interval_len) * interval_len;
+  return boundary - change_time + link_delay;
+}
+
+}  // namespace baseline

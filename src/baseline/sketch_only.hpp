@@ -1,0 +1,51 @@
+// Analytic model of the sketch-only architecture (Figure 1b).
+//
+// Section 1 argues that for any pull-based system "a delay is inevitable
+// between when a traffic change is theoretically detectable and when the
+// system is actually able to detect the change: this delay is inversely
+// proportional to the generated overhead, and constrained by network
+// characteristics, such as link delays and switches' memory access speed."
+//
+// This model quantifies that argument so bench_reactivity can sweep it
+// against the in-switch push architecture (Figure 1c): given a pull period,
+// a switch-to-controller RTT, and a register-read cost, it yields the
+// detection delay distribution and the standing control-channel overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "stat4/types.hpp"
+
+namespace baseline {
+
+struct SketchOnlyConfig {
+  stat4::TimeNs pull_period = 100 * stat4::kMillisecond;
+  stat4::TimeNs link_delay = 1 * stat4::kMillisecond;  ///< one-way
+  /// Time to read one register on the device; the paper notes reading
+  /// thousands of registers takes several milliseconds.
+  stat4::TimeNs per_register_read = 2 * stat4::kMicrosecond;
+  std::uint64_t registers_per_pull = 1000;
+  std::uint64_t bytes_per_register = 8;
+};
+
+struct SketchOnlyOutcome {
+  stat4::TimeNs detection_delay = 0;      ///< change observable -> detected
+  stat4::TimeNs pull_service_time = 0;    ///< device time per pull
+  double overhead_bytes_per_second = 0.0; ///< standing control-plane load
+};
+
+/// Detection delay for a change that becomes observable at `change_time`,
+/// assuming pulls start at t = 0 and a pull snapshots device state at the
+/// moment it *reaches* the device.  The controller detects the change when
+/// the first snapshot taken at or after `change_time` arrives back.
+[[nodiscard]] SketchOnlyOutcome sketch_only_detection(
+    const SketchOnlyConfig& cfg, stat4::TimeNs change_time);
+
+/// Detection delay of the in-switch push architecture for the same change:
+/// the switch completes the current statistics interval, then pushes one
+/// alert over the same link.
+[[nodiscard]] stat4::TimeNs in_switch_detection_delay(
+    stat4::TimeNs interval_len, stat4::TimeNs link_delay,
+    stat4::TimeNs change_time);
+
+}  // namespace baseline

@@ -1,0 +1,62 @@
+// Welford's online algorithm [26] — the floating-point baseline Stat4's
+// integer techniques replace.
+//
+// The paper cannot use Welford on a switch (it needs division per update and
+// floating point); we implement it as the accuracy/performance baseline for
+// tests and the throughput benchmarks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace baseline {
+
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Remove a previously added value (reverse Welford step); used to mirror
+  /// windowed distributions.  Precondition: n() > 0 and x was added.
+  void remove(double x) noexcept {
+    if (n_ == 1) {
+      reset();
+      return;
+    }
+    const double mean_without =
+        (static_cast<double>(n_) * mean_ - x) / static_cast<double>(n_ - 1);
+    m2_ -= (x - mean_) * (x - mean_without);
+    mean_ = mean_without;
+    --n_;
+  }
+
+  void reset() noexcept {
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Population variance (the paper's sigma^2 is the population form:
+  /// E[X^2] - E[X]^2).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace baseline

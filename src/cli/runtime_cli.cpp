@@ -1,0 +1,365 @@
+#include "cli/runtime_cli.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include <fstream>
+
+#include "p4sim/craft.hpp"
+#include "p4sim/trace.hpp"
+#include "p4sim/disasm.hpp"
+#include "stat4/approx_math.hpp"
+
+namespace cli {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream is{std::string(line)};
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out, int base = 10) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out, base);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Flags shared by the bind_* commands.
+struct BindFlags {
+  stat4p4::FreqBindingSpec spec;
+  bool ok = true;
+  std::string error;
+};
+
+BindFlags parse_bind(const std::vector<std::string>& tok, std::size_t from) {
+  BindFlags f;
+  if (tok.size() < from + 3) {
+    f.ok = false;
+    f.error = "usage: <prefix>/<len> <dist> <shift> [flags]";
+    return f;
+  }
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;
+  if (!parse_prefix(tok[from], &addr, &len)) {
+    f.ok = false;
+    f.error = "bad prefix '" + tok[from] + "'";
+    return f;
+  }
+  std::uint64_t dist = 0;
+  std::uint64_t shift = 0;
+  if (!parse_u64(tok[from + 1], &dist) || !parse_u64(tok[from + 2], &shift)) {
+    f.ok = false;
+    f.error = "dist and shift must be integers";
+    return f;
+  }
+  f.spec.dst_prefix = addr;
+  f.spec.dst_prefix_len = len;
+  f.spec.dist = static_cast<std::uint32_t>(dist);
+  f.spec.shift = static_cast<std::uint8_t>(shift);
+  f.spec.check = false;
+
+  for (std::size_t i = from + 3; i < tok.size(); ++i) {
+    const auto& flag = tok[i];
+    auto next_u64 = [&](std::uint64_t* out, int base = 10) {
+      if (i + 1 >= tok.size() || !parse_u64(tok[i + 1], out, base)) {
+        f.ok = false;
+        f.error = flag + " needs an integer argument";
+        return false;
+      }
+      ++i;
+      return true;
+    };
+    if (flag == "--proto") {
+      std::uint64_t proto = 0;
+      if (!next_u64(&proto)) return f;
+      f.spec.protocol = static_cast<std::uint8_t>(proto);
+    } else if (flag == "--syn") {
+      f.spec.flag_mask = p4sim::kTcpSyn;
+      f.spec.flag_value = p4sim::kTcpSyn;
+      f.spec.protocol = p4sim::kIpProtoTcp;
+    } else if (flag == "--check") {
+      std::uint64_t min_total = 0;
+      if (!next_u64(&min_total)) return f;
+      f.spec.check = true;
+      f.spec.min_total = min_total;
+    } else if (flag == "--median") {
+      std::uint64_t p = 0;
+      if (!next_u64(&p)) return f;
+      f.spec.median = true;
+      f.spec.percentile = static_cast<unsigned>(p);
+    } else if (flag == "--mask") {
+      std::uint64_t mask = 0;
+      if (!next_u64(&mask, 16)) return f;
+      f.spec.mask = mask;
+    } else if (flag == "--offset") {
+      std::uint64_t off = 0;
+      if (!next_u64(&off)) return f;
+      f.spec.offset = off;
+    } else {
+      f.ok = false;
+      f.error = "unknown flag '" + flag + "'";
+      return f;
+    }
+  }
+  return f;
+}
+
+constexpr const char* kHelp = R"(commands:
+  forward_add <prefix>/<len> <port>
+  rate_add <prefix>/<len> <dist> <interval_ms> <window> [min_history] [stall]
+  bind_add    <prefix>/<len> <dist> <shift> [--proto N] [--syn]
+              [--check MIN] [--median P] [--mask HEX] [--offset N]
+  bind_value  <prefix>/<len> <dist> <shift> [flags]
+  bind_sparse <prefix>/<len> <dist> <shift> [flags]
+  bind_modify <handle> <prefix>/<len> <dist> <shift> [flags]
+  bind_del <handle>
+  mitigate_add <prefix>/<len> <dist> <shift> [flags]
+  register_read <array> <index> [count]
+  replay <trace-file>
+  stats <dist>
+  rearm <dist>
+  reset <dist>
+  inject_udp <src> <dst> <ts_us>
+  counters
+  dump <table>
+  disasm <action>
+  help | quit)";
+
+}  // namespace
+
+bool parse_ipv4_addr(std::string_view text, std::uint32_t* addr) {
+  unsigned parts[4] = {};
+  std::size_t idx = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '.') {
+      if (idx >= 4 || i == start) return false;
+      std::uint64_t v = 0;
+      if (!parse_u64(text.substr(start, i - start), &v) || v > 255) {
+        return false;
+      }
+      parts[idx++] = static_cast<unsigned>(v);
+      start = i + 1;
+    }
+  }
+  if (idx != 4) return false;
+  *addr = p4sim::ipv4(parts[0], parts[1], parts[2], parts[3]);
+  return true;
+}
+
+bool parse_prefix(std::string_view text, std::uint32_t* addr,
+                  std::uint8_t* len) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return false;
+  std::uint64_t l = 0;
+  if (!parse_u64(text.substr(slash + 1), &l) || l > 32) return false;
+  if (!parse_ipv4_addr(text.substr(0, slash), addr)) return false;
+  *len = static_cast<std::uint8_t>(l);
+  return true;
+}
+
+std::string RuntimeCli::execute(std::string_view line) {
+  const auto tok = tokenize(line);
+  if (tok.empty() || tok[0][0] == '#') return "";
+  const auto& cmd = tok[0];
+  std::ostringstream os;
+
+  try {
+    if (cmd == "help") {
+      return kHelp;
+    }
+    if (cmd == "quit") {
+      done_ = true;
+      return "bye";
+    }
+    if (cmd == "forward_add") {
+      std::uint32_t addr = 0;
+      std::uint8_t len = 0;
+      std::uint64_t port = 0;
+      if (tok.size() != 3 || !parse_prefix(tok[1], &addr, &len) ||
+          !parse_u64(tok[2], &port)) {
+        return "error: usage: forward_add <prefix>/<len> <port>";
+      }
+      const auto h = app_->install_forward(
+          addr, len, static_cast<p4sim::PortId>(port));
+      os << "entry handle " << h;
+      return os.str();
+    }
+    if (cmd == "rate_add") {
+      std::uint32_t addr = 0;
+      std::uint8_t len = 0;
+      std::uint64_t dist = 0;
+      std::uint64_t ms = 0;
+      std::uint64_t window = 0;
+      std::uint64_t minh = 8;
+      if (tok.size() < 5 || !parse_prefix(tok[1], &addr, &len) ||
+          !parse_u64(tok[2], &dist) || !parse_u64(tok[3], &ms) ||
+          !parse_u64(tok[4], &window)) {
+        return "error: usage: rate_add <prefix>/<len> <dist> <interval_ms> "
+               "<window> [min_history] [stall]";
+      }
+      if (tok.size() > 5 && !parse_u64(tok[5], &minh)) {
+        return "error: min_history must be an integer";
+      }
+      const bool stall = tok.size() > 6 && tok[6] == "stall";
+      const auto h = app_->install_rate_monitor(
+          addr, len, static_cast<std::uint32_t>(dist),
+          ms * static_cast<std::uint64_t>(stat4::kMillisecond), window, minh,
+          stall);
+      os << "entry handle " << h;
+      return os.str();
+    }
+    if (cmd == "bind_add" || cmd == "bind_value" || cmd == "bind_sparse" ||
+        cmd == "mitigate_add") {
+      auto f = parse_bind(tok, 1);
+      if (!f.ok) return "error: " + f.error;
+      p4sim::EntryHandle h = 0;
+      if (cmd == "bind_add") {
+        h = app_->install_freq_binding(f.spec);
+      } else if (cmd == "bind_value") {
+        h = app_->install_value_binding(f.spec);
+      } else if (cmd == "bind_sparse") {
+        h = app_->install_sparse_binding(f.spec);
+      } else {
+        h = app_->install_mitigation(f.spec);
+      }
+      os << "entry handle " << h;
+      return os.str();
+    }
+    if (cmd == "bind_modify") {
+      std::uint64_t handle = 0;
+      if (tok.size() < 2 || !parse_u64(tok[1], &handle)) {
+        return "error: usage: bind_modify <handle> <prefix>/<len> ...";
+      }
+      auto f = parse_bind(tok, 2);
+      if (!f.ok) return "error: " + f.error;
+      app_->modify_freq_binding(handle, f.spec);
+      return "ok";
+    }
+    if (cmd == "bind_del") {
+      std::uint64_t handle = 0;
+      if (tok.size() != 2 || !parse_u64(tok[1], &handle)) {
+        return "error: usage: bind_del <handle>";
+      }
+      app_->remove_binding(handle);
+      return "ok";
+    }
+    if (cmd == "register_read") {
+      std::uint64_t index = 0;
+      std::uint64_t count = 1;
+      if (tok.size() < 3 || !parse_u64(tok[2], &index)) {
+        return "error: usage: register_read <array> <index> [count]";
+      }
+      if (tok.size() > 3 && !parse_u64(tok[3], &count)) {
+        return "error: count must be an integer";
+      }
+      const auto& rf = app_->sw().registers();
+      for (std::size_t r = 0; r < rf.array_count(); ++r) {
+        const auto id = static_cast<p4sim::RegisterId>(r);
+        if (rf.info(id).name != tok[1]) continue;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (i > 0) os << '\n';
+          os << tok[1] << '[' << (index + i)
+             << "] = " << rf.read(id, index + i);
+        }
+        return os.str();
+      }
+      return "error: unknown register array '" + tok[1] + "'";
+    }
+    if (cmd == "stats") {
+      std::uint64_t dist = 0;
+      if (tok.size() != 2 || !parse_u64(tok[1], &dist)) {
+        return "error: usage: stats <dist>";
+      }
+      const auto& rf = app_->sw().registers();
+      const auto& regs = app_->regs();
+      const auto var = rf.read(regs.var, dist);
+      os << "dist " << dist << ": N=" << rf.read(regs.n, dist)
+         << " Xsum=" << rf.read(regs.xsum, dist)
+         << " Xsumsq=" << rf.read(regs.xsumsq, dist) << " var=" << var
+         << " sd~=" << stat4::approx_sqrt(var)
+         << " alerted=" << rf.read(regs.alerted, dist)
+         << " hot=" << rf.read(regs.hot_value, dist);
+      return os.str();
+    }
+    if (cmd == "rearm" || cmd == "reset") {
+      std::uint64_t dist = 0;
+      if (tok.size() != 2 || !parse_u64(tok[1], &dist)) {
+        return "error: usage: " + cmd + " <dist>";
+      }
+      if (cmd == "rearm") {
+        app_->rearm(static_cast<std::uint32_t>(dist));
+      } else {
+        app_->reset_distribution(static_cast<std::uint32_t>(dist));
+      }
+      return "ok";
+    }
+    if (cmd == "inject_udp") {
+      std::uint32_t src = 0;
+      std::uint32_t dst = 0;
+      std::uint64_t ts_us = 0;
+      if (tok.size() != 4 || !parse_ipv4_addr(tok[1], &src) ||
+          !parse_ipv4_addr(tok[2], &dst) || !parse_u64(tok[3], &ts_us)) {
+        return "error: usage: inject_udp <src> <dst> <ts_us>";
+      }
+      p4sim::Packet pkt = p4sim::make_udp_packet(src, dst, 1000, 2000);
+      pkt.ingress_ts =
+          static_cast<stat4::TimeNs>(ts_us) * stat4::kMicrosecond;
+      auto out = app_->sw().process(std::move(pkt));
+      for (const auto& d : out.digests) digests_.push_back(d);
+      os << (out.dropped ? "dropped" : "forwarded");
+      if (!out.digests.empty()) {
+        os << "; " << out.digests.size() << " digest(s)";
+      }
+      return os.str();
+    }
+    if (cmd == "replay") {
+      if (tok.size() != 2) return "error: usage: replay <trace-file>";
+      std::ifstream in(tok[1], std::ios::binary);
+      if (!in) return "error: cannot open '" + tok[1] + "'";
+      const auto result = p4sim::replay_trace(in, app_->sw());
+      for (const auto& dg : result.digests) digests_.push_back(dg);
+      os << "replayed " << result.packets << " packets: "
+         << result.forwarded << " forwarded, " << result.dropped
+         << " dropped, " << result.digests.size() << " digest(s)";
+      return os.str();
+    }
+    if (cmd == "counters") {
+      os << "packets=" << app_->sw().packets_processed()
+         << " digests=" << app_->sw().digests_emitted();
+      return os.str();
+    }
+    if (cmd == "dump") {
+      if (tok.size() != 2) return "error: usage: dump <table>";
+      for (std::size_t t = 0; t < app_->sw().table_count(); ++t) {
+        const auto& table =
+            app_->sw().table(static_cast<p4sim::TableId>(t));
+        if (table.name() != tok[1]) continue;
+        os << "table " << table.name() << ": " << table.entry_count() << '/'
+           << table.max_entries() << " entries";
+        return os.str();
+      }
+      return "error: unknown table '" + tok[1] + "'";
+    }
+    if (cmd == "disasm") {
+      if (tok.size() != 2) return "error: usage: disasm <action>";
+      for (std::size_t a = 0; a < app_->sw().action_count(); ++a) {
+        const auto& prog = app_->sw().action(static_cast<p4sim::ActionId>(a));
+        if (prog.name != tok[1]) continue;
+        return p4sim::disassemble(prog, &app_->sw().registers());
+      }
+      return "error: unknown action '" + tok[1] + "'";
+    }
+  } catch (const std::exception& e) {
+    return std::string("error: ") + e.what();
+  }
+  return "error: unknown command '" + cmd + "' (try 'help')";
+}
+
+}  // namespace cli

@@ -1,0 +1,60 @@
+// Runtime CLI for Stat4 switches — the bmv2 `simple_switch_CLI` analogue.
+//
+// The paper's controller drives bmv2 through its runtime CLI (table_add /
+// table_modify / register_read); this module provides the same operational
+// surface over a MonitorApp, as a library (so tests and controllers can
+// drive it programmatically) plus a stdin/stdout binary (tools/stat4_cli).
+//
+// Commands (see `help`):
+//   forward_add 10.0.0.0/8 1
+//   rate_add 10.0.0.0/8 0 8 100 [min_history] [stall]
+//   bind_add 10.0.0.0/8 1 8 [--proto 6] [--syn] [--check 128] [--median 50]
+//   bind_value 10.0.0.0/8 2 0 [--check 64]
+//   bind_sparse 0.0.0.0/0 3 0 [--mask ffffffff] [--check 512]
+//   bind_modify <handle> ... / bind_del <handle>
+//   mitigate_add 10.0.0.0/8 1 8
+//   register_read stat_xsum 1 [count]
+//   stats 1
+//   rearm 1 / reset 1
+//   inject_udp 1.2.3.4 10.0.5.6 <ts_us>
+//   counters / disasm <action> / dump <table>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stat4p4/apps.hpp"
+
+namespace cli {
+
+class RuntimeCli {
+ public:
+  explicit RuntimeCli(stat4p4::MonitorApp& app) : app_(&app) {}
+
+  /// Executes one command line and returns its output (never throws;
+  /// failures come back as "error: ..." text, like an interactive CLI).
+  [[nodiscard]] std::string execute(std::string_view line);
+
+  /// True once `quit` has been executed.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Digests raised by packets injected through the CLI.
+  [[nodiscard]] const std::vector<p4sim::Digest>& digests() const noexcept {
+    return digests_;
+  }
+
+ private:
+  stat4p4::MonitorApp* app_;
+  bool done_ = false;
+  std::vector<p4sim::Digest> digests_;
+};
+
+/// Parses "a.b.c.d/len"; returns false on malformed input.
+[[nodiscard]] bool parse_prefix(std::string_view text, std::uint32_t* addr,
+                                std::uint8_t* len);
+
+/// Parses "a.b.c.d"; returns false on malformed input.
+[[nodiscard]] bool parse_ipv4_addr(std::string_view text,
+                                   std::uint32_t* addr);
+
+}  // namespace cli

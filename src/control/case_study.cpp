@@ -1,0 +1,143 @@
+#include "control/case_study.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "p4sim/craft.hpp"
+
+namespace control {
+
+using netsim::HostNode;
+using netsim::Network;
+using netsim::P4SwitchNode;
+using netsim::PacketPump;
+using netsim::Rng;
+using netsim::Simulator;
+using p4sim::ipv4;
+
+CaseStudyOutcome run_case_study(const CaseStudyParams& params) {
+  if (params.num_subnets == 0 || params.num_subnets > 250 ||
+      params.hosts_per_subnet == 0 || params.hosts_per_subnet > 250) {
+    throw std::invalid_argument("case_study: topology out of range");
+  }
+  if (params.spike_factor <= 1.0) {
+    throw std::invalid_argument("case_study: spike_factor must exceed 1");
+  }
+
+  Rng rng(params.seed);
+  Simulator sim;
+  Network net(sim);
+
+  // --- switch program -------------------------------------------------------
+  stat4p4::Stat4Config cfg;
+  cfg.counter_num = 4;
+  cfg.counter_size = 256;
+  cfg.k_sigma = params.k_sigma;
+  cfg.k_sigma_rate = params.k_sigma_rate;
+  if (params.window_size > cfg.counter_size) {
+    throw std::invalid_argument("case_study: window exceeds counter_size");
+  }
+  stat4p4::MonitorApp app(cfg);
+  app.install_forward(ipv4(10, 0, 0, 0), 8, /*port=*/1);
+  app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, /*dist=*/0,
+                           static_cast<std::uint64_t>(params.interval_len),
+                           params.window_size, params.min_history);
+
+  // --- topology --------------------------------------------------------------
+  const auto switch_id =
+      net.add_node(std::make_unique<P4SwitchNode>(app.sw()));
+  const auto source_id = net.add_node(std::make_unique<HostNode>());
+  const auto sink_id = net.add_node(std::make_unique<HostNode>());
+  net.link(source_id, 0, switch_id, 0, 50 * stat4::kMicrosecond);
+  net.link(switch_id, 1, sink_id, 0, 50 * stat4::kMicrosecond);
+
+  // --- control plane ----------------------------------------------------------
+  netsim::ControlChannel channel(sim, params.channel);
+  auto& sw_node = net.node<P4SwitchNode>(switch_id);
+  sw_node.set_digest_sink(
+      [&channel](const p4sim::Digest& d) { channel.push_digest(d); });
+
+  DrillDownController::Config ctl_cfg;
+  ctl_cfg.monitored_prefix = ipv4(10, 0, 0, 0);
+  ctl_cfg.prefix_len = 8;
+  ctl_cfg.min_total = params.imbalance_min_total;
+  DrillDownController controller(channel, app, ctl_cfg);
+
+  // --- traffic -----------------------------------------------------------------
+  std::vector<std::uint32_t> destinations;
+  for (std::uint32_t s = 1; s <= params.num_subnets; ++s) {
+    for (std::uint32_t h = 1; h <= params.hosts_per_subnet; ++h) {
+      destinations.push_back(ipv4(10, 0, s, h));
+    }
+  }
+  CaseStudyOutcome out;
+  out.hot_subnet = 1 + static_cast<std::uint32_t>(
+                           rng.below(params.num_subnets));
+  out.hot_host =
+      1 + static_cast<std::uint32_t>(rng.below(params.hosts_per_subnet));
+  const std::uint32_t hot_ip = ipv4(10, 0, out.hot_subnet, out.hot_host);
+
+  auto& source = net.node<HostNode>(source_id);
+  PacketPump pump(sim, [&source](p4sim::Packet pkt) {
+    source.transmit(0, std::move(pkt));
+  });
+
+  const auto base_gap = static_cast<TimeNs>(
+      static_cast<double>(stat4::kSecond) / params.base_pps);
+  const auto spike_gap = static_cast<TimeNs>(
+      static_cast<double>(stat4::kSecond) /
+      (params.base_pps * (params.spike_factor - 1.0)));
+
+  // Baseline: uniform load-balanced traffic from t=0, forever.
+  if (params.poisson_arrivals) {
+    pump.launch_poisson(0, 0, base_gap, rng,
+                        netsim::uniform_udp_factory(rng, ipv4(172, 16, 0, 1),
+                                                    destinations));
+  } else {
+    pump.launch(0, 0, base_gap,
+                netsim::uniform_udp_factory(rng, ipv4(172, 16, 0, 1),
+                                            destinations));
+  }
+
+  // Spike: starts after a randomized warmup, on top of the baseline.
+  const TimeNs warmup_span = params.max_warmup - params.min_warmup;
+  out.spike_start =
+      params.min_warmup +
+      (warmup_span > 0
+           ? static_cast<TimeNs>(rng.below(
+                 static_cast<std::uint64_t>(warmup_span)))
+           : 0);
+  if (params.poisson_arrivals) {
+    pump.launch_poisson(out.spike_start, 0, spike_gap, rng,
+                        netsim::fixed_udp_factory(ipv4(172, 16, 0, 1),
+                                                  hot_ip));
+  } else {
+    pump.launch(out.spike_start, 0, spike_gap,
+                netsim::fixed_udp_factory(ipv4(172, 16, 0, 1), hot_ip));
+  }
+
+  // --- run ------------------------------------------------------------------
+  while (!controller.done() && sim.now() < params.deadline) {
+    sim.run_until(sim.now() + 100 * stat4::kMillisecond);
+  }
+  pump.stop_all();
+
+  out.drill = controller.result();
+  out.packets_sent = pump.packets_emitted();
+  out.events = sim.events_processed();
+  if (out.drill.spike_digest_time) {
+    out.detection_delay = *out.drill.spike_digest_time - out.spike_start;
+    out.false_positive = *out.drill.spike_digest_time < out.spike_start;
+  }
+  if (out.drill.host_handled_time) {
+    out.pinpoint_delay = *out.drill.host_handled_time - out.spike_start;
+  }
+  out.subnet_correct =
+      out.drill.done() && out.drill.identified_subnet == out.hot_subnet;
+  out.host_correct =
+      out.drill.done() && out.drill.identified_host == out.hot_host;
+  return out;
+}
+
+}  // namespace control

@@ -1,0 +1,7 @@
+// Umbrella header for the controller library.
+#pragma once
+
+#include "control/case_study.hpp"  // IWYU pragma: export
+#include "control/drilldown.hpp"   // IWYU pragma: export
+#include "control/fleet.hpp"       // IWYU pragma: export
+#include "control/inspector.hpp"   // IWYU pragma: export

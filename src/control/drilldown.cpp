@@ -1,0 +1,95 @@
+#include "control/drilldown.hpp"
+
+namespace control {
+
+using stat4p4::FreqBindingSpec;
+using stat4p4::kDigestImbalance;
+using stat4p4::kDigestRateSpike;
+
+DrillDownController::DrillDownController(netsim::ControlChannel& channel,
+                                         stat4p4::MonitorApp& app, Config cfg)
+    : channel_(&channel), app_(&app), cfg_(cfg) {
+  channel_->set_digest_handler(
+      [this](const p4sim::Digest& d) { on_digest(d); });
+}
+
+void DrillDownController::on_digest(const p4sim::Digest& digest) {
+  const TimeNs now = channel_->sim().now();
+
+  switch (state_) {
+    case State::kWatchingRate: {
+      if (digest.id != kDigestRateSpike ||
+          digest.payload[0] != cfg_.rate_dist) {
+        return;
+      }
+      result_.spike_digest_time = digest.time;
+      result_.spike_handled_time = now;
+
+      // React: track traffic per /24 inside the monitored /8 (Figure 6's
+      // first drill-down step).  The reset clears any stale state in the
+      // target distribution before the binding activates.
+      FreqBindingSpec per24;
+      per24.dst_prefix = cfg_.monitored_prefix;
+      per24.dst_prefix_len = cfg_.prefix_len;
+      per24.dist = cfg_.subnet_dist;
+      per24.shift = 8;  // third octet = /24 index
+      per24.mask = 0xFF;
+      per24.check = true;
+      per24.min_total = cfg_.min_total;
+      channel_->execute_register_op(
+          [this]() { app_->reset_distribution(cfg_.subnet_dist); });
+      channel_->execute_table_op([this, per24]() {
+        binding_handle_ = app_->install_freq_binding(per24);
+      });
+      state_ = State::kWatchingSubnet;
+      break;
+    }
+
+    case State::kWatchingSubnet: {
+      if (digest.id != kDigestImbalance ||
+          digest.payload[0] != cfg_.subnet_dist) {
+        return;
+      }
+      result_.imbalance_digest_time = digest.time;
+      result_.subnet_handled_time = now;
+      result_.identified_subnet =
+          static_cast<std::uint32_t>(digest.payload[1]);
+
+      // React: modify the previously added entry so the switch tracks
+      // traffic per destination within the identified /24.
+      FreqBindingSpec perhost;
+      perhost.dst_prefix =
+          cfg_.monitored_prefix | (result_.identified_subnet << 8);
+      perhost.dst_prefix_len = 24;
+      perhost.dist = cfg_.host_dist;
+      perhost.shift = 0;  // last octet = destination index
+      perhost.mask = 0xFF;
+      perhost.check = true;
+      perhost.min_total = cfg_.min_total;
+      channel_->execute_register_op(
+          [this]() { app_->reset_distribution(cfg_.host_dist); });
+      channel_->execute_table_op([this, perhost]() {
+        app_->modify_freq_binding(*binding_handle_, perhost);
+      });
+      state_ = State::kWatchingHost;
+      break;
+    }
+
+    case State::kWatchingHost: {
+      if (digest.id != kDigestImbalance ||
+          digest.payload[0] != cfg_.host_dist) {
+        return;
+      }
+      result_.pinpoint_digest_time = digest.time;
+      result_.host_handled_time = now;
+      result_.identified_host = static_cast<std::uint32_t>(digest.payload[1]);
+      state_ = State::kDone;
+      break;
+    }
+
+    case State::kDone:
+      break;
+  }
+}
+
+}  // namespace control

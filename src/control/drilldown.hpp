@@ -1,0 +1,85 @@
+// The drill-down controller of the Section 4 case study.
+//
+// State machine (all transitions triggered by switch digests and executed
+// through the latency-modeled control channel):
+//
+//   WatchingRate --rate-spike digest-->
+//       install per-/24 binding            (one table op)
+//   WatchingSubnet --imbalance digest (names the hot /24)-->
+//       re-target the same entry to per-destination tracking in that /24
+//                                          (one table op)
+//   WatchingHost --imbalance digest (names the hot destination)--> Done
+//
+// "Upon receiving a traffic-spike alert, it adds an entry to a binding
+// table, requiring the switch to track the traffic per /24 subnet [...] In
+// response to this second alert, the controller modifies the previously
+// added entry so that the switch tracks the traffic per destination within
+// the identified /24."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "netsim/channel.hpp"
+#include "stat4p4/apps.hpp"
+
+namespace control {
+
+using stat4::TimeNs;
+
+struct DrillDownResult {
+  // Switch-side emission times (digest timestamps).
+  std::optional<TimeNs> spike_digest_time;
+  std::optional<TimeNs> imbalance_digest_time;
+  std::optional<TimeNs> pinpoint_digest_time;
+  // Controller-side handling times (after channel latency).
+  std::optional<TimeNs> spike_handled_time;
+  std::optional<TimeNs> subnet_handled_time;
+  std::optional<TimeNs> host_handled_time;
+  std::uint32_t identified_subnet = 0;
+  std::uint32_t identified_host = 0;
+
+  [[nodiscard]] bool done() const noexcept {
+    return host_handled_time.has_value();
+  }
+};
+
+class DrillDownController {
+ public:
+  struct Config {
+    std::uint32_t monitored_prefix = 0;  ///< e.g. 10.0.0.0
+    std::uint8_t prefix_len = 8;
+    std::uint32_t rate_dist = 0;
+    std::uint32_t subnet_dist = 1;
+    std::uint32_t host_dist = 2;
+    std::uint64_t min_total = 256;  ///< imbalance-check warmup per binding
+  };
+
+  DrillDownController(netsim::ControlChannel& channel,
+                      stat4p4::MonitorApp& app, Config cfg);
+
+  /// Wire this as the channel's digest handler (done by the constructor).
+  void on_digest(const p4sim::Digest& digest);
+
+  [[nodiscard]] const DrillDownResult& result() const noexcept {
+    return result_;
+  }
+  [[nodiscard]] bool done() const noexcept { return result_.done(); }
+
+ private:
+  enum class State : std::uint8_t {
+    kWatchingRate,
+    kWatchingSubnet,
+    kWatchingHost,
+    kDone,
+  };
+
+  netsim::ControlChannel* channel_;
+  stat4p4::MonitorApp* app_;
+  Config cfg_;
+  State state_ = State::kWatchingRate;
+  DrillDownResult result_;
+  std::optional<p4sim::EntryHandle> binding_handle_;
+};
+
+}  // namespace control

@@ -1,0 +1,54 @@
+#include "control/fleet.hpp"
+
+#include <algorithm>
+
+namespace control {
+
+void FleetCorrelator::ingest(SwitchId sw, const p4sim::Digest& digest) {
+  expire(digest.time);
+
+  for (auto& event : open_) {
+    if (event.digest_id != digest.id) continue;
+    if (digest.time - event.last_time > window_) continue;
+    // Joins the open event; a switch reporting twice still counts once.
+    if (std::find(event.switches.begin(), event.switches.end(), sw) ==
+        event.switches.end()) {
+      event.switches.push_back(sw);
+    }
+    event.last_time = std::max(event.last_time, digest.time);
+    event.first_time = std::min(event.first_time, digest.time);
+    event.combined_magnitude += digest.payload[1];
+    return;
+  }
+
+  FleetEvent event;
+  event.digest_id = digest.id;
+  event.switches.push_back(sw);
+  event.first_time = digest.time;
+  event.last_time = digest.time;
+  event.combined_magnitude = digest.payload[1];
+  open_.push_back(std::move(event));
+}
+
+void FleetCorrelator::expire(stat4::TimeNs now) {
+  for (std::size_t i = 0; i < open_.size();) {
+    if (now - open_[i].last_time > window_) {
+      complete(i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void FleetCorrelator::complete(std::size_t index) {
+  const FleetEvent event = std::move(open_[index]);
+  open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++emitted_;
+  if (sink_) sink_(event);
+}
+
+void FleetCorrelator::flush() {
+  while (!open_.empty()) complete(0);
+}
+
+}  // namespace control

@@ -1,0 +1,76 @@
+// Fleet correlation: network-wide events from per-switch digests.
+//
+// Section 5 raises "statistical analyses across multiple switches" as a
+// future direction.  The reusable half is the controller-side correlator:
+// it ingests digests from any number of switches (tagged with a switch id)
+// and groups same-kind digests that land within a correlation window into
+// one event, distinguishing
+//
+//   * LOCAL events    — one switch saw the anomaly (a spike behind one
+//                       edge: react locally), from
+//   * NETWORK events  — several switches saw it nearly simultaneously (a
+//                       distributed surge: react globally).
+//
+// examples/multi_switch.cpp runs this logic end to end over netsim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "p4sim/action.hpp"
+#include "stat4/types.hpp"
+
+namespace control {
+
+using SwitchId = std::uint32_t;
+
+struct FleetEvent {
+  std::uint32_t digest_id = 0;      ///< the digest kind being correlated
+  std::vector<SwitchId> switches;   ///< who reported, in arrival order
+  stat4::TimeNs first_time = 0;     ///< earliest digest timestamp
+  stat4::TimeNs last_time = 0;      ///< latest digest timestamp
+  std::uint64_t combined_magnitude = 0;  ///< sum of payload[1]
+
+  [[nodiscard]] bool network_wide() const noexcept {
+    return switches.size() > 1;
+  }
+};
+
+class FleetCorrelator {
+ public:
+  /// Digests of the same kind within `window` of each other (switch-side
+  /// timestamps) fold into one event.
+  explicit FleetCorrelator(stat4::TimeNs window) : window_(window) {}
+
+  /// Ingest one digest from `sw`.  Events complete when a later digest (of
+  /// any kind) arrives more than `window` after an event's last member, or
+  /// when flush() is called; completed events go to the sink.
+  void ingest(SwitchId sw, const p4sim::Digest& digest);
+
+  /// Force-complete every open event (end of run).
+  void flush();
+
+  void set_event_sink(std::function<void(const FleetEvent&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  [[nodiscard]] std::size_t open_events() const noexcept {
+    return open_.size();
+  }
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept {
+    return emitted_;
+  }
+
+ private:
+  void expire(stat4::TimeNs now);
+  void complete(std::size_t index);
+
+  stat4::TimeNs window_;
+  std::vector<FleetEvent> open_;
+  std::function<void(const FleetEvent&)> sink_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace control

@@ -1,0 +1,97 @@
+#include "control/inspector.hpp"
+
+#include <algorithm>
+
+namespace control {
+
+std::vector<std::pair<stat4::Value, stat4::Count>> DistributionSnapshot::top_k(
+    std::size_t k) const {
+  std::vector<std::pair<stat4::Value, stat4::Count>> pairs;
+  for (stat4::Value v = 0; v < frequencies.size(); ++v) {
+    if (frequencies[v] > 0) pairs.emplace_back(v, frequencies[v]);
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (pairs.size() > k) pairs.resize(k);
+  return pairs;
+}
+
+unsigned DistributionSnapshot::mode_count(double floor_fraction) const {
+  if (frequencies.size() < 3) return frequencies.empty() ? 0 : 1;
+
+  // Light smoothing (3-bin moving average) so counting noise does not split
+  // one mode into many.
+  std::vector<double> smooth(frequencies.size(), 0.0);
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    double sum = static_cast<double>(frequencies[i]);
+    double cnt = 1.0;
+    if (i > 0) {
+      sum += static_cast<double>(frequencies[i - 1]);
+      cnt += 1.0;
+    }
+    if (i + 1 < frequencies.size()) {
+      sum += static_cast<double>(frequencies[i + 1]);
+      cnt += 1.0;
+    }
+    smooth[i] = sum / cnt;
+  }
+  const double peak = *std::max_element(smooth.begin(), smooth.end());
+  if (peak <= 0.0) return 0;
+  const double floor = peak * floor_fraction;
+
+  // Count ascents above the floor: a mode begins when the curve rises above
+  // the floor and ends when it falls back below it.
+  unsigned modes = 0;
+  bool in_mode = false;
+  for (const double s : smooth) {
+    if (!in_mode && s >= floor) {
+      ++modes;
+      in_mode = true;
+    } else if (in_mode && s < floor) {
+      in_mode = false;
+    }
+  }
+  return modes;
+}
+
+stat4::Count DistributionSnapshot::total() const {
+  stat4::Count t = 0;
+  for (const auto f : frequencies) t += f;
+  return t;
+}
+
+void DistributionInspector::pull(
+    std::uint32_t dist,
+    std::function<void(const DistributionSnapshot&)> done) {
+  ++pulls_;
+  const auto& cfg = app_->config();
+  const std::uint64_t cells = cfg.counter_size + 4;  // counters + measures
+  const TimeNs issued = channel_->sim().now();
+  channel_->execute_register_pull(
+      cells, [this, dist, issued, done = std::move(done)]() {
+        // Snapshot at delivery time: this is what the controller sees,
+        // including any updates that landed during the pull (the same
+        // consistency model as reading bmv2 registers via the CLI).
+        DistributionSnapshot snap;
+        snap.dist = dist;
+        const auto& rf = app_->sw().registers();
+        const auto& regs = app_->regs();
+        const auto& cfg2 = app_->config();
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(dist) * cfg2.counter_size;
+        snap.frequencies.resize(cfg2.counter_size);
+        for (std::uint64_t i = 0; i < cfg2.counter_size; ++i) {
+          snap.frequencies[i] = rf.read(regs.counters, base + i);
+        }
+        snap.n = rf.read(regs.n, dist);
+        snap.xsum = rf.read(regs.xsum, dist);
+        snap.variance_nx = rf.read(regs.var, dist);
+        snap.pulled_at = channel_->sim().now();
+        snap.pull_cost = snap.pulled_at - issued;
+        done(snap);
+      });
+}
+
+}  // namespace control

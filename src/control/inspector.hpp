@@ -1,0 +1,71 @@
+// Distribution inspection: the hybrid in-switch + in-controller design.
+//
+// Section 5: "In our approach, the controller has access to all the values
+// of distributions tracked by switches, as they are stored in switches'
+// registers.  It can therefore learn about the distribution at runtime, and
+// adapt the switch's anomaly detection approach accordingly.  For example,
+// if a distribution is bimodal, the controller can instruct switches to
+// separately track and check the two modes" — and, from the same section,
+// "use in-switch anomaly detection to decide when a controller should
+// extract sketches from switches".
+//
+// DistributionInspector implements the extraction half: on demand (typically
+// after an alert) it pulls a distribution's counters through the
+// latency-modeled control channel and produces a snapshot with the analyses
+// a controller needs — top-k heavy values, mode count, and summary measures
+// recomputed exactly in the control plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netsim/channel.hpp"
+#include "stat4p4/apps.hpp"
+
+namespace control {
+
+using stat4::TimeNs;
+
+struct DistributionSnapshot {
+  std::uint32_t dist = 0;
+  std::vector<stat4::Count> frequencies;  ///< raw per-value counters
+  stat4::Count n = 0;                     ///< switch's N register
+  stat4::Count xsum = 0;                  ///< switch's Xsum register
+  stat4::Count variance_nx = 0;           ///< switch's var register
+  TimeNs pulled_at = 0;                   ///< when the snapshot landed
+  TimeNs pull_cost = 0;                   ///< channel time spent pulling
+
+  /// The k most frequent (value, count) pairs, most frequent first.
+  [[nodiscard]] std::vector<std::pair<stat4::Value, stat4::Count>> top_k(
+      std::size_t k) const;
+
+  /// Number of modes: local maxima of the (lightly smoothed) histogram that
+  /// rise above `floor_fraction` of the global peak.  A bimodal result is
+  /// the controller's cue to split the tracked distribution (Section 5).
+  [[nodiscard]] unsigned mode_count(double floor_fraction = 0.10) const;
+
+  /// Total observations in the snapshot (sum of counters).
+  [[nodiscard]] stat4::Count total() const;
+};
+
+class DistributionInspector {
+ public:
+  DistributionInspector(netsim::ControlChannel& channel,
+                        stat4p4::MonitorApp& app)
+      : channel_(&channel), app_(&app) {}
+
+  /// Pull distribution `dist`'s counters + measures; `done` runs once the
+  /// snapshot is back at the controller (after the modeled pull latency).
+  void pull(std::uint32_t dist,
+            std::function<void(const DistributionSnapshot&)> done);
+
+  [[nodiscard]] std::uint64_t pulls_issued() const noexcept { return pulls_; }
+
+ private:
+  netsim::ControlChannel* channel_;
+  stat4p4::MonitorApp* app_;
+  std::uint64_t pulls_ = 0;
+};
+
+}  // namespace control

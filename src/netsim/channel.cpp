@@ -1,0 +1,42 @@
+#include "netsim/channel.hpp"
+
+namespace netsim {
+
+void ControlChannel::push_digest(const p4sim::Digest& digest) {
+  const TimeNs deliver_at =
+      sim_->now() + cfg_.digest_latency + cfg_.controller_processing;
+  sim_->schedule_at(deliver_at, [this, digest]() {
+    ++digests_;
+    if (handler_) handler_(digest);
+  });
+}
+
+void ControlChannel::execute_op_with_latency(TimeNs latency,
+                                             std::function<void()> op) {
+  // Serialize operations: a new op starts only after the previous finished,
+  // like commands typed into one runtime CLI session.
+  const TimeNs start = std::max(sim_->now(), ops_busy_until_);
+  const TimeNs done = start + latency;
+  ops_busy_until_ = done;
+  sim_->schedule_at(done, [this, op = std::move(op)]() {
+    ++ops_;
+    op();
+  });
+}
+
+void ControlChannel::execute_table_op(std::function<void()> op) {
+  execute_op_with_latency(cfg_.table_op_latency, std::move(op));
+}
+
+void ControlChannel::execute_register_op(std::function<void()> op) {
+  execute_op_with_latency(cfg_.register_op_latency, std::move(op));
+}
+
+void ControlChannel::execute_register_pull(std::uint64_t register_count,
+                                           std::function<void()> op) {
+  const TimeNs service =
+      static_cast<TimeNs>(register_count) * cfg_.per_register_read;
+  execute_op_with_latency(service + 2 * cfg_.digest_latency, std::move(op));
+}
+
+}  // namespace netsim

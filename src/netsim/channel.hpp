@@ -1,0 +1,82 @@
+// Control channel: the switch <-> controller path with realistic latency.
+//
+// The paper reports that pinpointing a spike's destination "typically takes
+// 2-3 seconds because of the interaction between the control and data
+// planes": digests must reach the controller and — far more expensively on
+// bmv2 — table add/modify commands must round-trip through the runtime CLI.
+// ControlChannel makes those costs explicit simulation parameters so the
+// bench can reproduce (and sweep) the wall-clock behaviour.
+#pragma once
+
+#include <functional>
+
+#include "netsim/simulator.hpp"
+#include "p4sim/action.hpp"
+
+namespace netsim {
+
+struct ControlChannelConfig {
+  /// Digest propagation, switch -> controller.
+  TimeNs digest_latency = 5 * stat4::kMillisecond;
+  /// Controller think time per alert.
+  TimeNs controller_processing = 50 * stat4::kMillisecond;
+  /// One table add/modify (bmv2 runtime CLI is notoriously ~1s).
+  TimeNs table_op_latency = 1000 * stat4::kMillisecond;
+  /// One register write (rearm / reset), cheaper than a table op.
+  TimeNs register_op_latency = 20 * stat4::kMillisecond;
+  /// Reading one register cell during a pull ("reading thousands of
+  /// registers takes several milliseconds", Section 1).
+  TimeNs per_register_read = 2 * stat4::kMicrosecond;
+};
+
+/// Queues digests toward the controller and controller operations toward
+/// the switch, applying the configured latencies on one Simulator clock.
+class ControlChannel {
+ public:
+  ControlChannel(Simulator& sim, ControlChannelConfig cfg = {})
+      : sim_(&sim), cfg_(cfg) {}
+
+  /// Install the controller-side digest handler.
+  void set_digest_handler(std::function<void(const p4sim::Digest&)> h) {
+    handler_ = std::move(h);
+  }
+
+  /// Called from the data plane (zero switch-side cost); the handler runs
+  /// after digest_latency + controller_processing.
+  void push_digest(const p4sim::Digest& digest);
+
+  /// Run a table add/modify/delete on the switch after table_op_latency.
+  /// Multiple queued ops serialize (one CLI session), matching bmv2.
+  void execute_table_op(std::function<void()> op);
+
+  /// Run a register write (rearm, reset) after register_op_latency.
+  void execute_register_op(std::function<void()> op);
+
+  /// Pull `register_count` cells from the switch: `op` runs (and should
+  /// snapshot the registers) after the read service time plus the control
+  /// RTT — the Figure 1b cost the in-switch architecture avoids paying
+  /// continuously, but which the hybrid design (Section 5) pays on demand.
+  void execute_register_pull(std::uint64_t register_count,
+                             std::function<void()> op);
+
+  [[nodiscard]] const ControlChannelConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] Simulator& sim() noexcept { return *sim_; }
+  [[nodiscard]] std::uint64_t digests_delivered() const noexcept {
+    return digests_;
+  }
+  [[nodiscard]] std::uint64_t ops_executed() const noexcept { return ops_; }
+
+ private:
+  void execute_op_with_latency(TimeNs latency, std::function<void()> op);
+
+  Simulator* sim_;
+  ControlChannelConfig cfg_;
+  std::function<void(const p4sim::Digest&)> handler_;
+  TimeNs ops_busy_until_ = 0;  ///< serializes CLI operations
+  std::uint64_t digests_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace netsim

@@ -1,0 +1,8 @@
+// Umbrella header for the netsim discrete-event network simulator.
+#pragma once
+
+#include "netsim/channel.hpp"    // IWYU pragma: export
+#include "netsim/network.hpp"    // IWYU pragma: export
+#include "netsim/rng.hpp"        // IWYU pragma: export
+#include "netsim/simulator.hpp"  // IWYU pragma: export
+#include "netsim/traffic.hpp"    // IWYU pragma: export

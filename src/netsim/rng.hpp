@@ -1,0 +1,59 @@
+// Deterministic random number generation for experiments.
+//
+// Every randomized experiment takes an explicit 64-bit seed and derives all
+// of its randomness from one of these generators, so every table and figure
+// regenerates bit-identically.  xoshiro256** seeded via SplitMix64 — small,
+// fast, and well understood.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace netsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).  Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire-style rejection-free reduction is overkill here; modulo bias is
+    // negligible for the ranges experiments use (n << 2^64).
+    return next() % n;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace netsim

@@ -1,0 +1,50 @@
+#include "netsim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace netsim {
+
+void Simulator::schedule_at(TimeNs t, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("netsim: cannot schedule in the past");
+  }
+  queue_.push(Event{t, seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_after(TimeNs delay, Callback cb) {
+  if (delay < 0) {
+    throw std::invalid_argument("netsim: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimeNs t) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++n;
+    ++processed_;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace netsim

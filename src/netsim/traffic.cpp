@@ -1,0 +1,127 @@
+#include "netsim/traffic.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "p4sim/craft.hpp"
+
+namespace netsim {
+
+struct FlowState {
+  TimeNs stop = 0;
+  TimeNs gap = 0;
+  Rng* rng = nullptr;  ///< non-null = Poisson arrivals with mean `gap`
+  PacketFactory factory;
+  std::uint64_t seq = 0;
+};
+
+void PacketPump::launch(TimeNs start, TimeNs stop, TimeNs gap,
+                        PacketFactory factory) {
+  if (gap <= 0) {
+    throw std::invalid_argument("netsim: packet gap must be positive");
+  }
+  auto flow = std::make_shared<FlowState>();
+  flow->stop = stop;
+  flow->gap = gap;
+  flow->factory = std::move(factory);
+  const TimeNs at = std::max(start, sim_->now());
+  sim_->schedule_at(at, [this, flow]() { step(flow); });
+}
+
+void PacketPump::step(std::shared_ptr<FlowState> flow) {
+  if (stopped_) return;
+  if (flow->stop != 0 && sim_->now() >= flow->stop) return;
+  emit_(flow->factory(flow->seq++));
+  ++emitted_;
+  TimeNs gap = flow->gap;
+  if (flow->rng != nullptr) {
+    // Exponential inter-arrival: -mean * ln(U), U in (0, 1].
+    const double u = 1.0 - flow->rng->uniform01();
+    gap = std::max<TimeNs>(
+        1, static_cast<TimeNs>(-static_cast<double>(flow->gap) *
+                               std::log(u)));
+  }
+  sim_->schedule_after(gap, [this, flow]() { step(flow); });
+}
+
+void PacketPump::launch_poisson(TimeNs start, TimeNs stop, TimeNs mean_gap,
+                                Rng& rng, PacketFactory factory) {
+  if (mean_gap <= 0) {
+    throw std::invalid_argument("netsim: mean gap must be positive");
+  }
+  auto flow = std::make_shared<FlowState>();
+  flow->stop = stop;
+  flow->gap = mean_gap;
+  flow->rng = &rng;
+  flow->factory = std::move(factory);
+  const TimeNs at = std::max(start, sim_->now());
+  sim_->schedule_at(at, [this, flow]() { step(flow); });
+}
+
+PacketFactory uniform_udp_factory(Rng& rng, std::uint32_t src_ip,
+                                  std::vector<std::uint32_t> destinations,
+                                  std::size_t pad_to) {
+  if (destinations.empty()) {
+    throw std::invalid_argument("netsim: no destinations");
+  }
+  return [&rng, src_ip, dests = std::move(destinations),
+          pad_to](std::uint64_t seq) {
+    const std::uint32_t dst = dests[rng.below(dests.size())];
+    const auto sport = static_cast<std::uint16_t>(20000 + (seq & 0x3FF));
+    return p4sim::make_udp_packet(src_ip, dst, sport, 8080, pad_to);
+  };
+}
+
+PacketFactory fixed_udp_factory(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                std::size_t pad_to) {
+  return [src_ip, dst_ip, pad_to](std::uint64_t seq) {
+    const auto sport = static_cast<std::uint16_t>(30000 + (seq & 0x3FF));
+    return p4sim::make_udp_packet(src_ip, dst_ip, sport, 8080, pad_to);
+  };
+}
+
+PacketFactory syn_flood_factory(Rng& rng, std::uint32_t victim_ip,
+                                std::uint16_t victim_port) {
+  return [&rng, victim_ip, victim_port](std::uint64_t) {
+    const auto spoofed = static_cast<std::uint32_t>(rng.next());
+    const auto sport = static_cast<std::uint16_t>(1024 + rng.below(60000));
+    return p4sim::make_tcp_packet(spoofed, victim_ip, sport, victim_port,
+                                  p4sim::kTcpSyn);
+  };
+}
+
+PacketFactory zipf_udp_factory(Rng& rng, std::uint32_t src_ip,
+                               std::vector<std::uint32_t> destinations,
+                               double s, std::size_t pad_to) {
+  if (destinations.empty()) {
+    throw std::invalid_argument("netsim: no destinations");
+  }
+  // Precompute the CDF of rank popularity ~ 1/rank^s.
+  std::vector<double> cdf(destinations.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < destinations.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  for (auto& c : cdf) c /= total;
+
+  return [&rng, src_ip, dests = std::move(destinations), cdf = std::move(cdf),
+          pad_to](std::uint64_t seq) {
+    const double u = rng.uniform01();
+    std::size_t lo = 0;
+    std::size_t hi = cdf.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const auto sport = static_cast<std::uint16_t>(40000 + (seq & 0x3FF));
+    return p4sim::make_udp_packet(src_ip, dests[lo], sport, 8080, pad_to);
+  };
+}
+
+}  // namespace netsim

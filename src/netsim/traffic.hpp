@@ -1,0 +1,80 @@
+// Traffic generation for the case study and the Table 1 use cases.
+//
+// A PacketPump schedules packet emissions on the simulator clock; packet
+// factories decide what each packet looks like.  Provided factories cover
+// the paper's workloads: uniform load-balanced traffic across destinations
+// (the case-study baseline), a fixed-destination spike, a SYN flood with
+// random sources, and a Zipf-skewed destination mix (Section 5 notes that
+// traffic per prefix may be zipfian).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/rng.hpp"
+#include "netsim/simulator.hpp"
+#include "p4sim/packet.hpp"
+
+namespace netsim {
+
+using PacketFactory = std::function<p4sim::Packet(std::uint64_t seq)>;
+
+/// Emits factory-made packets on a fixed inter-arrival grid.
+class PacketPump {
+ public:
+  using Emit = std::function<void(p4sim::Packet)>;
+
+  PacketPump(Simulator& sim, Emit emit)
+      : sim_(&sim), emit_(std::move(emit)) {}
+
+  /// Emit packets from `start` (absolute) until `stop`, one every `gap` ns.
+  /// A `stop` of 0 means "run forever" (until the simulation stops
+  /// scheduling); use Simulator::run_until to bound such flows.
+  void launch(TimeNs start, TimeNs stop, TimeNs gap, PacketFactory factory);
+
+  /// Like launch, but with exponentially distributed inter-arrival times of
+  /// mean `mean_gap` (a Poisson process — the natural model for aggregate
+  /// arrivals, giving the per-interval count variance that real traffic
+  /// has and deterministic gaps do not).  `rng` must outlive the flow.
+  void launch_poisson(TimeNs start, TimeNs stop, TimeNs mean_gap, Rng& rng,
+                      PacketFactory factory);
+
+  /// Stop all flows at the next emission opportunity.
+  void stop_all() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t packets_emitted() const noexcept {
+    return emitted_;
+  }
+
+ private:
+  void step(std::shared_ptr<struct FlowState> flow);
+
+  Simulator* sim_;
+  Emit emit_;
+  bool stopped_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Uniform load-balanced UDP across `destinations` (the Figure 6 baseline).
+[[nodiscard]] PacketFactory uniform_udp_factory(
+    Rng& rng, std::uint32_t src_ip, std::vector<std::uint32_t> destinations,
+    std::size_t pad_to = 0);
+
+/// All packets to one destination (the traffic spike).
+[[nodiscard]] PacketFactory fixed_udp_factory(std::uint32_t src_ip,
+                                              std::uint32_t dst_ip,
+                                              std::size_t pad_to = 0);
+
+/// TCP SYNs from random spoofed sources to one victim (Table 1 SYN flood).
+[[nodiscard]] PacketFactory syn_flood_factory(Rng& rng,
+                                              std::uint32_t victim_ip,
+                                              std::uint16_t victim_port = 80);
+
+/// Zipf(s)-distributed destination popularity over `destinations`.
+[[nodiscard]] PacketFactory zipf_udp_factory(
+    Rng& rng, std::uint32_t src_ip, std::vector<std::uint32_t> destinations,
+    double s, std::size_t pad_to = 0);
+
+}  // namespace netsim

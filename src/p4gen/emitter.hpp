@@ -1,0 +1,41 @@
+// P4_16 source emission: from a configured p4sim switch back to P4.
+//
+// The reproduction runs Stat4 on a software substrate; this emitter closes
+// the loop by generating a P4_16 (v1model) rendering of the same pipeline —
+// headers, parser, register declarations, one action per straight-line
+// program (temps become scratch-metadata fields, kParam operands become
+// action parameters), tables with their match kinds, and the guarded apply
+// sequence.
+//
+// The output is a faithful, readable skeleton for porting to bmv2/Tofino:
+// every Stat4 algorithm appears as the exact P4 statements the paper
+// describes (shift-based sqrt, MSB if-ladder unrolled into ternaries,
+// register read/modify/write).  It is NOT guaranteed to compile unmodified
+// under a specific p4c version — targets differ in extern signatures — but
+// the structure and arithmetic are one-to-one with what the simulator
+// executed and validated.
+#pragma once
+
+#include <string>
+
+#include "p4sim/switch.hpp"
+
+namespace p4gen {
+
+struct EmitOptions {
+  std::string program_name = "stat4_app";
+  /// Emit the per-instruction comments produced by the disassembler.
+  bool annotate = true;
+};
+
+/// Generates the complete P4_16 translation unit for the switch.
+[[nodiscard]] std::string emit_p4(const p4sim::P4Switch& sw,
+                                  const EmitOptions& options = {});
+
+/// Generates only the action body for one program (used by tests and for
+/// embedding single algorithms into existing P4 code).
+[[nodiscard]] std::string emit_action(const p4sim::P4Switch& sw,
+                                      p4sim::ActionId action,
+                                      const EmitOptions& options = {});
+
+}  // namespace p4gen

@@ -1,0 +1,356 @@
+#include "p4sim/action.hpp"
+
+#include <stdexcept>
+
+#include "stat4/approx_math.hpp"
+#include "stat4/sparse_freq.hpp"
+
+namespace p4sim {
+
+void Program::validate(const AluProfile& profile) const {
+  if (code.size() > profile.max_instructions) {
+    throw std::invalid_argument("p4sim: program '" + name +
+                                "' exceeds the profile instruction budget");
+  }
+  for (const auto& ins : code) {
+    if (ins.dst >= kTempCount || ins.a >= kTempCount || ins.b >= kTempCount ||
+        ins.c >= kTempCount) {
+      throw std::invalid_argument("p4sim: program '" + name +
+                                  "' references a temp beyond the PHV pool");
+    }
+    if (ins.op == Op::kMul && !profile.has_mul) {
+      throw std::invalid_argument(
+          "p4sim: program '" + name +
+          "' multiplies runtime values on a no-mul target (use "
+          "approx_square)");
+    }
+  }
+}
+
+void execute(const Program& program, ExecutionContext& ctx) {
+  auto& t = ctx.temps;
+  for (const auto& ins : program.code) {
+    switch (ins.op) {
+      case Op::kConst: t[ins.dst] = ins.imm; break;
+      case Op::kParam:
+        t[ins.dst] = ins.imm < ctx.action_data.size()
+                         ? ctx.action_data[ins.imm]
+                         : 0;
+        break;
+      case Op::kMov: t[ins.dst] = t[ins.a]; break;
+      case Op::kAdd: t[ins.dst] = t[ins.a] + t[ins.b]; break;
+      case Op::kSub: t[ins.dst] = t[ins.a] - t[ins.b]; break;
+      case Op::kMul: t[ins.dst] = t[ins.a] * t[ins.b]; break;
+      case Op::kShl: t[ins.dst] = t[ins.a] << (t[ins.b] & 63); break;
+      case Op::kShr: t[ins.dst] = t[ins.a] >> (t[ins.b] & 63); break;
+      case Op::kAnd: t[ins.dst] = t[ins.a] & t[ins.b]; break;
+      case Op::kOr: t[ins.dst] = t[ins.a] | t[ins.b]; break;
+      case Op::kXor: t[ins.dst] = t[ins.a] ^ t[ins.b]; break;
+      case Op::kNot: t[ins.dst] = ~t[ins.a]; break;
+      case Op::kEq: t[ins.dst] = t[ins.a] == t[ins.b] ? 1 : 0; break;
+      case Op::kNe: t[ins.dst] = t[ins.a] != t[ins.b] ? 1 : 0; break;
+      case Op::kLt: t[ins.dst] = t[ins.a] < t[ins.b] ? 1 : 0; break;
+      case Op::kGt: t[ins.dst] = t[ins.a] > t[ins.b] ? 1 : 0; break;
+      case Op::kLe: t[ins.dst] = t[ins.a] <= t[ins.b] ? 1 : 0; break;
+      case Op::kGe: t[ins.dst] = t[ins.a] >= t[ins.b] ? 1 : 0; break;
+      case Op::kSelect: t[ins.dst] = t[ins.a] ? t[ins.b] : t[ins.c]; break;
+      case Op::kLoadField: t[ins.dst] = ctx.view->get(ins.field); break;
+      case Op::kStoreField: ctx.view->set(ins.field, t[ins.a]); break;
+      case Op::kLoadReg:
+        t[ins.dst] = ctx.registers->read(ins.reg, t[ins.a]);
+        break;
+      case Op::kStoreReg:
+        ctx.registers->write(ins.reg, t[ins.a], t[ins.b]);
+        break;
+      case Op::kHash1: t[ins.dst] = stat4::sparse_hash1(t[ins.a]); break;
+      case Op::kHash2: t[ins.dst] = stat4::sparse_hash2(t[ins.a]); break;
+      case Op::kDigest:
+        if (ctx.digests != nullptr && t[ins.c] != 0) {
+          Digest d;
+          d.id = static_cast<std::uint32_t>(ins.imm);
+          d.payload = {t[ins.a], t[ins.b], t[ins.dst]};
+          d.time = ctx.now;
+          ctx.digests->push_back(d);
+        }
+        break;
+    }
+  }
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+}
+
+TempId ProgramBuilder::fresh() {
+  if (next_temp_ >= kTempCount) {
+    throw std::invalid_argument("p4sim: program '" + program_.name +
+                                "' exhausted the PHV temp pool");
+  }
+  return next_temp_++;
+}
+
+TempId ProgramBuilder::emit2(Op op, TempId a, TempId b) {
+  const TempId d = fresh();
+  program_.code.push_back(Instruction{op, d, a, b, 0, 0, FieldRef::kEthType, 0});
+  return d;
+}
+
+TempId ProgramBuilder::konst(Word v) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kConst;
+  ins.dst = d;
+  ins.imm = v;
+  program_.code.push_back(ins);
+  return d;
+}
+
+TempId ProgramBuilder::param(std::size_t index) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kParam;
+  ins.dst = d;
+  ins.imm = index;
+  program_.code.push_back(ins);
+  return d;
+}
+
+TempId ProgramBuilder::load_field(FieldRef f) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kLoadField;
+  ins.dst = d;
+  ins.field = f;
+  program_.code.push_back(ins);
+  return d;
+}
+
+void ProgramBuilder::store_field(FieldRef f, TempId v) {
+  Instruction ins;
+  ins.op = Op::kStoreField;
+  ins.a = v;
+  ins.field = f;
+  program_.code.push_back(ins);
+}
+
+TempId ProgramBuilder::load_reg(RegisterId r, TempId index) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kLoadReg;
+  ins.dst = d;
+  ins.a = index;
+  ins.reg = r;
+  program_.code.push_back(ins);
+  return d;
+}
+
+void ProgramBuilder::store_reg(RegisterId r, TempId index, TempId value) {
+  Instruction ins;
+  ins.op = Op::kStoreReg;
+  ins.a = index;
+  ins.b = value;
+  ins.reg = r;
+  program_.code.push_back(ins);
+}
+
+TempId ProgramBuilder::add(TempId a, TempId b) { return emit2(Op::kAdd, a, b); }
+TempId ProgramBuilder::sub(TempId a, TempId b) { return emit2(Op::kSub, a, b); }
+TempId ProgramBuilder::mul(TempId a, TempId b) { return emit2(Op::kMul, a, b); }
+TempId ProgramBuilder::shl(TempId a, TempId b) { return emit2(Op::kShl, a, b); }
+TempId ProgramBuilder::shr(TempId a, TempId b) { return emit2(Op::kShr, a, b); }
+TempId ProgramBuilder::band(TempId a, TempId b) { return emit2(Op::kAnd, a, b); }
+TempId ProgramBuilder::bor(TempId a, TempId b) { return emit2(Op::kOr, a, b); }
+TempId ProgramBuilder::bxor(TempId a, TempId b) { return emit2(Op::kXor, a, b); }
+TempId ProgramBuilder::eq(TempId a, TempId b) { return emit2(Op::kEq, a, b); }
+TempId ProgramBuilder::ne(TempId a, TempId b) { return emit2(Op::kNe, a, b); }
+TempId ProgramBuilder::lt(TempId a, TempId b) { return emit2(Op::kLt, a, b); }
+TempId ProgramBuilder::gt(TempId a, TempId b) { return emit2(Op::kGt, a, b); }
+TempId ProgramBuilder::le(TempId a, TempId b) { return emit2(Op::kLe, a, b); }
+TempId ProgramBuilder::ge(TempId a, TempId b) { return emit2(Op::kGe, a, b); }
+
+TempId ProgramBuilder::bnot(TempId a) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kNot;
+  ins.dst = d;
+  ins.a = a;
+  program_.code.push_back(ins);
+  return d;
+}
+
+TempId ProgramBuilder::select(TempId cond, TempId if_true, TempId if_false) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kSelect;
+  ins.dst = d;
+  ins.a = cond;
+  ins.b = if_true;
+  ins.c = if_false;
+  program_.code.push_back(ins);
+  return d;
+}
+
+void ProgramBuilder::mov_into(TempId dst, TempId src) {
+  Instruction ins;
+  ins.op = Op::kMov;
+  ins.dst = dst;
+  ins.a = src;
+  program_.code.push_back(ins);
+}
+
+void ProgramBuilder::digest_if(TempId cond, std::uint32_t id, TempId w0,
+                               TempId w1, TempId w2) {
+  Instruction ins;
+  ins.op = Op::kDigest;
+  ins.imm = id;
+  ins.a = w0;
+  ins.b = w1;
+  ins.c = cond;
+  ins.dst = w2;
+  program_.code.push_back(ins);
+}
+
+TempId ProgramBuilder::approx_mul(TempId a, TempId b) {
+  const TempId ea = msb_index(a);
+  const TempId eb = msb_index(b);
+  const TempId one = konst(1);
+  const TempId pow_ea = shl(one, ea);
+  const TempId ra = sub(a, pow_ea);
+  const TempId lead = shl(b, ea);   // 2^(ea+eb) + rb*2^ea
+  const TempId cross = shl(ra, eb); // ra*2^eb
+  const TempId result = add(lead, cross);
+  // A zero operand must yield zero (msb paths would yield b or garbage).
+  const TempId zero = konst(0);
+  const TempId a_zero = eq(a, zero);
+  const TempId b_zero = eq(b, zero);
+  const TempId any_zero = bor(a_zero, b_zero);
+  return select(any_zero, zero, result);
+}
+
+TempId ProgramBuilder::hash1(TempId a) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kHash1;
+  ins.dst = d;
+  ins.a = a;
+  program_.code.push_back(ins);
+  return d;
+}
+
+TempId ProgramBuilder::hash2(TempId a) {
+  const TempId d = fresh();
+  Instruction ins;
+  ins.op = Op::kHash2;
+  ins.dst = d;
+  ins.a = a;
+  program_.code.push_back(ins);
+  return d;
+}
+
+TempId ProgramBuilder::mul_shift_add(TempId a, TempId b, unsigned bits) {
+  if (bits == 0 || bits > 64) {
+    throw std::invalid_argument("p4sim: mul_shift_add bits must be 1..64");
+  }
+  const TempId zero = konst(0);
+  const TempId one = konst(1);
+  // Accumulators reused across iterations to keep PHV usage O(bits).
+  TempId acc = fresh();
+  mov_into(acc, zero);
+  TempId a_rem = fresh();
+  mov_into(a_rem, a);
+  TempId b_shifted = fresh();
+  mov_into(b_shifted, b);
+  for (unsigned i = 0; i < bits; ++i) {
+    const TempId bit = band(a_rem, one);
+    const TempId term = select(bit, b_shifted, zero);
+    mov_into(acc, add(acc, term));
+    if (i + 1 < bits) {
+      mov_into(a_rem, shr(a_rem, one));
+      mov_into(b_shifted, shl(b_shifted, one));
+    }
+  }
+  return acc;
+}
+
+TempId ProgramBuilder::msb_index(TempId y) {
+  // The paper's "sequence of ifs" (Section 3): a six-step binary search.
+  // Each step tests whether the remaining value needs more than 2^k bits,
+  // conditionally shifts it down and accumulates the position.
+  TempId v = fresh();
+  mov_into(v, y);
+  TempId pos = konst(0);
+  const TempId zero = konst(0);
+  for (const Word k : {Word{32}, Word{16}, Word{8}, Word{4}, Word{2},
+                       Word{1}}) {
+    const TempId threshold = konst(Word{1} << k);
+    const TempId cond = ge(v, threshold);
+    const TempId amount = select(cond, konst(k), zero);
+    const TempId shifted = shr(v, amount);
+    mov_into(v, shifted);
+    const TempId newpos = add(pos, amount);
+    mov_into(pos, newpos);
+  }
+  return pos;
+}
+
+TempId ProgramBuilder::approx_sqrt(TempId y) {
+  // Figure 2: pseudo-float shift.  e = msb(y), m = y - 2^e;
+  // e1 = e >> 1; m1 = (m >> 1) | (parity(e) << (e-1));
+  // result = 2^e1 | (m1 >> (e - e1)); inputs <= 1 pass through.
+  const TempId one = konst(1);
+  const TempId e = msb_index(y);
+  const TempId pow_e = shl(one, e);
+  const TempId m = sub(y, pow_e);
+  const TempId e1 = shr(e, one);
+  const TempId m_half = shr(m, one);
+  const TempId parity = band(e, one);
+  const TempId e_minus_1 = sub(e, one);          // e==0 => parity==0 anyway
+  const TempId parity_bit = shl(parity, e_minus_1);
+  const TempId m1 = bor(m_half, parity_bit);
+  const TempId pow_e1 = shl(one, e1);
+  const TempId tail_shift = sub(e, e1);
+  const TempId tail = shr(m1, tail_shift);
+  const TempId result = bor(pow_e1, tail);
+  const TempId is_small = le(y, one);
+  return select(is_small, y, result);
+}
+
+TempId ProgramBuilder::approx_log2(TempId y) {
+  // e = msb(y); m = y - 2^e; frac = (e >= 8) ? m >> (e-8) : m << (8-e);
+  // result = (e << 8) | frac; inputs <= 1 map to 0.
+  const TempId zero = konst(0);
+  const TempId one = konst(1);
+  const TempId frac_bits = konst(stat4::kLog2FracBits);
+  const TempId e = msb_index(y);
+  const TempId pow_e = shl(one, e);
+  const TempId m = sub(y, pow_e);
+  const TempId wide = ge(e, frac_bits);
+  // Both shift amounts are computed; the wrapped (&63) one is unselected.
+  const TempId right = shr(m, sub(e, frac_bits));
+  const TempId left = shl(m, sub(frac_bits, e));
+  const TempId frac = select(wide, right, left);
+  const TempId result = bor(shl(e, frac_bits), frac);
+  const TempId small = le(y, one);
+  return select(small, zero, result);
+}
+
+TempId ProgramBuilder::approx_square(TempId y) {
+  // Shift-based squaring (Section 2 / Ding et al.):
+  //   y^2 ~= 2^(2e) + r * 2^(e+1)   with e = msb(y), r = y - 2^e.
+  const TempId one = konst(1);
+  const TempId e = msb_index(y);
+  const TempId pow_e = shl(one, e);
+  const TempId r = sub(y, pow_e);
+  const TempId two_e = shl(e, one);
+  const TempId lead = shl(one, two_e);
+  const TempId e_plus_1 = add(e, one);
+  const TempId cross = shl(r, e_plus_1);
+  const TempId result = add(lead, cross);
+  const TempId zero = konst(0);
+  const TempId is_zero = eq(y, zero);
+  return select(is_zero, zero, result);
+}
+
+Program ProgramBuilder::take() { return std::move(program_); }
+
+}  // namespace p4sim

@@ -1,0 +1,68 @@
+#include "p4sim/craft.hpp"
+
+namespace p4sim {
+
+namespace {
+
+Packet make_ipv4_frame(std::uint32_t src_ip, std::uint32_t dst_ip,
+                       std::uint8_t protocol, std::size_t l4_size,
+                       std::size_t pad_to) {
+  std::size_t size = EthernetHeader::kSize + Ipv4Header::kSize + l4_size;
+  if (pad_to > size) size = pad_to;
+  Packet pkt;
+  pkt.data.assign(size, 0);
+
+  EthernetHeader eth;
+  eth.ether_type = kEtherTypeIpv4;
+  serialize(eth, pkt.data, 0);
+
+  Ipv4Header ip;
+  ip.protocol = protocol;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.total_length = static_cast<std::uint16_t>(size - EthernetHeader::kSize);
+  serialize(ip, pkt.data, EthernetHeader::kSize);
+  return pkt;
+}
+
+}  // namespace
+
+Packet make_tcp_packet(std::uint32_t src_ip, std::uint32_t dst_ip,
+                       std::uint16_t src_port, std::uint16_t dst_port,
+                       std::uint8_t flags, std::size_t pad_to) {
+  Packet pkt = make_ipv4_frame(src_ip, dst_ip, kIpProtoTcp, TcpHeader::kSize,
+                               pad_to);
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.flags = flags;
+  serialize(tcp, pkt.data, EthernetHeader::kSize + Ipv4Header::kSize);
+  return pkt;
+}
+
+Packet make_udp_packet(std::uint32_t src_ip, std::uint32_t dst_ip,
+                       std::uint16_t src_port, std::uint16_t dst_port,
+                       std::size_t pad_to) {
+  Packet pkt = make_ipv4_frame(src_ip, dst_ip, kIpProtoUdp, UdpHeader::kSize,
+                               pad_to);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = UdpHeader::kSize;
+  serialize(udp, pkt.data, EthernetHeader::kSize + Ipv4Header::kSize);
+  return pkt;
+}
+
+Packet make_echo_packet(std::int64_t value) {
+  Packet pkt;
+  pkt.data.assign(EthernetHeader::kSize + Stat4EchoHeader::kSize, 0);
+  EthernetHeader eth;
+  eth.ether_type = kEtherTypeStat4Echo;
+  serialize(eth, pkt.data, 0);
+  Stat4EchoHeader echo;
+  echo.value = value;
+  serialize(echo, pkt.data, EthernetHeader::kSize);
+  return pkt;
+}
+
+}  // namespace p4sim

@@ -1,0 +1,36 @@
+// Packet-crafting helpers for tests, examples and traffic generators.
+#pragma once
+
+#include <cstdint>
+
+#include "p4sim/headers.hpp"
+#include "p4sim/packet.hpp"
+
+namespace p4sim {
+
+/// A minimal Ethernet+IPv4+TCP frame.  `pad_to` grows the frame to a target
+/// size with zero padding (to model traffic volume in bytes).
+[[nodiscard]] Packet make_tcp_packet(std::uint32_t src_ip,
+                                     std::uint32_t dst_ip,
+                                     std::uint16_t src_port,
+                                     std::uint16_t dst_port,
+                                     std::uint8_t flags,
+                                     std::size_t pad_to = 0);
+
+/// A minimal Ethernet+IPv4+UDP frame.
+[[nodiscard]] Packet make_udp_packet(std::uint32_t src_ip,
+                                     std::uint32_t dst_ip,
+                                     std::uint16_t src_port,
+                                     std::uint16_t dst_port,
+                                     std::size_t pad_to = 0);
+
+/// A Figure 5 echo frame carrying one signed payload integer.
+[[nodiscard]] Packet make_echo_packet(std::int64_t value);
+
+/// Dotted-quad style constructor, host byte order: ip(10,0,5,6).
+[[nodiscard]] constexpr std::uint32_t ipv4(unsigned a, unsigned b, unsigned c,
+                                           unsigned d) noexcept {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace p4sim

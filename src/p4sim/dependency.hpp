@@ -1,0 +1,54 @@
+// Static analysis of switch programs: dependency chains and resource use.
+//
+// The paper's Resource Consumption paragraph (Section 4) reports, for the
+// case-study application: its size, that "it entails at most one dependency
+// between match-action rules [...] since at most two rules with independent
+// actions match each packet", and that "the longest dependency chain in our
+// code has 12 sequential steps, used to override the oldest counter in
+// distributions of traffic over time".  This analyzer computes those
+// quantities from p4sim programs, so bench_resource can regenerate them and
+// regressions in the chain length are caught by tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4sim/action.hpp"
+#include "p4sim/switch.hpp"
+
+namespace p4sim {
+
+/// Dependency metrics of one action program.
+struct ProgramAnalysis {
+  std::string name;
+  std::size_t instructions = 0;
+  /// Longest def-use chain through temps and registers: the number of
+  /// sequential steps the program needs (a lower bound on pipeline stages /
+  /// ALU passes a hardware compiler must serialize).
+  std::size_t longest_chain = 0;
+  std::size_t register_reads = 0;
+  std::size_t register_writes = 0;
+  bool uses_mul = false;
+};
+
+/// Whole-switch resource report.
+struct SwitchAnalysis {
+  std::string switch_name;
+  std::size_t tables = 0;
+  std::size_t table_entries = 0;
+  std::size_t register_arrays = 0;
+  std::size_t state_bytes = 0;      ///< register memory (the "3.1KB" figure)
+  std::size_t pipeline_stages = 0;  ///< configured stages
+  /// Match-action dependencies: stage i match-depends on stage j<i when a
+  /// field read by i's table key (or guard) is written by an action of j.
+  std::size_t match_dependencies = 0;
+  std::size_t longest_action_chain = 0;  ///< max over all actions
+  std::string longest_chain_action;      ///< which action holds the max
+  std::vector<ProgramAnalysis> programs;
+};
+
+[[nodiscard]] ProgramAnalysis analyze_program(const Program& program);
+[[nodiscard]] SwitchAnalysis analyze_switch(const P4Switch& sw);
+
+}  // namespace p4sim

@@ -1,0 +1,168 @@
+#include "p4sim/disasm.hpp"
+
+#include <sstream>
+
+namespace p4sim {
+
+const char* field_name(FieldRef f) noexcept {
+  switch (f) {
+    case FieldRef::kEthType: return "eth.type";
+    case FieldRef::kIpv4Src: return "ipv4.src";
+    case FieldRef::kIpv4Dst: return "ipv4.dst";
+    case FieldRef::kIpv4Proto: return "ipv4.proto";
+    case FieldRef::kIpv4Ttl: return "ipv4.ttl";
+    case FieldRef::kIpv4Valid: return "ipv4.$valid";
+    case FieldRef::kTcpSrcPort: return "tcp.sport";
+    case FieldRef::kTcpDstPort: return "tcp.dport";
+    case FieldRef::kTcpFlags: return "tcp.flags";
+    case FieldRef::kTcpValid: return "tcp.$valid";
+    case FieldRef::kUdpSrcPort: return "udp.sport";
+    case FieldRef::kUdpDstPort: return "udp.dport";
+    case FieldRef::kUdpValid: return "udp.$valid";
+    case FieldRef::kEchoValue: return "echo.value";
+    case FieldRef::kEchoN: return "echo.n";
+    case FieldRef::kEchoXsum: return "echo.xsum";
+    case FieldRef::kEchoXsumsq: return "echo.xsumsq";
+    case FieldRef::kEchoVar: return "echo.var";
+    case FieldRef::kEchoSd: return "echo.sd";
+    case FieldRef::kEchoValid: return "echo.$valid";
+    case FieldRef::kMetaIngressPort: return "meta.ingress_port";
+    case FieldRef::kMetaIngressTs: return "meta.ingress_ts";
+    case FieldRef::kMetaPacketLength: return "meta.pkt_len";
+    case FieldRef::kMetaEgressSpec: return "meta.egress_spec";
+  }
+  return "?";
+}
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kParam: return "param";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNot: return "not";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kGt: return "gt";
+    case Op::kLe: return "le";
+    case Op::kGe: return "ge";
+    case Op::kSelect: return "select";
+    case Op::kLoadField: return "load_field";
+    case Op::kStoreField: return "store_field";
+    case Op::kLoadReg: return "load_reg";
+    case Op::kStoreReg: return "store_reg";
+    case Op::kHash1: return "hash1";
+    case Op::kHash2: return "hash2";
+    case Op::kDigest: return "digest";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string reg_name(RegisterId id, const RegisterFile* registers) {
+  if (registers != nullptr && id < registers->array_count()) {
+    return registers->info(id).name;
+  }
+  return "reg" + std::to_string(id);
+}
+
+const char* infix(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kShl: return "<<";
+    case Op::kShr: return ">>";
+    case Op::kAnd: return "&";
+    case Op::kOr: return "|";
+    case Op::kXor: return "^";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kGt: return ">";
+    case Op::kLe: return "<=";
+    case Op::kGe: return ">=";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& ins, const RegisterFile* registers) {
+  std::ostringstream os;
+  const auto t = [](TempId id) { return "t" + std::to_string(id); };
+
+  if (const char* sym = infix(ins.op)) {
+    os << t(ins.dst) << " = " << t(ins.a) << ' ' << sym << ' ' << t(ins.b);
+    return os.str();
+  }
+  switch (ins.op) {
+    case Op::kConst:
+      os << t(ins.dst) << " = " << ins.imm;
+      break;
+    case Op::kParam:
+      os << t(ins.dst) << " = action_data[" << ins.imm << ']';
+      break;
+    case Op::kMov:
+      os << t(ins.dst) << " = " << t(ins.a);
+      break;
+    case Op::kNot:
+      os << t(ins.dst) << " = ~" << t(ins.a);
+      break;
+    case Op::kSelect:
+      os << t(ins.dst) << " = " << t(ins.a) << " ? " << t(ins.b) << " : "
+         << t(ins.c);
+      break;
+    case Op::kLoadField:
+      os << t(ins.dst) << " = " << field_name(ins.field);
+      break;
+    case Op::kStoreField:
+      os << field_name(ins.field) << " := " << t(ins.a);
+      break;
+    case Op::kLoadReg:
+      os << t(ins.dst) << " = " << reg_name(ins.reg, registers) << '['
+         << t(ins.a) << ']';
+      break;
+    case Op::kStoreReg:
+      os << reg_name(ins.reg, registers) << '[' << t(ins.a)
+         << "] := " << t(ins.b);
+      break;
+    case Op::kHash1:
+      os << t(ins.dst) << " = hash1(" << t(ins.a) << ')';
+      break;
+    case Op::kHash2:
+      os << t(ins.dst) << " = hash2(" << t(ins.a) << ')';
+      break;
+    case Op::kDigest:
+      os << "digest#" << ins.imm << '(' << t(ins.a) << ", " << t(ins.b)
+         << ", " << t(ins.dst) << ") if " << t(ins.c);
+      break;
+    default:
+      os << op_name(ins.op);
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& program,
+                        const RegisterFile* registers) {
+  std::ostringstream os;
+  os << "action " << program.name << " {  // " << program.code.size()
+     << " instructions\n";
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    os << "  [" << i << "] " << to_string(program.code[i], registers) << '\n';
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace p4sim

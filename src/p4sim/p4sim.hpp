@@ -1,0 +1,18 @@
+// Umbrella header for the p4sim software-switch substrate.
+//
+// p4sim stands in for bmv2 in this reproduction: a software switch with
+// parser, match-action tables, registers, straight-line actions over a
+// P4-legal ALU, digests, and a static dependency analyzer.
+#pragma once
+
+#include "p4sim/action.hpp"        // IWYU pragma: export
+#include "p4sim/craft.hpp"         // IWYU pragma: export
+#include "p4sim/dependency.hpp"    // IWYU pragma: export
+#include "p4sim/disasm.hpp"        // IWYU pragma: export
+#include "p4sim/headers.hpp"       // IWYU pragma: export
+#include "p4sim/packet.hpp"        // IWYU pragma: export
+#include "p4sim/parser.hpp"        // IWYU pragma: export
+#include "p4sim/register_file.hpp" // IWYU pragma: export
+#include "p4sim/switch.hpp"        // IWYU pragma: export
+#include "p4sim/table.hpp"         // IWYU pragma: export
+#include "p4sim/trace.hpp"         // IWYU pragma: export

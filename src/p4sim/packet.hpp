@@ -1,0 +1,40 @@
+// Raw packet representation for the software switch.
+//
+// A packet is a byte buffer plus ingress metadata.  Header structs
+// (headers.hpp) parse from / deparse into the buffer in network byte order,
+// exactly as a P4 parser would walk it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stat4/types.hpp"
+
+namespace p4sim {
+
+using Byte = std::uint8_t;
+using PortId = std::uint16_t;
+
+/// Reads a big-endian unsigned integer of `width` bytes at `offset`.
+/// Returns 0 if the read would run past the end (the parser checks sizes
+/// before trusting values).
+[[nodiscard]] std::uint64_t read_be(std::span<const Byte> buf,
+                                    std::size_t offset, std::size_t width);
+
+/// Writes `value` big-endian into `width` bytes at `offset`.
+/// No-op if the write would run past the end.
+void write_be(std::span<Byte> buf, std::size_t offset, std::size_t width,
+              std::uint64_t value);
+
+/// One frame traversing the switch.
+struct Packet {
+  std::vector<Byte> data;
+  PortId ingress_port = 0;
+  stat4::TimeNs ingress_ts = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data.size(); }
+};
+
+}  // namespace p4sim

@@ -1,0 +1,77 @@
+// Packet parser: the P4 parser state machine of the Stat4 programs.
+//
+// parse() walks Ethernet -> (IPv4 -> TCP/UDP | Stat4Echo) and produces a
+// ParsedPacket with validity bits, mirroring how a P4 parser fills header
+// instances.  FieldRef names every field the match-action pipeline can read
+// or write — the equivalent of PHV container addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "p4sim/headers.hpp"
+#include "p4sim/packet.hpp"
+
+namespace p4sim {
+
+struct ParsedPacket {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<Stat4EchoHeader> echo;
+};
+
+/// Every packet/metadata field addressable from action programs and table
+/// keys.  META_* fields are standard metadata; SCRATCH fields let the
+/// controller pass per-entry action data through (set before execution).
+enum class FieldRef : std::uint8_t {
+  kEthType,
+  kIpv4Src,
+  kIpv4Dst,
+  kIpv4Proto,
+  kIpv4Ttl,
+  kIpv4Valid,
+  kTcpSrcPort,
+  kTcpDstPort,
+  kTcpFlags,
+  kTcpValid,
+  kUdpSrcPort,
+  kUdpDstPort,
+  kUdpValid,
+  kEchoValue,
+  kEchoN,
+  kEchoXsum,
+  kEchoXsumsq,
+  kEchoVar,
+  kEchoSd,
+  kEchoValid,
+  kMetaIngressPort,
+  kMetaIngressTs,
+  kMetaPacketLength,
+  kMetaEgressSpec,  ///< 0 = drop; otherwise output port + 1
+};
+
+inline constexpr std::size_t kFieldCount =
+    static_cast<std::size_t>(FieldRef::kMetaEgressSpec) + 1;
+
+/// Parse a packet buffer into headers (P4 parser semantics: stop at the
+/// first header that does not fit).
+[[nodiscard]] ParsedPacket parse(const Packet& pkt);
+
+/// Write mutated headers back into the packet buffer (deparser).
+void deparse(const ParsedPacket& parsed, Packet& pkt);
+
+/// Field read/write over a ParsedPacket + metadata words.
+struct PacketView {
+  ParsedPacket* parsed = nullptr;
+  std::uint64_t meta_ingress_port = 0;
+  std::uint64_t meta_ingress_ts = 0;
+  std::uint64_t meta_packet_length = 0;
+  std::uint64_t meta_egress_spec = 0;
+
+  [[nodiscard]] std::uint64_t get(FieldRef f) const;
+  void set(FieldRef f, std::uint64_t v);
+};
+
+}  // namespace p4sim

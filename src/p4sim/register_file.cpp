@@ -1,0 +1,65 @@
+#include "p4sim/register_file.hpp"
+
+#include <stdexcept>
+
+namespace p4sim {
+
+RegisterId RegisterFile::declare(std::string name, std::uint32_t size,
+                                 std::uint32_t width_bits) {
+  if (size == 0) {
+    throw std::invalid_argument("p4sim: register array needs >= 1 cell");
+  }
+  if (width_bits == 0 || width_bits > 64) {
+    throw std::invalid_argument("p4sim: register width must be 1..64 bits");
+  }
+  Array a;
+  a.info = RegisterArrayInfo{std::move(name), width_bits, size};
+  a.cells.assign(size, 0);
+  a.mask = width_bits == 64 ? ~Word{0} : ((Word{1} << width_bits) - 1);
+  arrays_.push_back(std::move(a));
+  return static_cast<RegisterId>(arrays_.size() - 1);
+}
+
+Word RegisterFile::read(RegisterId id, std::uint64_t index) const {
+  if (id >= arrays_.size()) {
+    throw std::out_of_range("p4sim: unknown register array");
+  }
+  const Array& a = arrays_[id];
+  // P4 targets typically return 0 for out-of-bounds register reads rather
+  // than faulting; bmv2 clamps.  We mirror the read-as-zero behaviour.
+  if (index >= a.cells.size()) return 0;
+  return a.cells[index];
+}
+
+void RegisterFile::write(RegisterId id, std::uint64_t index, Word value) {
+  if (id >= arrays_.size()) {
+    throw std::out_of_range("p4sim: unknown register array");
+  }
+  Array& a = arrays_[id];
+  if (index >= a.cells.size()) return;  // dropped, like an OOB data-plane write
+  a.cells[index] = value & a.mask;
+}
+
+const RegisterArrayInfo& RegisterFile::info(RegisterId id) const {
+  if (id >= arrays_.size()) {
+    throw std::out_of_range("p4sim: unknown register array");
+  }
+  return arrays_[id].info;
+}
+
+std::size_t RegisterFile::total_state_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& a : arrays_) {
+    const std::size_t bytes_per_cell = (a.info.width_bits + 7) / 8;
+    total += bytes_per_cell * a.info.size;
+  }
+  return total;
+}
+
+void RegisterFile::clear() noexcept {
+  for (auto& a : arrays_) {
+    for (auto& c : a.cells) c = 0;
+  }
+}
+
+}  // namespace p4sim

@@ -1,0 +1,59 @@
+// Stateful register arrays — the P4 `register` extern.
+//
+// Stat4 keeps every distribution, every statistical measure and every piece
+// of tracker state in registers (Figure 4).  The file also accounts for the
+// state memory the program occupies: the "3.1KB" style figure of the
+// paper's Resource Consumption paragraph maps to total_state_bytes().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stat4/types.hpp"
+
+namespace p4sim {
+
+using RegisterId = std::uint32_t;
+using Word = std::uint64_t;
+
+/// One register array: `size` cells of `width_bits` each.
+struct RegisterArrayInfo {
+  std::string name;
+  std::uint32_t width_bits = 64;
+  std::uint32_t size = 1;
+};
+
+class RegisterFile {
+ public:
+  /// Declares an array; returns its id.  Width is capped at 64 bits (cells
+  /// are stored as words; writes are masked to the declared width like a P4
+  /// target truncating to the register type).
+  RegisterId declare(std::string name, std::uint32_t size,
+                     std::uint32_t width_bits = 64);
+
+  [[nodiscard]] Word read(RegisterId id, std::uint64_t index) const;
+  void write(RegisterId id, std::uint64_t index, Word value);
+
+  [[nodiscard]] std::size_t array_count() const noexcept {
+    return arrays_.size();
+  }
+  [[nodiscard]] const RegisterArrayInfo& info(RegisterId id) const;
+
+  /// Total state memory in bytes across all arrays (width rounded up to
+  /// whole bytes per cell) — the resource-consumption metric.
+  [[nodiscard]] std::size_t total_state_bytes() const noexcept;
+
+  /// Zero every cell (switch reboot).
+  void clear() noexcept;
+
+ private:
+  struct Array {
+    RegisterArrayInfo info;
+    std::vector<Word> cells;
+    Word mask = ~Word{0};
+  };
+  std::vector<Array> arrays_;
+};
+
+}  // namespace p4sim

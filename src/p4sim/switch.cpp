@@ -1,0 +1,112 @@
+#include "p4sim/switch.hpp"
+
+#include <stdexcept>
+
+namespace p4sim {
+
+P4Switch::P4Switch(std::string name, AluProfile profile)
+    : name_(std::move(name)), profile_(profile) {}
+
+RegisterId P4Switch::declare_register(std::string reg_name, std::uint32_t size,
+                                      std::uint32_t width_bits) {
+  return registers_.declare(std::move(reg_name), size, width_bits);
+}
+
+ActionId P4Switch::add_action(Program program) {
+  program.validate(profile_);
+  actions_.push_back(std::move(program));
+  return static_cast<ActionId>(actions_.size() - 1);
+}
+
+TableId P4Switch::add_table(std::string table_name, std::vector<KeySpec> key,
+                            std::size_t max_entries) {
+  tables_.emplace_back(std::move(table_name), std::move(key), max_entries);
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+void P4Switch::add_table_stage(TableId table_id, std::optional<Guard> guard) {
+  if (table_id >= tables_.size()) {
+    throw std::out_of_range("p4sim: unknown table in pipeline");
+  }
+  Stage s;
+  s.guard = guard;
+  s.table = table_id;
+  pipeline_.push_back(s);
+}
+
+void P4Switch::add_program_stage(ActionId action_id,
+                                 std::optional<Guard> guard) {
+  if (action_id >= actions_.size()) {
+    throw std::out_of_range("p4sim: unknown action in pipeline");
+  }
+  Stage s;
+  s.guard = guard;
+  s.action = action_id;
+  pipeline_.push_back(s);
+}
+
+MatchActionTable& P4Switch::table(TableId id) {
+  if (id >= tables_.size()) {
+    throw std::out_of_range("p4sim: unknown table id");
+  }
+  return tables_[id];
+}
+
+const MatchActionTable& P4Switch::table(TableId id) const {
+  if (id >= tables_.size()) {
+    throw std::out_of_range("p4sim: unknown table id");
+  }
+  return tables_[id];
+}
+
+const Program& P4Switch::action(ActionId id) const {
+  if (id >= actions_.size()) {
+    throw std::out_of_range("p4sim: unknown action id");
+  }
+  return actions_[id];
+}
+
+SwitchOutput P4Switch::process(Packet pkt) {
+  SwitchOutput out;
+  ++packets_processed_;
+
+  ParsedPacket parsed = parse(pkt);
+  PacketView view;
+  view.parsed = &parsed;
+  view.meta_ingress_port = pkt.ingress_port;
+  view.meta_ingress_ts = static_cast<std::uint64_t>(pkt.ingress_ts);
+  view.meta_packet_length = pkt.size();
+  view.meta_egress_spec = 0;  // default drop, like bmv2's mark_to_drop
+
+  ExecutionContext ctx;
+  ctx.view = &view;
+  ctx.registers = &registers_;
+  ctx.digests = &out.digests;
+  ctx.now = pkt.ingress_ts;
+
+  for (const Stage& stage : pipeline_) {
+    if (stage.guard && !stage.guard->holds(view)) continue;
+    if (stage.table) {
+      const MatchResult m = tables_[*stage.table].lookup(view);
+      const Program& prog = actions_.at(m.action);
+      ctx.action_data = m.action_data;
+      execute(prog, ctx);
+    } else if (stage.action) {
+      ctx.action_data = {};
+      execute(actions_[*stage.action], ctx);
+    }
+  }
+
+  digests_emitted_ += out.digests.size();
+
+  if (view.meta_egress_spec == 0) {
+    out.dropped = true;
+    return out;
+  }
+  deparse(parsed, pkt);
+  const auto port = static_cast<PortId>(view.meta_egress_spec - 1);
+  out.packets.emplace_back(port, std::move(pkt));
+  return out;
+}
+
+}  // namespace p4sim

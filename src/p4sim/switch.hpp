@@ -1,0 +1,112 @@
+// P4Switch: a bmv2-like software switch.
+//
+// A switch is configured once with registers, actions (straight-line
+// programs), tables and a pipeline (an ordered list of optionally guarded
+// stages) — the moral equivalent of loading a compiled P4 program.  After
+// configuration the controller may only touch table entries and read
+// registers; the data path is process(): parse -> pipeline -> deparse ->
+// forward, emitting digests (alerts) along the way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "p4sim/action.hpp"
+#include "p4sim/packet.hpp"
+#include "p4sim/parser.hpp"
+#include "p4sim/register_file.hpp"
+#include "p4sim/table.hpp"
+
+namespace p4sim {
+
+/// Guard on a pipeline stage: apply the stage iff `field <op> value`.
+/// Mirrors P4 control-flow conditions like `if (hdr.ipv4.isValid())`.
+struct Guard {
+  FieldRef field = FieldRef::kIpv4Valid;
+  enum class Cmp : std::uint8_t { kEq, kNe } cmp = Cmp::kNe;
+  Word value = 0;
+
+  [[nodiscard]] bool holds(const PacketView& view) const noexcept {
+    const Word f = view.get(field);
+    return cmp == Cmp::kEq ? f == value : f != value;
+  }
+};
+
+/// What comes out of the switch for one input packet.
+struct SwitchOutput {
+  std::vector<std::pair<PortId, Packet>> packets;
+  std::vector<Digest> digests;
+  bool dropped = false;
+};
+
+class P4Switch {
+ public:
+  explicit P4Switch(std::string name, AluProfile profile = AluProfile::bmv2());
+
+  // ---- program configuration (compile time) -----------------------------
+  RegisterId declare_register(std::string reg_name, std::uint32_t size,
+                              std::uint32_t width_bits = 64);
+  /// Registers an action; the program is validated against the ALU profile.
+  ActionId add_action(Program program);
+  TableId add_table(std::string table_name, std::vector<KeySpec> key,
+                    std::size_t max_entries = 1024);
+
+  /// Appends a stage applying `table`; on hit/miss the resolved action runs.
+  void add_table_stage(TableId table, std::optional<Guard> guard = {});
+  /// Appends a stage running `action` unconditionally (guarded direct code,
+  /// like statements in the ingress control body outside any table).
+  void add_program_stage(ActionId action, std::optional<Guard> guard = {});
+
+  // ---- data path ----------------------------------------------------------
+  [[nodiscard]] SwitchOutput process(Packet pkt);
+
+  // ---- controller-facing state --------------------------------------------
+  [[nodiscard]] MatchActionTable& table(TableId id);
+  [[nodiscard]] const MatchActionTable& table(TableId id) const;
+  [[nodiscard]] RegisterFile& registers() noexcept { return registers_; }
+  [[nodiscard]] const RegisterFile& registers() const noexcept {
+    return registers_;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const AluProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] std::uint64_t packets_processed() const noexcept {
+    return packets_processed_;
+  }
+  [[nodiscard]] std::uint64_t digests_emitted() const noexcept {
+    return digests_emitted_;
+  }
+
+  // Introspection for the dependency / resource analyzer.
+  [[nodiscard]] std::size_t action_count() const noexcept {
+    return actions_.size();
+  }
+  [[nodiscard]] const Program& action(ActionId id) const;
+  [[nodiscard]] std::size_t table_count() const noexcept {
+    return tables_.size();
+  }
+
+  struct Stage {
+    std::optional<Guard> guard;
+    std::optional<TableId> table;    // table stage
+    std::optional<ActionId> action;  // direct-program stage
+  };
+  [[nodiscard]] const std::vector<Stage>& pipeline() const noexcept {
+    return pipeline_;
+  }
+
+ private:
+  std::string name_;
+  AluProfile profile_;
+  RegisterFile registers_;
+  std::vector<Program> actions_;
+  std::vector<MatchActionTable> tables_;
+  std::vector<Stage> pipeline_;
+  std::uint64_t packets_processed_ = 0;
+  std::uint64_t digests_emitted_ = 0;
+};
+
+}  // namespace p4sim

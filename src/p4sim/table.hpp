@@ -1,0 +1,101 @@
+// Match-action tables with exact / LPM / ternary matching.
+//
+// Tables are populated at runtime by the controller (runtime.hpp), exactly
+// like bmv2's table_add / table_modify CLI that the paper's drill-down
+// controller drives.  Stat4's binding tables (Figure 4) are ordinary tables
+// whose actions update statistics registers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4sim/action.hpp"
+#include "p4sim/parser.hpp"
+
+namespace p4sim {
+
+using TableId = std::uint32_t;
+using ActionId = std::uint32_t;
+using EntryHandle = std::uint64_t;
+
+enum class MatchKind : std::uint8_t {
+  kExact,
+  kLpm,      ///< longest-prefix match on the field's low `prefix_len` bits
+  kTernary,  ///< value/mask with priority
+};
+
+/// One component of a table's match key.
+struct KeySpec {
+  FieldRef field = FieldRef::kIpv4Dst;
+  MatchKind kind = MatchKind::kExact;
+};
+
+/// One component of an entry's match value.
+struct KeyMatch {
+  Word value = 0;
+  Word mask = ~Word{0};          ///< ternary only
+  std::uint8_t prefix_len = 32;  ///< lpm only (bits of `value`, MSB-first
+                                 ///< within the field's natural width)
+  std::uint8_t field_bits = 32;  ///< natural width of the field in bits
+};
+
+struct TableEntry {
+  std::vector<KeyMatch> key;
+  ActionId action = 0;
+  std::vector<Word> action_data;
+  std::int32_t priority = 0;  ///< higher wins among ternary candidates
+};
+
+struct MatchResult {
+  ActionId action = 0;
+  std::span<const Word> action_data;
+  bool hit = false;
+  EntryHandle handle = 0;
+};
+
+class MatchActionTable {
+ public:
+  MatchActionTable(std::string name, std::vector<KeySpec> key_layout,
+                   std::size_t max_entries = 1024);
+
+  /// Insert an entry; returns a stable handle for modify/remove.
+  EntryHandle insert(TableEntry entry);
+  void modify(EntryHandle handle, TableEntry entry);
+  void remove(EntryHandle handle);
+
+  void set_default_action(ActionId action, std::vector<Word> action_data);
+
+  /// Look up a packet.  On miss, returns the default action with hit=false.
+  [[nodiscard]] MatchResult lookup(const PacketView& view) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<KeySpec>& key_layout() const noexcept {
+    return key_layout_;
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept;
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+ private:
+  struct Stored {
+    TableEntry entry;
+    EntryHandle handle = 0;
+    bool live = false;
+  };
+
+  [[nodiscard]] bool entry_matches(const TableEntry& e,
+                                   const PacketView& view) const;
+
+  std::string name_;
+  std::vector<KeySpec> key_layout_;
+  std::size_t max_entries_;
+  std::vector<Stored> entries_;
+  EntryHandle next_handle_ = 1;
+  ActionId default_action_ = 0;
+  std::vector<Word> default_data_;
+};
+
+}  // namespace p4sim

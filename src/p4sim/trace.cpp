@@ -1,0 +1,105 @@
+#include "p4sim/trace.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace p4sim {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'S', '4', 'T', 'R'};
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  // Explicit little-endian serialization (portable across hosts).
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    os.put(static_cast<char>(static_cast<std::uint64_t>(value) >> (8 * i) &
+                             0xFF));
+  }
+}
+
+template <typename T>
+bool get(std::istream& is, T* value) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) return false;
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * i);
+  }
+  *value = static_cast<T>(v);
+  return true;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(&out) {
+  out_->write(kMagic.data(), kMagic.size());
+  put<std::uint32_t>(*out_, kTraceVersion);
+}
+
+void TraceWriter::record(const Packet& pkt) {
+  put<std::int64_t>(*out_, pkt.ingress_ts);
+  put<std::uint16_t>(*out_, pkt.ingress_port);
+  put<std::uint32_t>(*out_, static_cast<std::uint32_t>(pkt.data.size()));
+  out_->write(reinterpret_cast<const char*>(pkt.data.data()),
+              static_cast<std::streamsize>(pkt.data.size()));
+  ++written_;
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(&in) {
+  std::array<char, 4> magic{};
+  in_->read(magic.data(), magic.size());
+  if (in_->gcount() != 4 || magic != kMagic) {
+    throw std::runtime_error("p4sim: not a S4TR trace (bad magic)");
+  }
+  std::uint32_t version = 0;
+  if (!get(*in_, &version) || version != kTraceVersion) {
+    throw std::runtime_error("p4sim: unsupported trace version");
+  }
+}
+
+std::optional<Packet> TraceReader::next() {
+  std::int64_t ts = 0;
+  if (!get(*in_, &ts)) {
+    return std::nullopt;  // clean EOF at a record boundary
+  }
+  Packet pkt;
+  pkt.ingress_ts = ts;
+  std::uint16_t port = 0;
+  std::uint32_t length = 0;
+  if (!get(*in_, &port) || !get(*in_, &length)) {
+    throw std::runtime_error("p4sim: truncated trace record header");
+  }
+  if (length > (1u << 20)) {
+    throw std::runtime_error("p4sim: implausible trace record length");
+  }
+  pkt.ingress_port = port;
+  pkt.data.resize(length);
+  in_->read(reinterpret_cast<char*>(pkt.data.data()),
+            static_cast<std::streamsize>(length));
+  if (static_cast<std::uint32_t>(in_->gcount()) != length) {
+    throw std::runtime_error("p4sim: truncated trace record payload");
+  }
+  ++read_;
+  return pkt;
+}
+
+ReplayResult replay_trace(std::istream& in, P4Switch& sw) {
+  TraceReader reader(in);
+  ReplayResult result;
+  while (auto pkt = reader.next()) {
+    ++result.packets;
+    auto out = sw.process(std::move(*pkt));
+    if (out.dropped) {
+      ++result.dropped;
+    } else {
+      ++result.forwarded;
+    }
+    for (auto& d : out.digests) result.digests.push_back(d);
+  }
+  return result;
+}
+
+}  // namespace p4sim

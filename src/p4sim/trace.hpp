@@ -1,0 +1,68 @@
+// Packet trace recording and replay.
+//
+// A trace captures a packet stream (timestamps, ingress ports, raw bytes)
+// in a simple length-prefixed binary format, so that a workload observed
+// once — synthetic or converted from a real capture — replays bit-exactly
+// into any switch program.  Experiments become artifacts: record the
+// case-study traffic once, replay it against code changes forever.
+//
+// Format (all integers little-endian):
+//   magic "S4TR" | u32 version (1) | records...
+//   record: i64 timestamp_ns | u16 ingress_port | u32 length | bytes
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "p4sim/packet.hpp"
+#include "p4sim/switch.hpp"
+
+namespace p4sim {
+
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+class TraceWriter {
+ public:
+  /// Writes the header immediately.  The stream must outlive the writer.
+  explicit TraceWriter(std::ostream& out);
+
+  void record(const Packet& pkt);
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept {
+    return written_;
+  }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t written_ = 0;
+};
+
+class TraceReader {
+ public:
+  /// Validates the header; throws std::runtime_error on a bad magic or an
+  /// unsupported version.
+  explicit TraceReader(std::istream& in);
+
+  /// Next packet, or nullopt at a clean end of stream.  Throws
+  /// std::runtime_error on a truncated/corrupt record.
+  [[nodiscard]] std::optional<Packet> next();
+
+  [[nodiscard]] std::uint64_t packets_read() const noexcept { return read_; }
+
+ private:
+  std::istream* in_;
+  std::uint64_t read_ = 0;
+};
+
+/// Replay summary.
+struct ReplayResult {
+  std::uint64_t packets = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::vector<Digest> digests;
+};
+
+/// Feeds every packet of the trace through the switch, in order.
+[[nodiscard]] ReplayResult replay_trace(std::istream& in, P4Switch& sw);
+
+}  // namespace p4sim

@@ -1,0 +1,86 @@
+#include "stat4/approx_math.hpp"
+
+#include <bit>
+
+namespace stat4 {
+
+int msb_index(std::uint64_t y) noexcept {
+  // Precondition y != 0 documented in the header; returning 0 for y == 0
+  // keeps the function total without UB.
+  if (y == 0) return 0;
+  return 63 - std::countl_zero(y);
+}
+
+int msb_index_if_ladder(std::uint64_t y) noexcept {
+  // Binary search over halves, exactly the structure a P4 program uses as a
+  // sequence of ifs on register values (Section 3, "Lazy computation").
+  int pos = 0;
+  if (y >= (std::uint64_t{1} << 32)) { y >>= 32; pos += 32; }
+  if (y >= (std::uint64_t{1} << 16)) { y >>= 16; pos += 16; }
+  if (y >= (std::uint64_t{1} << 8))  { y >>= 8;  pos += 8; }
+  if (y >= (std::uint64_t{1} << 4))  { y >>= 4;  pos += 4; }
+  if (y >= (std::uint64_t{1} << 2))  { y >>= 2;  pos += 2; }
+  if (y >= (std::uint64_t{1} << 1))  { pos += 1; }
+  return pos;
+}
+
+std::uint64_t approx_sqrt(std::uint64_t y) noexcept {
+  if (y <= 1) return y;  // sqrt(0)=0, sqrt(1)=1 exactly
+
+  const int e = msb_index(y);                       // exponent
+  const std::uint64_t m = y - (std::uint64_t{1} << e);  // mantissa, e bits
+
+  // Shift the concatenated (exponent || mantissa) string right by one.
+  // The exponent halves; its dropped parity bit becomes the mantissa MSB.
+  const int e1 = e >> 1;  // new exponent
+  std::uint64_t m1 = m >> 1;
+  if ((e & 1) != 0 && e >= 1) {
+    m1 |= std::uint64_t{1} << (e - 1);  // parity bit enters the mantissa
+  }
+
+  // Rebuild: MSB at position e1, with the mantissa's top e1 bits beneath it.
+  // The mantissa field is e bits wide, so its top e1 bits are m1 >> (e - e1).
+  const std::uint64_t result =
+      (std::uint64_t{1} << e1) | (m1 >> (e - e1));
+  return result;
+}
+
+std::uint64_t approx_square(std::uint64_t y) noexcept {
+  if (y == 0) return 0;
+  const int e = msb_index(y);
+  if (e >= 32) {
+    // 2^(2e) does not fit in 64 bits; saturate, as a P4 target's
+    // fixed-width register would effectively do after a clamp.
+    return ~std::uint64_t{0};
+  }
+  const std::uint64_t r = y - (std::uint64_t{1} << e);
+  // 2^(2e) + 2^(e+1) * r, all shifts.
+  return (std::uint64_t{1} << (2 * e)) + (r << (e + 1));
+}
+
+std::uint64_t approx_log2(std::uint64_t y) noexcept {
+  if (y <= 1) return 0;
+  const int e = msb_index(y);
+  const std::uint64_t m = y - (std::uint64_t{1} << e);  // e mantissa bits
+  // Top kLog2FracBits of the mantissa become the fraction (left-aligned
+  // when the mantissa is narrower than the fraction field).
+  const std::uint64_t frac =
+      e >= static_cast<int>(kLog2FracBits)
+          ? m >> (static_cast<unsigned>(e) - kLog2FracBits)
+          : m << (kLog2FracBits - static_cast<unsigned>(e));
+  return (static_cast<std::uint64_t>(e) << kLog2FracBits) | frac;
+}
+
+std::uint64_t exact_isqrt(std::uint64_t y) noexcept {
+  if (y < 2) return y;
+  // Newton's method seeded from the MSB; converges in a handful of rounds.
+  std::uint64_t x = std::uint64_t{1} << ((msb_index(y) / 2) + 1);
+  while (true) {
+    const std::uint64_t next = (x + y / x) / 2;
+    if (next >= x) break;
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace stat4

@@ -1,0 +1,79 @@
+// Approximate integer arithmetic implementable on P4 targets.
+//
+// P4 pipelines offer no division, no square root, and (on some hardware) no
+// runtime multiplication.  Section 2 of the paper replaces these with
+// shift-based approximations:
+//
+//  * approx_sqrt   -- the Figure 2 algorithm: view the integer as a
+//                     pseudo-float (exponent = MSB position, mantissa = bits
+//                     below the MSB), shift the concatenated
+//                     (exponent || mantissa) string right by one, and rebuild
+//                     an integer from the result.  Accuracy is characterized
+//                     in Table 2.
+//  * approx_square -- squaring by shifts (after Ding et al. [7]), for targets
+//                     that cannot multiply two runtime values.
+//  * msb_index     -- most-significant-bit position, the building block of
+//                     both; Stat4's P4 code finds it with a sequence of ifs,
+//                     mirrored here branch-free for the C++ reference and as
+//                     an if-ladder in stat4p4.
+#pragma once
+
+#include <cstdint>
+
+namespace stat4 {
+
+/// Position of the most significant set bit of `y` (0-indexed).
+/// msb_index(1) == 0, msb_index(106) == 6.  Precondition: y != 0.
+[[nodiscard]] int msb_index(std::uint64_t y) noexcept;
+
+/// msb_index computed the way the P4 library does it: a fixed sequence of
+/// ifs (binary search over halves), with no compiler intrinsics.  Used to
+/// cross-check msb_index and mirrored verbatim by the stat4p4 programs.
+[[nodiscard]] int msb_index_if_ladder(std::uint64_t y) noexcept;
+
+/// Approximate integer square root (Figure 2 of the paper).
+///
+/// Algorithm: let e = msb_index(y) and m = the e bits below the MSB
+/// (the mantissa).  Shift the concatenated string (e || m) right by one:
+/// the new exponent is e' = e >> 1 and the dropped parity bit of e becomes
+/// the new mantissa's MSB.  Rebuild the integer with its MSB at position e'
+/// and the mantissa's top e' bits copied beneath it.
+///
+/// The result interpolates between successive powers 2^(2k); e.g.
+/// approx_sqrt(106) == 10 (true sqrt is 10.29...).  Accuracy vs the
+/// fractional square root is reproduced by bench_table2_sqrt.
+///
+/// approx_sqrt(0) == 0 by convention.
+[[nodiscard]] std::uint64_t approx_sqrt(std::uint64_t y) noexcept;
+
+/// Approximate squaring using only shifts, for hardware targets that cannot
+/// square a value unknown at compile time (Section 2, citing [7]).
+///
+/// With e = msb_index(y) and r = y - 2^e the remainder below the MSB,
+///   y^2 = 2^(2e) + 2^(e+1) * r + r^2  ~=  2^(2e) + 2^(e+1) * r
+/// i.e. we keep the exact top two terms and drop only r^2 < 2^(2e).
+/// The relative error is below 25% and vanishes as y approaches a power of
+/// two.  approx_square(0) == 0.
+[[nodiscard]] std::uint64_t approx_square(std::uint64_t y) noexcept;
+
+/// Exact integer square root, floor(sqrt(y)) — the baseline Table 2 compares
+/// against (together with the fractional value).  Pure integer Newton
+/// iteration; exact for all 64-bit inputs.
+[[nodiscard]] std::uint64_t exact_isqrt(std::uint64_t y) noexcept;
+
+/// Number of fractional bits in approx_log2's fixed-point result.
+inline constexpr unsigned kLog2FracBits = 8;
+
+/// Approximate log2(y) in fixed point with kLog2FracBits fractional bits,
+/// using only shifts and masks (the technique of Ding et al. [7], which the
+/// paper cites for shift-based function estimation):
+///
+///   log2(y) ~= msb(y) + mantissa_top_bits / 2^kLog2FracBits
+///
+/// i.e. the integer part is the MSB position and the fraction is the linear
+/// interpolation given by the bits just below the MSB.  Max error ~0.086
+/// (at y midway between powers of two, the classic log-linear bound).
+/// approx_log2(0) == 0 by convention; approx_log2(1) == 0 exactly.
+[[nodiscard]] std::uint64_t approx_log2(std::uint64_t y) noexcept;
+
+}  // namespace stat4

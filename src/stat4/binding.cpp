@@ -1,0 +1,40 @@
+#include "stat4/binding.hpp"
+
+namespace stat4 {
+
+Value FieldExtractor::extract(const PacketFields& pkt) const noexcept {
+  std::uint64_t raw = 0;
+  switch (field) {
+    case Field::kConstOne:     raw = 1; break;
+    case Field::kLength:       raw = pkt.length; break;
+    case Field::kSrcIp:        raw = pkt.src_ip; break;
+    case Field::kDstIp:        raw = pkt.dst_ip; break;
+    case Field::kSrcPort:      raw = pkt.src_port; break;
+    case Field::kDstPort:      raw = pkt.dst_port; break;
+    case Field::kProtocol:     raw = pkt.protocol; break;
+    case Field::kTcpFlags:     raw = pkt.tcp_flags; break;
+    case Field::kPayloadValue:
+      raw = static_cast<std::uint64_t>(pkt.payload_value);
+      break;
+  }
+  const unsigned s = shift >= 64 ? 63u : shift;
+  return (raw >> s) & mask;
+}
+
+bool Prefix::matches(std::uint32_t ip) const noexcept {
+  if (len == 0) return true;
+  const std::uint8_t l = len > 32 ? std::uint8_t{32} : len;
+  const std::uint32_t m =
+      l == 32 ? ~std::uint32_t{0} : ~(~std::uint32_t{0} >> l);
+  return (ip & m) == (addr & m);
+}
+
+bool MatchSpec::matches(const PacketFields& pkt) const noexcept {
+  if (dst_prefix && !dst_prefix->matches(pkt.dst_ip)) return false;
+  if (src_prefix && !src_prefix->matches(pkt.src_ip)) return false;
+  if (protocol && *protocol != pkt.protocol) return false;
+  if (flag_mask != 0 && (pkt.tcp_flags & flag_mask) != flag_value) return false;
+  return true;
+}
+
+}  // namespace stat4

@@ -1,0 +1,105 @@
+// Binding tables: runtime-tunable mapping from packets to distributions.
+//
+// Figure 4 of the paper: the control plane decides which distributions the
+// switch tracks at any time by populating "binding tables" whose entries
+// define (i) how to extract values of interest from packets and (ii) how to
+// update which registers.  Entries can be added / modified / removed at
+// runtime without recompiling the P4 program — the drill-down case study
+// depends on this (first bind per-/24 tracking, then re-bind to
+// per-destination tracking).
+//
+// The C++ form: a BindingEntry carries a MatchSpec (which packets it applies
+// to), a FieldExtractor (how to turn the packet into an integer value of
+// interest) and the target distribution + update discipline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+/// The packet attributes Stat4 bindings can match on and extract from.
+/// The switch substrate fills one of these per packet from parsed headers;
+/// host-side users can fill it directly.  All fields are host byte order.
+struct PacketFields {
+  TimeNs timestamp = 0;       ///< ingress timestamp
+  std::uint32_t length = 0;   ///< frame length in bytes
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;  ///< IP protocol number (6 = TCP, 17 = UDP)
+  std::uint8_t tcp_flags = 0; ///< TCP flag byte (0x02 = SYN), 0 if not TCP
+  std::int64_t payload_value = 0;  ///< decoded payload integer (echo app)
+};
+
+/// Which packet attribute a binding observes.
+enum class Field : std::uint8_t {
+  kConstOne,      ///< the constant 1 (count packets)
+  kLength,        ///< frame length
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProtocol,
+  kTcpFlags,
+  kPayloadValue,  ///< payload integer (validation echo app)
+};
+
+/// Extracts an integer value of interest:  value = (raw(field) >> shift) & mask.
+/// Examples:
+///   * per-/24 subnet index inside a /8:  {kDstIp, shift=8, mask=0xFF}
+///   * per-host index inside a /24:       {kDstIp, shift=0, mask=0xFF}
+///   * SYN bit:                           {kTcpFlags, shift=1, mask=0x1}
+struct FieldExtractor {
+  Field field = Field::kConstOne;
+  std::uint8_t shift = 0;
+  std::uint64_t mask = ~std::uint64_t{0};
+
+  [[nodiscard]] Value extract(const PacketFields& pkt) const noexcept;
+};
+
+/// An IPv4 prefix (address in host byte order, length in bits).
+struct Prefix {
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;  ///< 0 matches everything
+
+  [[nodiscard]] bool matches(std::uint32_t ip) const noexcept;
+};
+
+/// Which packets a binding applies to.  Empty optionals match everything —
+/// the default-constructed MatchSpec is a wildcard entry.
+struct MatchSpec {
+  std::optional<Prefix> dst_prefix;
+  std::optional<Prefix> src_prefix;
+  std::optional<std::uint8_t> protocol;
+  /// Ternary match on TCP flags: matches iff (flags & flag_mask) == flag_value.
+  std::uint8_t flag_mask = 0;
+  std::uint8_t flag_value = 0;
+
+  [[nodiscard]] bool matches(const PacketFields& pkt) const noexcept;
+};
+
+/// How the extracted value updates the target distribution.
+enum class UpdateKind : std::uint8_t {
+  kFrequencyObserve,  ///< FreqDist::observe(value)
+  kIntervalCount,     ///< IntervalWindow::record(ts, 1)
+  kIntervalSum,       ///< IntervalWindow::record(ts, value)
+  kValueSample,       ///< RunningStats::add(value)
+};
+
+/// Identifier of a distribution inside a Stat4Engine.
+using DistId = std::uint32_t;
+
+/// One binding-table entry (one row of Figure 4's binding tables).
+struct BindingEntry {
+  MatchSpec match;
+  FieldExtractor extractor;
+  DistId dist = 0;
+  UpdateKind kind = UpdateKind::kFrequencyObserve;
+  bool enabled = true;
+};
+
+}  // namespace stat4

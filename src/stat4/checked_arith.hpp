@@ -1,0 +1,74 @@
+// Portable checked 64-bit arithmetic helpers.
+//
+// Stat4 accumulators hold sums and sums of squares of traffic counters; the
+// paper keeps them small by storing orders of magnitude, but a library must
+// not silently wrap when a caller feeds it raw byte counts.  These helpers
+// detect overflow without relying on compiler intrinsics (C++ Core
+// Guidelines P.2: write in ISO Standard C++).
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+/// a + b if it fits in Accum, std::nullopt otherwise.
+[[nodiscard]] constexpr std::optional<Accum> checked_add(Accum a,
+                                                         Accum b) noexcept {
+  constexpr Accum kMax = std::numeric_limits<Accum>::max();
+  constexpr Accum kMin = std::numeric_limits<Accum>::min();
+  if (b > 0 && a > kMax - b) return std::nullopt;
+  if (b < 0 && a < kMin - b) return std::nullopt;
+  return a + b;
+}
+
+/// a - b if it fits in Accum, std::nullopt otherwise.
+[[nodiscard]] constexpr std::optional<Accum> checked_sub(Accum a,
+                                                         Accum b) noexcept {
+  constexpr Accum kMax = std::numeric_limits<Accum>::max();
+  constexpr Accum kMin = std::numeric_limits<Accum>::min();
+  if (b < 0 && a > kMax + b) return std::nullopt;
+  if (b > 0 && a < kMin + b) return std::nullopt;
+  return a - b;
+}
+
+/// a * b if it fits in Accum, std::nullopt otherwise.
+[[nodiscard]] constexpr std::optional<Accum> checked_mul(Accum a,
+                                                         Accum b) noexcept {
+  if (a == 0 || b == 0) return Accum{0};
+  constexpr Accum kMax = std::numeric_limits<Accum>::max();
+  constexpr Accum kMin = std::numeric_limits<Accum>::min();
+  if (a > 0) {
+    if (b > 0) {
+      if (a > kMax / b) return std::nullopt;
+    } else {
+      if (b < kMin / a) return std::nullopt;
+    }
+  } else {
+    if (b > 0) {
+      if (a < kMin / b) return std::nullopt;
+    } else {
+      if (a != 0 && b < kMax / a) return std::nullopt;
+    }
+  }
+  return a * b;
+}
+
+/// Resolve an optional arithmetic result under an OverflowPolicy.
+/// Returns the value, the saturation limit, or throws OverflowError.
+/// `toward_max` selects which limit kSaturate clamps to.
+[[nodiscard]] inline Accum resolve_overflow(std::optional<Accum> r,
+                                            OverflowPolicy policy,
+                                            bool toward_max,
+                                            const char* op) {
+  if (r.has_value()) return *r;
+  if (policy == OverflowPolicy::kSaturate) {
+    return toward_max ? std::numeric_limits<Accum>::max()
+                      : std::numeric_limits<Accum>::min();
+  }
+  throw OverflowError(std::string("stat4 accumulator overflow in ") + op);
+}
+
+}  // namespace stat4

@@ -1,0 +1,71 @@
+#include "stat4/entropy.hpp"
+
+#include <cmath>
+
+#include "stat4/approx_math.hpp"
+
+namespace stat4 {
+
+namespace {
+
+/// f * approx_log2(f) in fixed point — the per-element term of S.
+std::uint64_t flog(Count f) noexcept {
+  return f * approx_log2(f);
+}
+
+}  // namespace
+
+EntropyEstimator::EntropyEstimator(std::size_t domain_size,
+                                   OverflowPolicy policy)
+    : dist_(domain_size, policy) {}
+
+void EntropyEstimator::observe(Value v) {
+  const Count f = dist_.frequency(v);
+  dist_.observe(v);
+  // S += (f+1)log2(f+1) - f log2(f); both terms are monotone so the delta
+  // is non-negative and the subtraction cannot wrap.
+  s_ += flog(f + 1) - flog(f);
+  ++total_;
+}
+
+void EntropyEstimator::unobserve(Value v) {
+  const Count f = dist_.frequency(v);
+  dist_.unobserve(v);  // throws if f == 0
+  s_ -= flog(f) - flog(f - 1);
+  --total_;
+}
+
+bool EntropyEstimator::entropy_below(std::uint64_t theta_fp) const {
+  if (total_ < 2) return false;
+  const std::uint64_t log_t = approx_log2(total_);
+  if (log_t <= theta_fp) {
+    // log2(T) <= theta: even a uniform distribution sits below theta.
+    return true;
+  }
+  return s_ > total_ * (log_t - theta_fp);
+}
+
+bool EntropyEstimator::entropy_above(std::uint64_t theta_fp) const {
+  if (total_ < 2) return false;
+  const std::uint64_t log_t = approx_log2(total_);
+  if (log_t <= theta_fp) return false;  // H <= log2(T) <= theta
+  return s_ < total_ * (log_t - theta_fp);
+}
+
+double EntropyEstimator::entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  const double scale = static_cast<double>(1u << kLog2FracBits);
+  const double log_t =
+      static_cast<double>(approx_log2(total_)) / scale;
+  const double s = static_cast<double>(s_) / scale;
+  const double h = log_t - s / static_cast<double>(total_);
+  return h < 0.0 ? 0.0 : h;
+}
+
+void EntropyEstimator::reset() noexcept {
+  dist_.reset();
+  total_ = 0;
+  s_ = 0;
+}
+
+}  // namespace stat4

@@ -1,0 +1,79 @@
+// Online entropy estimation over frequency distributions.
+//
+// The paper cites Ding et al. [7] for shift-based function estimation and
+// names "traffic classification" and DDoS defence among its use cases; the
+// canonical statistic tying both together is the (Shannon) entropy of a
+// frequency distribution — e.g. of destination addresses: a volumetric
+// attack concentrated on one victim makes the entropy COLLAPSE, while
+// address-scanning makes it SPIKE, long before either moves a plain rate
+// counter.
+//
+// The identity making this switch-computable without division:
+//
+//   H(X) = log2(T) - S/T      with  T = total count,
+//                                   S = sum_i f_i * log2(f_i)
+//
+// S updates incrementally per observation (f -> f+1):
+//   S += (f+1)*log2(f+1) - f*log2(f)
+// with log2 in kLog2FracBits fixed point from approx_log2 — one MSB search
+// and shifts per packet, no division, no loop.
+//
+// The division by T only appears when READING H; on the switch a threshold
+// test avoids it entirely:
+//
+//   H < theta   <=>   S > T * (log2(T) - theta)
+//
+// which is one multiply + compare.  EntropyEstimator exposes both the
+// threshold test (entropy_below) and a controller-side fractional read.
+#pragma once
+
+#include <cstdint>
+
+#include "stat4/freq_dist.hpp"
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+class EntropyEstimator {
+ public:
+  explicit EntropyEstimator(std::size_t domain_size,
+                            OverflowPolicy policy = OverflowPolicy::kThrow);
+
+  /// Observe one occurrence of value v; updates S and T in O(1).
+  void observe(Value v);
+
+  /// Retract one occurrence (sliding-window usage).
+  void unobserve(Value v);
+
+  /// T — total observations.
+  [[nodiscard]] Count total() const noexcept { return total_; }
+
+  /// S = sum f_i * log2(f_i), in kLog2FracBits fixed point.
+  [[nodiscard]] std::uint64_t weighted_log_sum() const noexcept { return s_; }
+
+  /// The switch-side check:  H < theta  evaluated division-free as
+  /// S > T * (log2(T) - theta).  `theta_fp` is the threshold in the same
+  /// fixed point as approx_log2 (theta_fp = theta * 2^kLog2FracBits).
+  /// Returns false until at least two observations exist.
+  [[nodiscard]] bool entropy_below(std::uint64_t theta_fp) const;
+
+  /// Dual check for scans:  H > theta  <=>  S < T * (log2(T) - theta).
+  [[nodiscard]] bool entropy_above(std::uint64_t theta_fp) const;
+
+  /// Controller-side fractional read of the entropy estimate, in bits.
+  [[nodiscard]] double entropy_bits() const;
+
+  [[nodiscard]] Count frequency(Value v) const { return dist_.frequency(v); }
+  [[nodiscard]] std::size_t domain_size() const noexcept {
+    return dist_.domain_size();
+  }
+
+  void reset() noexcept;
+
+ private:
+  FreqDist dist_;
+  Count total_ = 0;
+  std::uint64_t s_ = 0;  ///< fixed-point sum of f*log2(f)
+};
+
+}  // namespace stat4

@@ -1,0 +1,85 @@
+#include "stat4/freq_dist.hpp"
+
+namespace stat4 {
+
+FreqDist::FreqDist(std::size_t domain_size, OverflowPolicy policy)
+    : freqs_(domain_size, 0), stats_(policy) {
+  if (domain_size == 0) {
+    throw UsageError("stat4: FreqDist domain must be non-empty");
+  }
+}
+
+void FreqDist::observe(Value v) {
+  if (v >= freqs_.size()) {
+    throw UsageError("stat4: observed value outside FreqDist domain");
+  }
+  const Count old_freq = freqs_[v];
+  stats_.bump_frequency(old_freq);  // may throw; counters untouched if so
+  freqs_[v] = old_freq + 1;
+  ++total_;
+  for (auto& t : trackers_) t->on_increment(v);
+}
+
+void FreqDist::unobserve(Value v) {
+  if (v >= freqs_.size()) {
+    throw UsageError("stat4: retracted value outside FreqDist domain");
+  }
+  const Count old_freq = freqs_[v];
+  if (old_freq == 0) {
+    throw UsageError("stat4: unobserve() of a value with zero frequency");
+  }
+  stats_.drop_frequency(old_freq);
+  freqs_[v] = old_freq - 1;
+  --total_;
+  for (auto& t : trackers_) t->on_decrement(v);
+}
+
+std::size_t FreqDist::attach_percentile(Percentile p) {
+  trackers_.push_back(std::make_unique<PercentileTracker>(p, freqs_));
+  // Replay nothing: trackers attached mid-stream start from the next
+  // observation, matching a controller enabling a new check at runtime.
+  return trackers_.size() - 1;
+}
+
+const PercentileTracker& FreqDist::percentile(std::size_t idx) const {
+  if (idx >= trackers_.size()) {
+    throw UsageError("stat4: percentile tracker index out of range");
+  }
+  return *trackers_[idx];
+}
+
+PercentileTracker& FreqDist::percentile(std::size_t idx) {
+  if (idx >= trackers_.size()) {
+    throw UsageError("stat4: percentile tracker index out of range");
+  }
+  return *trackers_[idx];
+}
+
+Count FreqDist::frequency(Value v) const {
+  if (v >= freqs_.size()) {
+    throw UsageError("stat4: frequency() value outside domain");
+  }
+  return freqs_[v];
+}
+
+OutlierVerdict FreqDist::frequency_outlier(Value v, unsigned k_sigma) const {
+  OutlierVerdict verdict = stats_.upper_outlier(frequency(v), k_sigma);
+  // Integer-quantization slack: frequencies move in steps of one, so right
+  // after observing v its counter exceeds a perfectly balanced distribution
+  // by a full unit while the estimated sd is ~0.  Require the outlier to
+  // clear one extra unit in NX space (i.e. +N) so that an exactly
+  // round-robin stream can never self-trigger.
+  verdict.threshold += static_cast<Accum>(stats_.n());
+  verdict.is_outlier =
+      stats_.n() > 0 && verdict.scaled_value > verdict.threshold;
+  return verdict;
+}
+
+void FreqDist::reset() noexcept {
+  for (auto& f : freqs_) f = 0;
+  stats_.reset();
+  total_ = 0;
+  for (auto& t : trackers_) t->reset();
+}
+
+}  // namespace stat4

@@ -1,0 +1,93 @@
+// Frequency distributions: one counter per possible value of interest.
+//
+// The paper's "Approach" (Section 2) keeps one counter per value xi and
+// updates counters plus statistical measures on every packet.  A frequency
+// distribution is the X whose elements are the frequencies themselves (e.g.
+// SYN vs data packets, packets per destination); its incremental update rule
+//
+//     Xsum   += 1
+//     Xsumsq += (f+1)^2 - f^2 = 2f + 1
+//     N      += 1   iff f was 0
+//
+// avoids rescanning the counters.  FreqDist owns the counter array, a
+// RunningStats over the frequencies, and any number of attached percentile
+// trackers (median, 90th, ...), all updated per observation in O(1).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "stat4/percentile.hpp"
+#include "stat4/running_stats.hpp"
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+class FreqDist {
+ public:
+  /// Tracks values in [0, domain_size).  domain_size maps to the paper's
+  /// STAT_COUNTER_SIZE compile-time macro; here it is a runtime argument.
+  explicit FreqDist(std::size_t domain_size,
+                    OverflowPolicy policy = OverflowPolicy::kThrow);
+
+  FreqDist(const FreqDist&) = delete;  // trackers hold a pointer to freqs_
+  FreqDist& operator=(const FreqDist&) = delete;
+  FreqDist(FreqDist&&) = delete;
+  FreqDist& operator=(FreqDist&&) = delete;
+
+  /// Observe one occurrence of value v.  Throws UsageError if v is outside
+  /// the domain.
+  void observe(Value v);
+
+  /// Retract one occurrence of value v (windowed monitoring).  Throws
+  /// UsageError if f[v] is already zero.
+  void unobserve(Value v);
+
+  /// Attach a percentile tracker; returns its index for later queries.
+  /// Trackers see every subsequent observation.
+  std::size_t attach_percentile(Percentile p);
+
+  [[nodiscard]] const PercentileTracker& percentile(std::size_t idx) const;
+  [[nodiscard]] PercentileTracker& percentile(std::size_t idx);
+  [[nodiscard]] std::size_t percentile_count() const noexcept {
+    return trackers_.size();
+  }
+
+  [[nodiscard]] Count frequency(Value v) const;
+  [[nodiscard]] std::size_t domain_size() const noexcept {
+    return freqs_.size();
+  }
+  [[nodiscard]] const std::vector<Count>& frequencies() const noexcept {
+    return freqs_;
+  }
+
+  /// Statistics of the frequency distribution itself: n() is the number of
+  /// distinct observed values, xsum() the total observation count.
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+
+  /// Total number of observations ( == stats().xsum() ).
+  [[nodiscard]] Count total() const noexcept { return total_; }
+
+  /// Number of distinct values observed ( == stats().n() ).
+  [[nodiscard]] Count distinct() const noexcept { return stats_.n(); }
+
+  /// Is value v's frequency an upper outlier among observed frequencies?
+  /// The drill-down case study uses this to spot the hot /24 and the hot
+  /// destination:  N * f[v] > Xsum + k * sd(NX) + N.  The trailing +N is one
+  /// unit of integer-quantization slack so that a perfectly balanced
+  /// round-robin stream (sd ~ 0, counters leapfrogging by one) never
+  /// self-triggers.
+  [[nodiscard]] OutlierVerdict frequency_outlier(Value v,
+                                                 unsigned k_sigma = 2) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<Count> freqs_;
+  RunningStats stats_;
+  Count total_ = 0;
+  std::vector<std::unique_ptr<PercentileTracker>> trackers_;
+};
+
+}  // namespace stat4

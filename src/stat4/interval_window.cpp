@@ -1,0 +1,87 @@
+#include "stat4/interval_window.hpp"
+
+namespace stat4 {
+
+IntervalWindow::IntervalWindow(std::size_t num_intervals, TimeNs interval_len,
+                               unsigned k_sigma, OverflowPolicy policy)
+    : ring_(num_intervals, 0),
+      len_(interval_len),
+      k_sigma_(k_sigma),
+      stats_(policy) {
+  if (num_intervals == 0) {
+    throw UsageError("stat4: IntervalWindow needs at least one interval");
+  }
+  if (interval_len <= 0) {
+    throw UsageError("stat4: IntervalWindow interval length must be positive");
+  }
+}
+
+void IntervalWindow::record(TimeNs now, Value amount) {
+  advance_to(now);
+  current_ += amount;
+}
+
+void IntervalWindow::advance_to(TimeNs now) {
+  if (!started_) {
+    // The first event anchors the interval grid.
+    current_start_ = now - (now % len_);
+    started_ = true;
+    return;
+  }
+  if (now < current_start_) {
+    throw UsageError("stat4: IntervalWindow time went backwards");
+  }
+  while (now >= current_start_ + len_) {
+    close_interval();
+  }
+}
+
+void IntervalWindow::close_interval() {
+  IntervalReport report;
+  report.start = current_start_;
+  report.value = current_;
+  report.window_primed = primed();
+  // Check the finished interval against the *historical* distribution
+  // before it joins it — the paper's "rate higher than the mean of the
+  // stored distribution plus two standard deviations".
+  report.upper = stats_.upper_outlier(current_, k_sigma_);
+
+  if (primed()) {
+    // Ring full: override the oldest counter.  This eviction + insertion is
+    // the 12-step dependency chain of the paper's resource analysis.
+    stats_.replace(ring_[head_], current_);
+  } else {
+    stats_.add(current_);
+  }
+  ring_[head_] = current_;
+  head_ = (head_ + 1) % ring_.size();
+  ++completed_;
+  current_ = 0;
+  current_start_ += len_;
+
+  if (on_interval_) on_interval_(report);
+}
+
+std::vector<Value> IntervalWindow::history() const {
+  std::vector<Value> out;
+  const std::size_t n = primed() ? ring_.size() : completed_;
+  out.reserve(n);
+  // Oldest completed value sits at head_ once primed; otherwise at slot 0.
+  const std::size_t start = primed() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void IntervalWindow::reset() noexcept {
+  for (auto& v : ring_) v = 0;
+  head_ = 0;
+  completed_ = 0;
+  started_ = false;
+  current_ = 0;
+  current_start_ = 0;
+  stats_.reset();
+}
+
+}  // namespace stat4

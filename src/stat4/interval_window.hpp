@@ -1,0 +1,83 @@
+// Circular-buffer monitoring of a value of interest over time intervals.
+//
+// The case study (Section 4) monitors "packets per time interval for the
+// entire /8 prefix": the switch keeps a circular buffer of (by default) 100
+// 8ms-long interval counters and, at every interval boundary, checks whether
+// the interval's count exceeds the mean of the stored distribution plus two
+// standard deviations.  Overriding the oldest counter when the buffer wraps
+// is the paper's longest match-action dependency chain (12 sequential
+// steps); stat4p4 keeps that chain explicit so bench_resource can measure it.
+//
+// IntervalWindow is the C++ library form: a ring of interval counters with a
+// RunningStats over the *completed* intervals.  The caller supplies
+// timestamps (integer nanoseconds), so the class is clock-agnostic and
+// deterministic under simulation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stat4/running_stats.hpp"
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+/// Outcome of closing one time interval.
+struct IntervalReport {
+  TimeNs start = 0;             ///< interval start time
+  Value value = 0;              ///< accumulated count for the interval
+  OutlierVerdict upper;         ///< value vs historical mean + k*sd
+  bool window_primed = false;   ///< ring already full when the check ran
+};
+
+class IntervalWindow {
+ public:
+  /// `num_intervals` is the paper's STAT_COUNTER_SIZE (default 100 in the
+  /// case study); `interval_len` its interval length (default 8 ms).
+  IntervalWindow(std::size_t num_intervals, TimeNs interval_len,
+                 unsigned k_sigma = 2,
+                 OverflowPolicy policy = OverflowPolicy::kThrow);
+
+  /// Accumulate `amount` at time `now`.  Closes any intervals that `now` has
+  /// passed (invoking the on_interval callback for each) before counting.
+  void record(TimeNs now, Value amount = 1);
+
+  /// Close intervals up to `now` without recording anything — pure passage
+  /// of time (e.g. traffic stopped entirely, itself an anomaly signal).
+  void advance_to(TimeNs now);
+
+  /// Callback fired for every completed interval, after the outlier check
+  /// and before the value enters the stored distribution.
+  void set_on_interval(std::function<void(const IntervalReport&)> cb) {
+    on_interval_ = std::move(cb);
+  }
+
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Value current_count() const noexcept { return current_; }
+  [[nodiscard]] TimeNs interval_length() const noexcept { return len_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  [[nodiscard]] bool primed() const noexcept {
+    return completed_ >= ring_.size();
+  }
+  /// Completed interval values, oldest first.
+  [[nodiscard]] std::vector<Value> history() const;
+
+  void reset() noexcept;
+
+ private:
+  void close_interval();
+
+  std::vector<Value> ring_;
+  std::size_t head_ = 0;        ///< slot the *next* completed value lands in
+  std::size_t completed_ = 0;   ///< total completed intervals (monotonic)
+  TimeNs len_;
+  TimeNs current_start_ = 0;
+  bool started_ = false;
+  Value current_ = 0;
+  unsigned k_sigma_;
+  RunningStats stats_;
+  std::function<void(const IntervalReport&)> on_interval_;
+};
+
+}  // namespace stat4

@@ -1,0 +1,84 @@
+#include "stat4/percentile.hpp"
+
+namespace stat4 {
+
+PercentileTracker::PercentileTracker(Percentile p,
+                                     const std::vector<Count>& freqs)
+    : p_(p), freqs_(&freqs) {
+  if (p.value == 0 || p.value >= 100) {
+    throw UsageError("stat4: percentile must be in (0, 100)");
+  }
+}
+
+void PercentileTracker::on_increment(Value v) {
+  if (!observed_) {
+    // The first observation seeds the tracked position: with one sample the
+    // sample itself is every percentile.
+    pos_ = v;
+    observed_ = true;
+    maybe_move();
+    return;
+  }
+  if (v < pos_) {
+    ++low_;
+  } else if (v > pos_) {
+    ++high_;
+  }
+  // v == pos_ contributes to f[pos_], consulted inside maybe_move().
+  maybe_move();
+}
+
+void PercentileTracker::on_decrement(Value v) {
+  if (!observed_) return;
+  if (v < pos_) {
+    if (low_ > 0) --low_;
+  } else if (v > pos_) {
+    if (high_ > 0) --high_;
+  }
+  maybe_move();
+}
+
+void PercentileTracker::maybe_move() {
+  if (!observed_ || freqs_->empty()) return;
+  const auto& f = *freqs_;
+  const std::uint64_t p = p_.value;        // weight of the low side
+  const std::uint64_t q = 100 - p_.value;  // weight of the high side
+  const Count fm = pos_ < f.size() ? f[pos_] : 0;
+
+  // Move up when the high side outweighs the low side (plus the tracked
+  // slot itself) under the P:(100-P) balance; symmetric for down.  For the
+  // median (p == q) this is exactly the rule of Figure 3; for the 90th
+  // percentile it reduces to "low must be nine times high".
+  if (p * high_ > q * (low_ + fm)) {
+    if (pos_ + 1 < f.size()) {
+      low_ += fm;
+      ++pos_;
+      high_ -= f[pos_];
+    }
+  } else if (q * low_ > p * (high_ + fm)) {
+    if (pos_ > 0) {
+      high_ += fm;
+      --pos_;
+      low_ -= f[pos_];
+    }
+  }
+}
+
+void PercentileTracker::restore_state(Value pos, Count low, Count high) {
+  if (pos >= freqs_->size()) {
+    throw UsageError("stat4: restore_state position outside domain");
+  }
+  pos_ = pos;
+  low_ = low;
+  high_ = high;
+  observed_ = true;
+}
+
+void PercentileTracker::reset() noexcept {
+  pos_ = 0;
+  low_ = 0;
+  high_ = 0;
+  observed_ = false;
+}
+
+}  // namespace stat4

@@ -1,0 +1,72 @@
+// Online percentile tracking over frequency distributions (Figure 3).
+//
+// The paper's algorithm keeps, besides the frequency counters f[.] of the
+// monitored distribution, two combined counters: `low` (total frequency of
+// values below the tracked position) and `high` (total frequency above it).
+// Each new observation may move the tracked position by AT MOST ONE slot —
+// P4 cannot iterate, so a sparse region is crossed one packet at a time.
+// Table 3 of the paper characterizes the resulting estimation error.
+//
+// The median moves up when  high > low + f[m]  and down when
+// low > high + f[m].  The generalization to the P-th percentile replaces the
+// balance by a P : (100-P) ratio, e.g. the 90th percentile requires `low` to
+// be nine times `high` ("adjusting the comparisons", end of Section 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+/// A percentile in (0, 100); Percentile{50} is the median.
+struct Percentile {
+  unsigned value = 50;
+};
+
+/// Tracks one percentile of a frequency distribution over the integer domain
+/// [0, domain_size).  Driven by FreqDist (or directly) through on_increment /
+/// on_decrement; never iterates, moving at most one slot per update.
+class PercentileTracker {
+ public:
+  /// `freqs` outlives the tracker and is the frequency array the owner
+  /// updates *before* calling on_increment/on_decrement.
+  PercentileTracker(Percentile p, const std::vector<Count>& freqs);
+
+  /// Notify that f[v] was incremented by one.  Adjusts low/high and applies
+  /// at most one move step.
+  void on_increment(Value v);
+
+  /// Notify that f[v] was decremented by one (windowed distributions).
+  void on_decrement(Value v);
+
+  /// Current percentile estimate (a domain value).  Meaningless until the
+  /// first observation; check observed().
+  [[nodiscard]] Value position() const noexcept { return pos_; }
+  [[nodiscard]] bool observed() const noexcept { return observed_; }
+
+  [[nodiscard]] Count low_count() const noexcept { return low_; }
+  [[nodiscard]] Count high_count() const noexcept { return high_; }
+  [[nodiscard]] Percentile percentile() const noexcept { return p_; }
+
+  void reset() noexcept;
+
+  /// Restore a snapshot (position + combined counters).  Used by the
+  /// controller when re-binding a distribution at runtime, and by tests to
+  /// reconstruct the paper's worked examples.  The caller must have restored
+  /// the frequency array to a consistent state first.
+  void restore_state(Value pos, Count low, Count high);
+
+ private:
+  void maybe_move();
+
+  Percentile p_;
+  const std::vector<Count>* freqs_;
+  Value pos_ = 0;
+  Count low_ = 0;
+  Count high_ = 0;
+  bool observed_ = false;
+};
+
+}  // namespace stat4

@@ -1,0 +1,169 @@
+#include "stat4/running_stats.hpp"
+
+#include <limits>
+
+#include "stat4/approx_math.hpp"
+#include "stat4/checked_arith.hpp"
+
+namespace stat4 {
+
+namespace {
+
+/// Values must fit in Accum after squaring-ish use; reject absurd inputs
+/// early with a clear message instead of deep inside an accumulator update.
+Accum to_accum(Value x) {
+  if (x > static_cast<Value>(std::numeric_limits<Accum>::max())) {
+    throw UsageError("stat4: value of interest exceeds accumulator range");
+  }
+  return static_cast<Accum>(x);
+}
+
+}  // namespace
+
+void RunningStats::add(Value x) {
+  const Accum xv = to_accum(x);
+  const Accum xsq = resolve_overflow(checked_mul(xv, xv), policy_,
+                                     /*toward_max=*/true, "add: x^2");
+  xsum_ = resolve_overflow(checked_add(xsum_, xv), policy_, true, "add: Xsum");
+  xsumsq_ = resolve_overflow(checked_add(xsumsq_, xsq), policy_, true,
+                             "add: Xsumsq");
+  ++n_;
+  touch();
+}
+
+void RunningStats::remove(Value x) {
+  if (n_ == 0) throw UsageError("stat4: remove() on empty RunningStats");
+  const Accum xv = to_accum(x);
+  const Accum xsq = resolve_overflow(checked_mul(xv, xv), policy_, true,
+                                     "remove: x^2");
+  xsum_ = resolve_overflow(checked_sub(xsum_, xv), policy_, false,
+                           "remove: Xsum");
+  xsumsq_ = resolve_overflow(checked_sub(xsumsq_, xsq), policy_, false,
+                             "remove: Xsumsq");
+  --n_;
+  touch();
+}
+
+void RunningStats::replace(Value old_value, Value new_value) {
+  if (n_ == 0) throw UsageError("stat4: replace() on empty RunningStats");
+  const Accum ov = to_accum(old_value);
+  const Accum nv = to_accum(new_value);
+  const Accum osq = resolve_overflow(checked_mul(ov, ov), policy_, true,
+                                     "replace: old^2");
+  const Accum nsq = resolve_overflow(checked_mul(nv, nv), policy_, true,
+                                     "replace: new^2");
+  xsum_ = resolve_overflow(checked_add(checked_sub(xsum_, ov).value_or(0), nv),
+                           policy_, true, "replace: Xsum");
+  xsumsq_ = resolve_overflow(
+      checked_add(checked_sub(xsumsq_, osq).value_or(0), nsq), policy_, true,
+      "replace: Xsumsq");
+  touch();
+}
+
+void RunningStats::bump_frequency(Value old_freq) {
+  const Accum f = to_accum(old_freq);
+  // Xsumsq += (f+1)^2 - f^2 = 2f + 1   (Section 2, frequency distributions)
+  const Accum delta = resolve_overflow(
+      checked_add(checked_mul(Accum{2}, f).value_or(0), Accum{1}), policy_,
+      true, "bump_frequency: 2f+1");
+  xsum_ = resolve_overflow(checked_add(xsum_, Accum{1}), policy_, true,
+                           "bump_frequency: Xsum");
+  xsumsq_ = resolve_overflow(checked_add(xsumsq_, delta), policy_, true,
+                             "bump_frequency: Xsumsq");
+  if (old_freq == 0) ++n_;  // a new distinct element joined the distribution
+  touch();
+}
+
+void RunningStats::drop_frequency(Value old_freq) {
+  if (old_freq == 0) {
+    throw UsageError("stat4: drop_frequency() of an absent element");
+  }
+  if (n_ == 0) throw UsageError("stat4: drop_frequency() on empty stats");
+  const Accum f = to_accum(old_freq);
+  // Xsumsq += (f-1)^2 - f^2 = -(2f - 1)
+  const Accum delta = resolve_overflow(
+      checked_sub(checked_mul(Accum{2}, f).value_or(0), Accum{1}), policy_,
+      true, "drop_frequency: 2f-1");
+  xsum_ = resolve_overflow(checked_sub(xsum_, Accum{1}), policy_, false,
+                           "drop_frequency: Xsum");
+  xsumsq_ = resolve_overflow(checked_sub(xsumsq_, delta), policy_, false,
+                             "drop_frequency: Xsumsq");
+  if (old_freq == 1) --n_;  // the element vanished from the distribution
+  touch();
+}
+
+void RunningStats::reset() noexcept {
+  n_ = 0;
+  xsum_ = 0;
+  xsumsq_ = 0;
+  sd_cache_.reset();
+}
+
+Accum RunningStats::variance_nx() const {
+  if (n_ > static_cast<Count>(std::numeric_limits<Accum>::max())) {
+    throw OverflowError("stat4: N exceeds accumulator range");
+  }
+  const Accum n = static_cast<Accum>(n_);
+  const Accum n_xsumsq = resolve_overflow(checked_mul(n, xsumsq_), policy_,
+                                          true, "variance: N*Xsumsq");
+  const Accum xsum_sq = resolve_overflow(checked_mul(xsum_, xsum_), policy_,
+                                         true, "variance: Xsum^2");
+  const Accum var = resolve_overflow(checked_sub(n_xsumsq, xsum_sq), policy_,
+                                     false, "variance: difference");
+  // With exact arithmetic var(NX) >= 0 always; under kSaturate the identity
+  // can go slightly negative — clamp, a negative variance is meaningless.
+  return var < 0 ? 0 : var;
+}
+
+Value RunningStats::stddev_nx() const {
+  if (!sd_cache_.has_value()) {
+    sd_cache_ = approx_sqrt(static_cast<Value>(variance_nx()));
+  }
+  return *sd_cache_;
+}
+
+Value RunningStats::stddev_nx_exact() const {
+  return exact_isqrt(static_cast<Value>(variance_nx()));
+}
+
+OutlierVerdict RunningStats::upper_outlier(Value x, unsigned k_sigma) const {
+  OutlierVerdict v;
+  const Accum n = static_cast<Accum>(n_);
+  v.scaled_value = resolve_overflow(checked_mul(n, to_accum(x)), policy_, true,
+                                    "outlier: N*x");
+  const Accum margin = resolve_overflow(
+      checked_mul(static_cast<Accum>(k_sigma),
+                  static_cast<Accum>(stddev_nx()))
+          ,
+      policy_, true, "outlier: k*sd");
+  v.threshold = resolve_overflow(checked_add(xsum_, margin), policy_, true,
+                                 "outlier: Xsum + k*sd");
+  v.is_outlier = n_ > 0 && v.scaled_value > v.threshold;
+  return v;
+}
+
+OutlierVerdict RunningStats::lower_outlier(Value x, unsigned k_sigma) const {
+  OutlierVerdict v;
+  const Accum n = static_cast<Accum>(n_);
+  v.scaled_value = resolve_overflow(checked_mul(n, to_accum(x)), policy_, true,
+                                    "outlier: N*x");
+  const Accum margin = resolve_overflow(
+      checked_mul(static_cast<Accum>(k_sigma),
+                  static_cast<Accum>(stddev_nx())),
+      policy_, true, "outlier: k*sd");
+  v.threshold = resolve_overflow(checked_sub(xsum_, margin), policy_, false,
+                                 "outlier: Xsum - k*sd");
+  v.is_outlier = n_ > 0 && v.scaled_value < v.threshold;
+  return v;
+}
+
+int RunningStats::compare_mean_to(Value target) const {
+  const Accum n = static_cast<Accum>(n_);
+  const Accum scaled_target = resolve_overflow(
+      checked_mul(n, to_accum(target)), policy_, true, "compare: N*T");
+  if (xsum_ < scaled_target) return -1;
+  if (xsum_ > scaled_target) return 1;
+  return 0;
+}
+
+}  // namespace stat4

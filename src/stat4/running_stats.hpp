@@ -1,0 +1,118 @@
+// Online mean / variance / standard deviation of an N-scaled distribution.
+//
+// This is the heart of Section 2 of the paper.  For a distribution
+// X = {x1, ..., xN} the switch tracks NX = {N*x1, ..., N*xN} implicitly by
+// maintaining only three registers:
+//
+//     N        number of values
+//     Xsum     sum of the xi            ==  mean(NX)
+//     Xsumsq   sum of the xi^2
+//
+// from which   var(NX)  = N*Xsumsq - Xsum^2
+// and          sd(NX)   = approx_sqrt(var(NX))        (Figure 2 algorithm)
+//
+// No division anywhere.  Anomaly checks compare *relative* quantities in NX
+// units: "is the rate x an outlier?" becomes "is N*x > Xsum + 2*sd(NX)?".
+//
+// The standard deviation is computed lazily (Section 3): updates only touch
+// the three integer registers; the sqrt — whose MSB search is the expensive
+// part on a switch — runs at read time and is cached until the next update.
+#pragma once
+
+#include <optional>
+
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+/// Result of an outlier test, carrying the values that were compared so that
+/// callers (and alert messages) can report the margin.
+struct OutlierVerdict {
+  bool is_outlier = false;
+  Accum scaled_value = 0;  ///< N * x, the tested value in NX units
+  Accum threshold = 0;     ///< Xsum +/- k*sd(NX)
+};
+
+/// Online tracker of N, Xsum, Xsumsq and derived N-scaled measures.
+///
+/// Supports the two update disciplines of the paper:
+///  * value distributions   — add(x) appends a new value of interest;
+///  * windowed distributions — replace(old, new) evicts the oldest counter
+///    (the circular-buffer override of the case study) keeping N constant;
+///  * frequency distributions — bump_frequency(old_freq) applies the
+///    incremental rule Xsum += 1, Xsumsq += 2*old_freq + 1 when one element's
+///    frequency rises by one (FreqDist drives this and manages N).
+class RunningStats {
+ public:
+  explicit RunningStats(OverflowPolicy policy = OverflowPolicy::kThrow)
+      : policy_(policy) {}
+
+  /// Append a new value of interest x:  N += 1, Xsum += x, Xsumsq += x^2.
+  void add(Value x);
+
+  /// Remove a previously added value (N -= 1).  Throws UsageError if the
+  /// tracker is empty.  The caller is responsible for only removing values
+  /// that were added; the identity accumulators cannot verify membership.
+  void remove(Value x);
+
+  /// Evict `old_value` and add `new_value` keeping N fixed — one step of the
+  /// case study's circular-buffer rollover.
+  void replace(Value old_value, Value new_value);
+
+  /// Frequency-distribution increment: one element's frequency rises from
+  /// `old_freq` to `old_freq + 1`.  Applies Xsum += 1, Xsumsq += 2*old_freq+1
+  /// and, iff old_freq == 0, N += 1 (a new distinct element appeared) —
+  /// exactly the update rule derived in Section 2.
+  void bump_frequency(Value old_freq);
+
+  /// Inverse of bump_frequency (frequency falls from old_freq to old_freq-1;
+  /// iff old_freq == 1 the element disappears and N -= 1).  Not used by the
+  /// paper's switch programs but required for windowed frequency tracking.
+  void drop_frequency(Value old_freq);
+
+  void reset() noexcept;
+
+  [[nodiscard]] Count n() const noexcept { return n_; }
+  [[nodiscard]] Accum xsum() const noexcept { return xsum_; }
+  [[nodiscard]] Accum xsumsq() const noexcept { return xsumsq_; }
+
+  /// Mean of NX — by construction exactly Xsum.
+  [[nodiscard]] Accum mean_nx() const noexcept { return xsum_; }
+
+  /// var(NX) = N*Xsumsq - Xsum^2.  Eagerly recomputable, O(1).
+  [[nodiscard]] Accum variance_nx() const;
+
+  /// sd(NX) via the paper's approximate square root, cached lazily.
+  [[nodiscard]] Value stddev_nx() const;
+
+  /// sd(NX) via exact integer sqrt — baseline for accuracy comparisons.
+  [[nodiscard]] Value stddev_nx_exact() const;
+
+  /// Is x an upper outlier:  N*x > Xsum + k_sigma * sd(NX)?
+  [[nodiscard]] OutlierVerdict upper_outlier(Value x,
+                                             unsigned k_sigma = 2) const;
+
+  /// Is x a lower outlier:  N*x < Xsum - k_sigma * sd(NX)?
+  [[nodiscard]] OutlierVerdict lower_outlier(Value x,
+                                             unsigned k_sigma = 2) const;
+
+  /// Division-free mean-vs-target check:  mean(X) compared to T becomes
+  /// Xsum <=> N*T in NX units.  Returns negative / zero / positive like a
+  /// three-way comparison of mean(X) against target.
+  [[nodiscard]] int compare_mean_to(Value target) const;
+
+  [[nodiscard]] OverflowPolicy overflow_policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  void touch() noexcept { sd_cache_.reset(); }
+
+  OverflowPolicy policy_;
+  Count n_ = 0;
+  Accum xsum_ = 0;
+  Accum xsumsq_ = 0;
+  mutable std::optional<Value> sd_cache_;  ///< lazy sd(NX) (Section 3)
+};
+
+}  // namespace stat4

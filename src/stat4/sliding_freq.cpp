@@ -1,0 +1,32 @@
+#include "stat4/sliding_freq.hpp"
+
+namespace stat4 {
+
+SlidingFreqDist::SlidingFreqDist(std::size_t domain_size, std::size_t window,
+                                 OverflowPolicy policy)
+    : dist_(domain_size, policy), ring_(window, 0) {
+  if (window == 0) {
+    throw UsageError("stat4: sliding window must be non-empty");
+  }
+}
+
+void SlidingFreqDist::observe(Value v) {
+  if (filled_) {
+    // Retract first so that a window-sized burst of one value cannot
+    // momentarily exceed the window in the counters.
+    dist_.unobserve(ring_[head_]);
+  }
+  dist_.observe(v);
+  ring_[head_] = v;
+  head_ = (head_ + 1) % ring_.size();
+  if (head_ == 0 && !filled_) filled_ = true;
+}
+
+void SlidingFreqDist::reset() noexcept {
+  dist_.reset();
+  for (auto& r : ring_) r = 0;
+  head_ = 0;
+  filled_ = false;
+}
+
+}  // namespace stat4

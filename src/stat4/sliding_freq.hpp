@@ -1,0 +1,68 @@
+// Sliding-window frequency distributions.
+//
+// The plain FreqDist accumulates forever, which suits short-lived bindings
+// (the drill-down installs, inspects, re-targets).  Long-standing checks —
+// "traffic rate across IPs" as a permanent load-balancing monitor — need
+// the distribution to reflect only the recent past, or yesterday's totals
+// drown today's imbalance.  SlidingFreqDist keeps the last `window`
+// observations in a ring and retracts the oldest one per insertion, keeping
+// every statistic (and any attached percentile trackers) exact over exactly
+// that window.
+//
+// A switch implements the ring as one more register array indexed by a
+// wrapping head pointer; each packet costs one extra register read/write
+// plus the decrement path the library already exposes via
+// FreqDist::unobserve — the same machinery as the case study's interval
+// ring, applied to values instead of time slots.
+#pragma once
+
+#include <vector>
+
+#include "stat4/freq_dist.hpp"
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+class SlidingFreqDist {
+ public:
+  SlidingFreqDist(std::size_t domain_size, std::size_t window,
+                  OverflowPolicy policy = OverflowPolicy::kThrow);
+
+  /// Observe `v`; once the window is full, the oldest observation is
+  /// retracted in the same step.
+  void observe(Value v);
+
+  [[nodiscard]] Count frequency(Value v) const { return dist_.frequency(v); }
+  [[nodiscard]] const RunningStats& stats() const noexcept {
+    return dist_.stats();
+  }
+  [[nodiscard]] Count total() const noexcept { return dist_.total(); }
+  [[nodiscard]] Count distinct() const noexcept { return dist_.distinct(); }
+  [[nodiscard]] std::size_t window() const noexcept { return ring_.size(); }
+  [[nodiscard]] bool primed() const noexcept { return filled_; }
+  [[nodiscard]] std::size_t domain_size() const noexcept {
+    return dist_.domain_size();
+  }
+
+  std::size_t attach_percentile(Percentile p) {
+    return dist_.attach_percentile(p);
+  }
+  [[nodiscard]] const PercentileTracker& percentile(std::size_t idx) const {
+    return dist_.percentile(idx);
+  }
+
+  [[nodiscard]] OutlierVerdict frequency_outlier(Value v,
+                                                 unsigned k_sigma = 2) const {
+    return dist_.frequency_outlier(v, k_sigma);
+  }
+
+  void reset() noexcept;
+
+ private:
+  FreqDist dist_;
+  std::vector<Value> ring_;
+  std::size_t head_ = 0;
+  bool filled_ = false;
+};
+
+}  // namespace stat4

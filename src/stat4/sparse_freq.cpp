@@ -1,0 +1,102 @@
+#include "stat4/sparse_freq.hpp"
+
+#include <bit>
+
+namespace stat4 {
+
+std::uint64_t sparse_hash1(std::uint64_t key) noexcept {
+  // SplitMix64 finalizer.
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t sparse_hash2(std::uint64_t key) noexcept {
+  // A second independent mix (Murmur3 finalizer constants).
+  std::uint64_t z = key ^ 0xC2B2AE3D27D4EB4Full;
+  z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCDull;
+  z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53ull;
+  return z ^ (z >> 33);
+}
+
+SparseFreqDist::SparseFreqDist(std::size_t capacity, unsigned probes,
+                               OverflowPolicy policy)
+    : probes_(probes), stats_(policy) {
+  if (capacity == 0 || !std::has_single_bit(capacity)) {
+    throw UsageError("stat4: sparse capacity must be a power of two");
+  }
+  if (probes == 0 || probes > 8) {
+    throw UsageError("stat4: sparse probes must be in [1, 8]");
+  }
+  slots_.assign(capacity, Slot{});
+}
+
+std::size_t SparseFreqDist::probe_index(Value key, unsigned i) const noexcept {
+  const std::uint64_t mask = slots_.size() - 1;
+  // Double hashing with an odd step so every probe lands differently even
+  // when h2 collides on the mask.
+  const std::uint64_t h1 = sparse_hash1(key);
+  const std::uint64_t h2 = sparse_hash2(key) | 1;
+  return static_cast<std::size_t>((h1 + i * h2) & mask);
+}
+
+void SparseFreqDist::observe(Value key) {
+  // Pass 1: existing entry?
+  for (unsigned i = 0; i < probes_; ++i) {
+    Slot& s = slots_[probe_index(key, i)];
+    if (s.key_plus_one == key + 1) {
+      stats_.bump_frequency(s.count);
+      ++s.count;
+      ++total_;
+      return;
+    }
+  }
+  // Pass 2: free slot?
+  for (unsigned i = 0; i < probes_; ++i) {
+    Slot& s = slots_[probe_index(key, i)];
+    if (s.key_plus_one == 0) {
+      s.key_plus_one = key + 1;
+      stats_.bump_frequency(0);
+      s.count = 1;
+      ++total_;
+      return;
+    }
+  }
+  // All probe positions taken by other keys: counted but not tracked.
+  ++overflow_;
+}
+
+Count SparseFreqDist::frequency(Value key) const {
+  for (unsigned i = 0; i < probes_; ++i) {
+    const Slot& s = slots_[probe_index(key, i)];
+    if (s.key_plus_one == key + 1) return s.count;
+  }
+  return 0;
+}
+
+OutlierVerdict SparseFreqDist::frequency_outlier(Value key,
+                                                 unsigned k_sigma) const {
+  OutlierVerdict verdict = stats_.upper_outlier(frequency(key), k_sigma);
+  verdict.threshold += static_cast<Accum>(stats_.n());  // quantization slack
+  verdict.is_outlier =
+      stats_.n() > 0 && verdict.scaled_value > verdict.threshold;
+  return verdict;
+}
+
+void SparseFreqDist::reset() noexcept {
+  for (auto& s : slots_) s = Slot{};
+  stats_.reset();
+  total_ = 0;
+  overflow_ = 0;
+}
+
+std::vector<std::pair<Value, Count>> SparseFreqDist::entries() const {
+  std::vector<std::pair<Value, Count>> out;
+  for (const auto& s : slots_) {
+    if (s.key_plus_one != 0) out.emplace_back(s.key_plus_one - 1, s.count);
+  }
+  return out;
+}
+
+}  // namespace stat4

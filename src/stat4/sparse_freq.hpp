@@ -1,0 +1,101 @@
+// Sparse frequency distributions: bounded memory for huge value domains.
+//
+// Section 5 ("future improvements"): "Stat4 currently allocates switch
+// resources for every possible value in the tracked distributions, even if
+// some values are never observed.  We will explore techniques to avoid
+// reserving memory for non-observed values (e.g., using hash-tables
+// similarly to [23]) which would be especially beneficial for sparse
+// distributions."
+//
+// SparseFreqDist implements that technique in a switch-realistic way: a
+// fixed-capacity open-addressed hash table (power-of-two slots, K probe
+// positions derived from two hash mixes — exactly what a P4 pipeline can do
+// with hash externs and K unrolled register accesses).  When every probed
+// slot is taken by other keys, the observation lands in an `overflow`
+// counter instead of silently corrupting a neighbour: the statistics then
+// knowingly undercount, and overflow() quantifies by how much.
+//
+// The same hash/probing scheme is mirrored by the stat4p4 sparse program,
+// so library and switch stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stat4/running_stats.hpp"
+#include "stat4/types.hpp"
+
+namespace stat4 {
+
+/// The hash mixes shared between the C++ and P4 implementations.  These are
+/// SplitMix64-style finalizers — stand-ins for the CRC hash externs a real
+/// target provides.
+[[nodiscard]] std::uint64_t sparse_hash1(std::uint64_t key) noexcept;
+[[nodiscard]] std::uint64_t sparse_hash2(std::uint64_t key) noexcept;
+
+class SparseFreqDist {
+ public:
+  /// `capacity` must be a power of two (hash masking, no modulo — P4 has
+  /// neither division nor modulo).  `probes` is the number of alternative
+  /// slots tried per key (unrolled in the data plane; 2 by default).
+  explicit SparseFreqDist(std::size_t capacity, unsigned probes = 2,
+                          OverflowPolicy policy = OverflowPolicy::kThrow);
+
+  /// Observe one occurrence of `key` (any 64-bit value — a flow id, a full
+  /// IP, a 64-bit header field: the domains Section 2 said were impractical
+  /// to track densely).
+  void observe(Value key);
+
+  /// Frequency of `key`, 0 if never observed or evicted to overflow.
+  [[nodiscard]] Count frequency(Value key) const;
+
+  /// Statistics over the *tracked* frequencies (see overflow() for the
+  /// mass that did not fit).
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+
+  /// Observations that found no slot (their keys are not tracked).
+  [[nodiscard]] Count overflow() const noexcept { return overflow_; }
+
+  /// Distinct keys currently tracked.
+  [[nodiscard]] Count distinct() const noexcept { return stats_.n(); }
+
+  /// Total tracked observations ( == stats().xsum() ).
+  [[nodiscard]] Count total() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] unsigned probes() const noexcept { return probes_; }
+
+  /// Is `key`'s frequency an upper outlier among tracked frequencies
+  /// (same check as FreqDist::frequency_outlier)?
+  [[nodiscard]] OutlierVerdict frequency_outlier(Value key,
+                                                 unsigned k_sigma = 2) const;
+
+  /// Memory the equivalent dense FreqDist would need for this key domain,
+  /// for the memory-saving comparison of bench_sparse.
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+
+  void reset() noexcept;
+
+  /// Tracked (key, frequency) pairs — what the controller reads when it
+  /// drills into an alert.
+  [[nodiscard]] std::vector<std::pair<Value, Count>> entries() const;
+
+ private:
+  struct Slot {
+    Value key_plus_one = 0;  ///< 0 = empty (keys stored as key + 1)
+    Count count = 0;
+  };
+
+  /// Probe sequence for `key`: slot indices, length == probes_.
+  [[nodiscard]] std::size_t probe_index(Value key, unsigned i) const noexcept;
+
+  std::vector<Slot> slots_;
+  unsigned probes_;
+  RunningStats stats_;
+  Count total_ = 0;
+  Count overflow_ = 0;
+};
+
+}  // namespace stat4

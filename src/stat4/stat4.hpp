@@ -1,0 +1,20 @@
+// Umbrella header for the Stat4 library.
+//
+// Stat4-C++ reproduces the P4 library of "Stats 101 in P4: Towards In-Switch
+// Anomaly Detection" (HotNets '21): online, division-free, loop-free integer
+// statistics over distributions of values extracted from traffic, plus
+// runtime-tunable binding tables and outlier checks built on them.
+#pragma once
+
+#include "stat4/approx_math.hpp"     // IWYU pragma: export
+#include "stat4/binding.hpp"         // IWYU pragma: export
+#include "stat4/checked_arith.hpp"   // IWYU pragma: export
+#include "stat4/engine.hpp"          // IWYU pragma: export
+#include "stat4/entropy.hpp"         // IWYU pragma: export
+#include "stat4/freq_dist.hpp"       // IWYU pragma: export
+#include "stat4/interval_window.hpp" // IWYU pragma: export
+#include "stat4/percentile.hpp"      // IWYU pragma: export
+#include "stat4/running_stats.hpp"   // IWYU pragma: export
+#include "stat4/sliding_freq.hpp"    // IWYU pragma: export
+#include "stat4/sparse_freq.hpp"     // IWYU pragma: export
+#include "stat4/types.hpp"           // IWYU pragma: export

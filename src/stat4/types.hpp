@@ -1,0 +1,61 @@
+// Common vocabulary types for the Stat4 library.
+//
+// Stat4 mirrors the P4 library described in "Stats 101 in P4: Towards
+// In-Switch Anomaly Detection" (HotNets '21).  Everything in the public API
+// is integer-valued: the paper's central idea is to redefine statistical
+// measures over the N-scaled distribution NX = {N*x1, ..., N*xN} so that no
+// division, square root, or floating point is ever required on the data path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace stat4 {
+
+/// Raw value of interest extracted from traffic (a counter sample, a rate,
+/// a header-field value, ...).  Values are non-negative by construction in
+/// every use case of the paper (Table 1); the library stores them unsigned.
+using Value = std::uint64_t;
+
+/// Accumulator type for sums and sums of squares.  Signed so that the
+/// variance identity  var(NX) = N*Xsumsq - Xsum^2  can be evaluated without
+/// wrapping surprises; overflow is detected explicitly (see OverflowPolicy).
+using Accum = std::int64_t;
+
+/// Count of values in a distribution (the paper's N).
+using Count = std::uint64_t;
+
+/// Simulation / wall time in integer nanoseconds.  Kept integral so that the
+/// whole system (library, switch substrate, network simulator) is
+/// deterministic and replayable.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+/// How arithmetic overflow in the accumulators is handled.
+///
+/// A P4 target would silently wrap; that is never what an anomaly detector
+/// wants, so the library makes the policy explicit.
+enum class OverflowPolicy {
+  kThrow,     ///< throw stat4::OverflowError (default; loudest)
+  kSaturate,  ///< clamp the accumulator at its numeric limit
+};
+
+/// Thrown when an accumulator update would overflow under
+/// OverflowPolicy::kThrow.
+class OverflowError : public std::overflow_error {
+ public:
+  explicit OverflowError(const std::string& what) : std::overflow_error(what) {}
+};
+
+/// Thrown on API misuse (out-of-range value, bad configuration, ...).
+class UsageError : public std::invalid_argument {
+ public:
+  explicit UsageError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+}  // namespace stat4

@@ -1,0 +1,167 @@
+// Assembled Stat4 switch applications.
+//
+// EchoApp   — the Figure 5 validation program: a switch that tracks the
+//             frequency distribution of payload integers and echoes every
+//             frame back annotated with N, Xsum, Xsumsq, var and sd.
+// MonitorApp — the Section 4 case-study program: IPv4 forwarding, a
+//             rate-over-time binding table, and a generic frequency binding
+//             table; the controller populates/modifies entries at runtime to
+//             drill down into anomalies.  Also covers the SYN-flood use case
+//             of Table 1 through ternary flag matching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "p4sim/p4sim.hpp"
+#include "stat4p4/layout.hpp"
+#include "stat4p4/programs.hpp"
+
+namespace stat4p4 {
+
+class EchoApp {
+ public:
+  explicit EchoApp(Stat4Config cfg = {1, 512, 2},
+                   p4sim::AluProfile profile = p4sim::AluProfile::bmv2());
+
+  [[nodiscard]] p4sim::P4Switch& sw() noexcept { return sw_; }
+  [[nodiscard]] const Stat4Registers& regs() const noexcept { return regs_; }
+  [[nodiscard]] const Stat4Config& config() const noexcept { return cfg_; }
+
+ private:
+  Stat4Config cfg_;
+  p4sim::P4Switch sw_;
+  Stat4Registers regs_;
+};
+
+/// A frequency-binding entry the controller can install in a MonitorApp —
+/// one row of the paper's binding tables (Figure 4).
+struct FreqBindingSpec {
+  // Match side.
+  std::uint32_t dst_prefix = 0;
+  std::uint8_t dst_prefix_len = 0;       ///< 0 = any destination
+  std::optional<std::uint8_t> protocol;  ///< exact protocol, if set
+  std::uint8_t flag_mask = 0;            ///< TCP-flag ternary match
+  std::uint8_t flag_value = 0;
+  std::int32_t priority = 0;
+  // Update side (action data).
+  std::uint32_t dist = 1;
+  std::uint8_t shift = 0;
+  std::uint64_t mask = 0xFF;
+  std::uint64_t offset = 0;
+  bool check = true;
+  std::uint64_t min_total = 64;
+  bool median = false;
+  unsigned percentile = 50;
+};
+
+class MonitorApp {
+ public:
+  explicit MonitorApp(Stat4Config cfg = {4, 256, 2},
+                      p4sim::AluProfile profile = p4sim::AluProfile::bmv2());
+
+  // ---- controller operations (the runtime API) ---------------------------
+  /// Forward `prefix/len` out of `port`.
+  p4sim::EntryHandle install_forward(std::uint32_t prefix, std::uint8_t len,
+                                     p4sim::PortId port);
+
+  /// Track packets-per-interval for `prefix/len` in distribution `dist`
+  /// using `window_size` intervals of `interval_ns` each; the spike check
+  /// arms after `min_history` completed intervals.
+  p4sim::EntryHandle install_rate_monitor(std::uint32_t prefix,
+                                          std::uint8_t len, std::uint32_t dist,
+                                          std::uint64_t interval_ns,
+                                          std::uint64_t window_size,
+                                          std::uint64_t min_history = 8,
+                                          bool stall_check = false);
+
+  /// Install a frequency binding; returns a handle usable with
+  /// modify_freq_binding (the drill-down's re-targeting step).
+  p4sim::EntryHandle install_freq_binding(const FreqBindingSpec& spec);
+
+  /// Entropy binding (Ding et al. [7] extension): tracks T and
+  /// S = sum f*log2(f) for the extracted value's frequency distribution and
+  /// alerts when the entropy crosses `entropy_theta_fp`
+  /// (kLog2FracBits fixed point) — downward concentration when
+  /// `entropy_above` is false (DDoS), upward dispersion when true (scans).
+  p4sim::EntryHandle install_entropy_binding(const FreqBindingSpec& spec,
+                                             std::uint64_t entropy_theta_fp,
+                                             bool entropy_above = false);
+
+  /// Value-sample binding: each matching packet contributes one value of
+  /// interest (e.g. its length) to distribution `dist` (Section 2's
+  /// non-frequency discipline).  spec.check enables the per-value outlier
+  /// digest; spec.median is not supported for value samples.
+  p4sim::EntryHandle install_value_binding(const FreqBindingSpec& spec);
+
+  /// In-switch rerouting: while `spec.dist`'s alert latch is set, matching
+  /// packets are steered to `alt_port` instead of the forwarding decision —
+  /// moving a surge onto a backup path before the primary congests
+  /// (Section 5).  rearm(dist) restores normal forwarding.
+  p4sim::EntryHandle install_reroute(const FreqBindingSpec& spec,
+                                     p4sim::PortId alt_port);
+
+  /// In-switch mitigation: once `spec.dist`'s alert latches, drop packets
+  /// whose extracted value equals the captured hot value — the paper's
+  /// "locally react to anomalies" with zero controller involvement.
+  /// rearm(dist) lifts the block.
+  p4sim::EntryHandle install_mitigation(const FreqBindingSpec& spec);
+
+  /// Like install_freq_binding but using the sparse (hash-table) tracker —
+  /// for value domains too large to allocate densely (e.g. whole /32
+  /// addresses).  The percentile option is not supported (hash tables have
+  /// no value ordering); spec.median must be false.
+  p4sim::EntryHandle install_sparse_binding(const FreqBindingSpec& spec);
+  void modify_freq_binding(p4sim::EntryHandle handle,
+                           const FreqBindingSpec& spec);
+  void remove_binding(p4sim::EntryHandle handle);
+
+  /// Clear the alert latch of a distribution (controller acknowledgment).
+  void rearm(std::uint32_t dist);
+
+  /// Zero all state of a distribution — used when a binding is re-targeted
+  /// so stale counters don't pollute the new distribution.
+  void reset_distribution(std::uint32_t dist);
+
+  // ---- accessors -----------------------------------------------------------
+  [[nodiscard]] p4sim::P4Switch& sw() noexcept { return sw_; }
+  [[nodiscard]] const p4sim::P4Switch& sw() const noexcept { return sw_; }
+  [[nodiscard]] const Stat4Registers& regs() const noexcept { return regs_; }
+  [[nodiscard]] const Stat4Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] p4sim::TableId forward_table() const noexcept {
+    return forward_table_;
+  }
+  [[nodiscard]] p4sim::TableId rate_table() const noexcept {
+    return rate_table_;
+  }
+  [[nodiscard]] p4sim::TableId binding_table() const noexcept {
+    return binding_table_;
+  }
+  [[nodiscard]] p4sim::TableId mitigation_table() const noexcept {
+    return mitigation_table_;
+  }
+
+ private:
+  [[nodiscard]] p4sim::TableEntry make_freq_entry(
+      const FreqBindingSpec& spec) const;
+
+  Stat4Config cfg_;
+  p4sim::P4Switch sw_;
+  Stat4Registers regs_;
+  p4sim::TableId forward_table_ = 0;
+  p4sim::TableId rate_table_ = 0;
+  p4sim::TableId binding_table_ = 0;
+  p4sim::TableId mitigation_table_ = 0;
+  p4sim::ActionId forward_action_ = 0;
+  p4sim::ActionId drop_action_ = 0;
+  p4sim::ActionId noop_action_ = 0;
+  p4sim::ActionId window_action_ = 0;
+  p4sim::ActionId track_freq_action_ = 0;
+  p4sim::ActionId track_sparse_action_ = 0;
+  p4sim::ActionId track_value_action_ = 0;
+  p4sim::ActionId track_entropy_action_ = 0;
+  p4sim::ActionId mitigate_action_ = 0;
+  p4sim::ActionId reroute_action_ = 0;
+};
+
+}  // namespace stat4p4

@@ -1,0 +1,31 @@
+#include "stat4p4/layout.hpp"
+
+namespace stat4p4 {
+
+Stat4Registers declare_registers(p4sim::P4Switch& sw, const Stat4Config& cfg) {
+  Stat4Registers r;
+  const std::uint32_t cells = cfg.counter_num * cfg.counter_size;
+  const std::uint32_t dists = cfg.counter_num;
+  r.counters = sw.declare_register("stat_counters", cells);
+  r.n = sw.declare_register("stat_n", dists);
+  r.xsum = sw.declare_register("stat_xsum", dists);
+  r.xsumsq = sw.declare_register("stat_xsumsq", dists);
+  r.var = sw.declare_register("stat_var", dists);
+  r.med_pos = sw.declare_register("stat_med_pos", dists);
+  r.med_low = sw.declare_register("stat_med_low", dists);
+  r.med_high = sw.declare_register("stat_med_high", dists);
+  r.med_init = sw.declare_register("stat_med_init", dists);
+  r.win_anchored = sw.declare_register("stat_win_anchored", dists);
+  r.win_start = sw.declare_register("stat_win_start", dists);
+  r.win_head = sw.declare_register("stat_win_head", dists);
+  r.win_count = sw.declare_register("stat_win_count", dists);
+  r.cur_count = sw.declare_register("stat_cur_count", dists);
+  r.alerted = sw.declare_register("stat_alerted", dists);
+  r.hot_value = sw.declare_register("stat_hot_value", dists);
+  r.sparse_keys = sw.declare_register("stat_sparse_keys", cells);
+  r.sparse_counts = sw.declare_register("stat_sparse_counts", cells);
+  r.sparse_overflow = sw.declare_register("stat_sparse_overflow", dists);
+  return r;
+}
+
+}  // namespace stat4p4

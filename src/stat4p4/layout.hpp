@@ -1,0 +1,106 @@
+// Register layout of the Stat4 P4 library (Figure 4).
+//
+// Stat4 "uses switches' registers to store the distributions and their
+// statistical measures"; the maximum number of simultaneously tracked
+// distributions is STAT_COUNTER_NUM and the number of values per
+// distribution STAT_COUNTER_SIZE (compile-time macros in the paper —
+// configuration constants here, fixed at switch build time exactly like a
+// recompile would fix them).
+#pragma once
+
+#include <cstdint>
+
+#include "p4sim/register_file.hpp"
+#include "p4sim/switch.hpp"
+
+namespace stat4p4 {
+
+struct Stat4Config {
+  std::uint32_t counter_num = 4;    ///< STAT_COUNTER_NUM
+  std::uint32_t counter_size = 512; ///< STAT_COUNTER_SIZE
+  unsigned k_sigma = 2;             ///< outlier threshold multiplier
+  /// Separate multiplier for the rate-over-time (window) check; 0 = use
+  /// k_sigma.  The two checks have different statistics: a window holds up
+  /// to counter_size samples so large k is meaningful, while a frequency
+  /// check over N categories can never exceed z = sqrt(N-1) — with six /24s
+  /// a point mass tops out at 2.24 sigma, so k above 2 would be blind.
+  unsigned k_sigma_rate = 0;
+
+  [[nodiscard]] unsigned rate_k() const noexcept {
+    return k_sigma_rate != 0 ? k_sigma_rate : k_sigma;
+  }
+};
+
+/// Ids of every register array the library declares.  All statistical state
+/// lives here; the controller can read any of it at runtime ("the controller
+/// has access to all the values of distributions tracked by switches").
+struct Stat4Registers {
+  // Distribution storage: counters[d * counter_size + i].
+  p4sim::RegisterId counters = 0;
+  // Per-distribution statistical measures (indexed by distribution id).
+  p4sim::RegisterId n = 0;
+  p4sim::RegisterId xsum = 0;
+  p4sim::RegisterId xsumsq = 0;
+  p4sim::RegisterId var = 0;
+  // Percentile-tracker state (median by default), per distribution.
+  p4sim::RegisterId med_pos = 0;
+  p4sim::RegisterId med_low = 0;
+  p4sim::RegisterId med_high = 0;
+  p4sim::RegisterId med_init = 0;
+  // Interval-window state (rate-over-time distributions), per distribution.
+  p4sim::RegisterId win_anchored = 0;  ///< 1 once the interval grid is set
+  p4sim::RegisterId win_start = 0;
+  p4sim::RegisterId win_head = 0;
+  p4sim::RegisterId win_count = 0;
+  p4sim::RegisterId cur_count = 0;
+  // Alert latches (one per distribution), re-armed by the controller.
+  p4sim::RegisterId alerted = 0;
+  // The offending value captured when an alert latches (hot /24, victim
+  // host, ...).  Local mitigation matches against it in the data plane —
+  // the paper's "locally react to anomalies (e.g., rate limiting some
+  // flows)" without any controller round trip.
+  p4sim::RegisterId hot_value = 0;
+  // Sparse (hash-table) tracking: per-slot keys (stored as key+1, 0 = empty)
+  // and counts, plus a per-distribution overflow counter for observations
+  // whose probe positions were all taken (Section 5 future work).
+  p4sim::RegisterId sparse_keys = 0;
+  p4sim::RegisterId sparse_counts = 0;
+  p4sim::RegisterId sparse_overflow = 0;
+};
+
+/// Declares the full Stat4 register layout on a switch.
+[[nodiscard]] Stat4Registers declare_registers(p4sim::P4Switch& sw,
+                                               const Stat4Config& cfg);
+
+// Digest ids the Stat4 programs emit (the alert vocabulary of Figure 1c).
+inline constexpr std::uint32_t kDigestRateSpike = 1;
+inline constexpr std::uint32_t kDigestImbalance = 2;
+inline constexpr std::uint32_t kDigestRateStall = 3;  ///< lower outlier
+inline constexpr std::uint32_t kDigestValueOutlier = 4;
+inline constexpr std::uint32_t kDigestEntropyLow = 5;   ///< concentration
+inline constexpr std::uint32_t kDigestEntropyHigh = 6;  ///< dispersion/scan
+
+// Action-data layout for the track_* actions (see programs.hpp).
+enum ActionData : std::size_t {
+  kAdDist = 0,       ///< distribution id (0 .. counter_num-1)
+  kAdShift = 1,      ///< value extractor: v = ((field + off) >> shift) & mask
+  kAdMask = 2,
+  kAdBase = 3,       ///< dist * counter_size, precomputed by the controller
+  kAdCheck = 4,      ///< 1 = run the imbalance outlier check
+  kAdMinTotal = 5,   ///< minimum total observations before checking
+  kAdOffset = 6,     ///< extractor offset (e.g. +255 for signed payloads)
+  kAdMedian = 7,     ///< 1 = maintain the percentile tracker
+  kAdTheta = 7,      ///< entropy action: threshold, kLog2FracBits fixed point
+  kAdEntropyMode = 8,///< entropy action: 0 = alert on H<theta, 1 = on H>theta
+  kAdAltPort = 1,    ///< reroute action: alternate egress port (stored +1)
+  kAdWeightLow = 8,  ///< percentile weight P   (50 for the median)
+  kAdWeightHigh = 9, ///< percentile weight 100-P
+  kAdIntervalLen = 1,   ///< window action: interval length (ns)
+  kAdMinHistory = 2,    ///< window action: completed intervals before arming
+  kAdWindowBase = 3,    ///< window action: dist * counter_size
+  kAdWindowSize = 4,    ///< window action: ring size (<= counter_size)
+  kAdStallCheck = 5,    ///< window action: 1 = also check lower outliers
+  kAdWordCount = 10,
+};
+
+}  // namespace stat4p4

@@ -1,0 +1,132 @@
+// The Stat4 P4 action programs.
+//
+// Each builder emits one straight-line, loop-free, division-free program —
+// the C++ rendering of the library's P4 action bodies.  Everything Section 2
+// derives is here:
+//
+//  * track_freq     — frequency-distribution update (Xsum += 1,
+//                     Xsumsq += 2f+1, N += [f==0]), variance maintenance,
+//                     optional outlier check with lazily computed sd, and
+//                     the optional one-step-per-packet percentile tracker
+//                     of Figure 3;
+//  * window_tick    — rate-over-time monitoring on a circular buffer of
+//                     interval counters with the mean + 2 sd spike check of
+//                     the case study (the oldest-counter override is the
+//                     paper's longest dependency chain);
+//  * echo           — the Figure 5 validation application: track the payload
+//                     integer's frequency distribution and reflect the frame
+//                     with N, Xsum, Xsumsq, var and sd filled in;
+//  * forward / drop — plain forwarding glue.
+//
+// Programs read their runtime parameters (distribution id, extractor spec,
+// thresholds) from table-entry action data, which is what makes the tracked
+// distributions tunable at runtime without recompiling (Section 3).
+#pragma once
+
+#include "p4sim/action.hpp"
+#include "stat4p4/layout.hpp"
+
+namespace stat4p4 {
+
+/// How runtime products (N * Xsumsq, x^2, ...) are computed.
+enum class MulStrategy : std::uint8_t {
+  kNative,        ///< kMul opcode (bmv2 supports it)
+  kShiftAddExact, ///< exact unrolled shift-and-add ladder (no-mul targets)
+  kApproxMsb,     ///< single-MSB shift approximation (Section 2 / Ding [7]).
+                  ///< Cheap but inexact: the variance identity subtracts two
+                  ///< nearly equal terms, so this strategy produces noisy
+                  ///< sd values and spurious/missed alerts.  Kept for the
+                  ///< ablation benchmark.
+};
+
+/// Options shared by the program builders.
+struct BuildOptions {
+  MulStrategy mul = MulStrategy::kNative;
+
+  static BuildOptions for_profile(const p4sim::AluProfile& profile) {
+    BuildOptions o;
+    o.mul = profile.has_mul ? MulStrategy::kNative
+                            : MulStrategy::kShiftAddExact;
+    return o;
+  }
+};
+
+/// Frequency tracking over `source`, parameterized by action data
+/// (see ActionData in layout.hpp).
+[[nodiscard]] p4sim::Program build_track_freq(const Stat4Registers& regs,
+                                              const Stat4Config& cfg,
+                                              p4sim::FieldRef source,
+                                              const BuildOptions& opt = {});
+
+/// Sparse (hash-table) frequency tracking over `source` for value domains
+/// too large to allocate densely — the Section 5 future-work extension.
+/// Uses two hash-extern probes into keys/counts registers, mirroring
+/// stat4::SparseFreqDist bit for bit.  Requires counter_size to be a power
+/// of two (hash masking; P4 has no modulo).
+[[nodiscard]] p4sim::Program build_track_sparse(const Stat4Registers& regs,
+                                                const Stat4Config& cfg,
+                                                p4sim::FieldRef source,
+                                                const BuildOptions& opt = {});
+
+/// Packets-per-interval tracking with circular-buffer override and the
+/// spike check; counts every packet the entry matches.
+[[nodiscard]] p4sim::Program build_window_tick(const Stat4Registers& regs,
+                                               const Stat4Config& cfg,
+                                               const BuildOptions& opt = {});
+
+/// Value-sample tracking over `source`: each matching packet contributes
+/// one value of interest x_k to the distribution (N += 1, Xsum += x_k,
+/// Xsumsq += x_k^2), the Section 2 non-frequency discipline.  The sample is
+/// also stored in the distribution's counter row (one counter per value, as
+/// the paper specifies) until the row is full.  Optional per-value outlier
+/// check emits kDigestValueOutlier.
+[[nodiscard]] p4sim::Program build_track_value(const Stat4Registers& regs,
+                                               const Stat4Config& cfg,
+                                               p4sim::FieldRef source,
+                                               const BuildOptions& opt = {});
+
+/// Local mitigation — the data-plane half of Figure 1c's "locally react to
+/// anomalies (e.g., rate limiting some flows)": when distribution `d`'s
+/// alert latch is set and the packet's extracted value equals the captured
+/// hot value, the packet is dropped.  Runs entirely in the switch; the
+/// controller re-arms to lift the block.
+[[nodiscard]] p4sim::Program build_mitigate(const Stat4Registers& regs,
+                                            const Stat4Config& cfg,
+                                            p4sim::FieldRef source);
+
+/// Online entropy tracking over `source` (the Ding et al. [7] direction):
+/// maintains T (in the xsum register) and S = sum f*log2(f) (in the xsumsq
+/// register, kLog2FracBits fixed point) and evaluates the division-free
+/// threshold test  H < theta  <=>  S > T*(log2(T) - theta)  (or the dual
+/// H > theta for scan detection, per kAdEntropyMode).  Mirrors
+/// stat4::EntropyEstimator bit for bit.
+[[nodiscard]] p4sim::Program build_track_entropy(const Stat4Registers& regs,
+                                                 const Stat4Config& cfg,
+                                                 p4sim::FieldRef source,
+                                                 const BuildOptions& opt = {});
+
+/// Local rerouting — the other half of "locally react to anomalies": while
+/// distribution `d`'s alert latch is set, matching packets are steered to
+/// the alternate egress port in action_data[kAdAltPort] instead of the
+/// forwarding table's choice.  Used to move a surging aggregate onto a
+/// backup path BEFORE the primary queue overflows (Section 5,
+/// "reroute packets before congestion, when traffic starts to surge").
+[[nodiscard]] p4sim::Program build_reroute(const Stat4Registers& regs,
+                                           const Stat4Config& cfg);
+
+/// The Figure 5 echo application (tracks distribution 0).
+[[nodiscard]] p4sim::Program build_echo(const Stat4Registers& regs,
+                                        const Stat4Config& cfg,
+                                        const BuildOptions& opt = {});
+
+/// Forward to the port in action_data[0] (stored as port + 1).
+[[nodiscard]] p4sim::Program build_forward();
+
+/// Explicit drop (egress_spec = 0).
+[[nodiscard]] p4sim::Program build_drop();
+
+/// True no-op: the default action of the monitoring tables (a miss must not
+/// disturb the forwarding decision made by earlier stages).
+[[nodiscard]] p4sim::Program build_noop();
+
+}  // namespace stat4p4

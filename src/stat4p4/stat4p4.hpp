@@ -1,0 +1,7 @@
+// Umbrella header for stat4p4: the Stat4 library expressed as P4 pipeline
+// programs running on the p4sim substrate.
+#pragma once
+
+#include "stat4p4/apps.hpp"      // IWYU pragma: export
+#include "stat4p4/layout.hpp"    // IWYU pragma: export
+#include "stat4p4/programs.hpp"  // IWYU pragma: export

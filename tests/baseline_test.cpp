@@ -1,0 +1,182 @@
+// Tests for the baseline reference implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "baseline/exact_stats.hpp"
+#include "baseline/sketch_only.hpp"
+#include "baseline/welford.hpp"
+
+namespace baseline {
+namespace {
+
+using stat4::kMillisecond;
+using stat4::kSecond;
+using stat4::TimeNs;
+
+// ------------------------------------------------------------------ Welford
+
+TEST(Welford, MatchesClosedFormOnSmallSet) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+}
+
+TEST(Welford, RemoveInvertsAdd) {
+  Welford w;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    w.add(static_cast<double>(rng() % 1000));
+  }
+  const double mean = w.mean();
+  const double var = w.variance();
+  w.add(123.0);
+  w.remove(123.0);
+  EXPECT_NEAR(w.mean(), mean, 1e-9);
+  EXPECT_NEAR(w.variance(), var, 1e-6);
+}
+
+TEST(Welford, SingleValueHasZeroVariance) {
+  Welford w;
+  w.add(42.0);
+  EXPECT_EQ(w.n(), 1u);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, RemoveLastValueResets) {
+  Welford w;
+  w.add(5.0);
+  w.remove(5.0);
+  EXPECT_EQ(w.n(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+// -------------------------------------------------------------- exact stats
+
+TEST(ExactStats, NxSnapshotSmall) {
+  const auto s = compute_nx_stats({2});
+  // Figure 5's annotation: N=1, Xsum=2, Xsumsq=4, var=0.
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.xsum, 2);
+  EXPECT_EQ(s.xsumsq, 4);
+  EXPECT_EQ(s.variance_nx, 0);
+}
+
+TEST(ExactStats, VarianceNxIsNSquaredTimesVariance) {
+  const auto s = compute_nx_stats({1, 3});
+  // var(X) = 1, N = 2 -> var(NX) = N^2 * var(X) = 4.
+  EXPECT_EQ(s.variance_nx, 4);
+}
+
+TEST(ExactPercentile, RejectsBadPercentile) {
+  EXPECT_THROW((void)exact_percentile({1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW((void)exact_percentile({1, 2}, 100), std::invalid_argument);
+}
+
+TEST(ExactPercentile, EmptyDistributionIsZero) {
+  EXPECT_EQ(exact_percentile({0, 0, 0}, 50), 0u);
+}
+
+TEST(ExactPercentile, MedianOfUniform) {
+  std::vector<std::uint64_t> freqs(10, 5);  // 50 values uniform over 0..9
+  EXPECT_EQ(exact_median(freqs), 4u);  // rank 25 lands in value 4
+}
+
+TEST(ExactPercentile, NinetiethOfUniform) {
+  std::vector<std::uint64_t> freqs(10, 10);  // 100 values
+  EXPECT_EQ(exact_percentile(freqs, 90), 8u);  // rank 90 -> value 8
+}
+
+TEST(ExactPercentile, PointMass) {
+  std::vector<std::uint64_t> freqs(10, 0);
+  freqs[7] = 100;
+  for (unsigned p : {1u, 25u, 50u, 75u, 99u}) {
+    EXPECT_EQ(exact_percentile(freqs, p), 7u) << "p=" << p;
+  }
+}
+
+TEST(SamplePercentile, MatchesNearestRank) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(sample_percentile(sample, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(sample_percentile(sample, 90.0), 90.0);
+  EXPECT_DOUBLE_EQ(sample_percentile(sample, 100.0), 100.0);
+}
+
+TEST(SamplePercentile, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(sample_percentile({}, 50.0), 0.0);
+}
+
+// ------------------------------------------------------------- sketch-only
+
+TEST(SketchOnly, DetectionDelayBoundedByPeriod) {
+  SketchOnlyConfig cfg;
+  cfg.pull_period = 100 * kMillisecond;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs change = static_cast<TimeNs>(rng() % (10 * kSecond));
+    const auto out = sketch_only_detection(cfg, change);
+    // Delay is at least the RTT + service time, at most that plus a period.
+    const TimeNs floor_delay =
+        cfg.link_delay + out.pull_service_time + cfg.link_delay;
+    ASSERT_GE(out.detection_delay, cfg.link_delay);
+    ASSERT_LE(out.detection_delay, floor_delay + cfg.pull_period);
+  }
+}
+
+TEST(SketchOnly, OverheadInverselyProportionalToPeriod) {
+  // Section 1: the detection delay "is inversely proportional to the
+  // generated overhead".
+  SketchOnlyConfig fast;
+  fast.pull_period = 10 * kMillisecond;
+  SketchOnlyConfig slow;
+  slow.pull_period = 1000 * kMillisecond;
+  const auto f = sketch_only_detection(fast, kSecond);
+  const auto s = sketch_only_detection(slow, kSecond);
+  EXPECT_NEAR(f.overhead_bytes_per_second / s.overhead_bytes_per_second,
+              100.0, 1e-6);
+}
+
+TEST(SketchOnly, RegisterReadsCostServiceTime) {
+  SketchOnlyConfig cfg;
+  cfg.registers_per_pull = 5000;
+  cfg.per_register_read = 2 * stat4::kMicrosecond;
+  const auto out = sketch_only_detection(cfg, 0);
+  // "reading thousands of registers takes several milliseconds"
+  EXPECT_EQ(out.pull_service_time, 10 * kMillisecond);
+}
+
+TEST(SketchOnly, InvalidPeriodThrows) {
+  SketchOnlyConfig cfg;
+  cfg.pull_period = 0;
+  EXPECT_THROW((void)sketch_only_detection(cfg, 0), std::invalid_argument);
+}
+
+TEST(InSwitch, DelayBoundedByIntervalPlusLink) {
+  std::mt19937_64 rng(8);
+  const TimeNs interval = 8 * kMillisecond;
+  const TimeNs link = kMillisecond;
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs change = static_cast<TimeNs>(rng() % (10 * kSecond));
+    const TimeNs d = in_switch_detection_delay(interval, link, change);
+    ASSERT_GT(d, link);
+    ASSERT_LE(d, interval + link);
+  }
+}
+
+TEST(InSwitch, BeatsSketchOnlyAtEqualFootprint) {
+  // The architectural claim: with zero standing overhead, in-switch
+  // detection still reacts faster than a 100ms pull loop.
+  SketchOnlyConfig cfg;  // defaults: 100ms pulls, 1ms link
+  const TimeNs change = 12345678;
+  const auto pull = sketch_only_detection(cfg, change);
+  const TimeNs push =
+      in_switch_detection_delay(8 * kMillisecond, cfg.link_delay, change);
+  EXPECT_LT(push, pull.detection_delay);
+}
+
+}  // namespace
+}  // namespace baseline

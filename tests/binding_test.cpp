@@ -1,0 +1,152 @@
+// Tests for binding-table matching and value extraction (Figure 4).
+#include "stat4/binding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stat4 {
+namespace {
+
+/// 10.0.5.6 and friends in host byte order.
+constexpr std::uint32_t ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+TEST(FieldExtractor, ConstOneCountsPackets) {
+  PacketFields pkt;
+  pkt.length = 1500;
+  const FieldExtractor e{Field::kConstOne, 0, ~std::uint64_t{0}};
+  EXPECT_EQ(e.extract(pkt), 1u);
+}
+
+TEST(FieldExtractor, LengthAndPorts) {
+  PacketFields pkt;
+  pkt.length = 1500;
+  pkt.src_port = 1234;
+  pkt.dst_port = 443;
+  EXPECT_EQ((FieldExtractor{Field::kLength, 0, ~0ull}.extract(pkt)), 1500u);
+  EXPECT_EQ((FieldExtractor{Field::kSrcPort, 0, ~0ull}.extract(pkt)), 1234u);
+  EXPECT_EQ((FieldExtractor{Field::kDstPort, 0, ~0ull}.extract(pkt)), 443u);
+}
+
+TEST(FieldExtractor, SubnetIndexInsideSlash8) {
+  // The drill-down binding: third octet of the destination selects the /24.
+  PacketFields pkt;
+  pkt.dst_ip = ip(10, 0, 5, 6);
+  const FieldExtractor e{Field::kDstIp, 8, 0xFF};
+  EXPECT_EQ(e.extract(pkt), 5u);
+}
+
+TEST(FieldExtractor, HostIndexInsideSlash24) {
+  PacketFields pkt;
+  pkt.dst_ip = ip(10, 0, 5, 36);
+  const FieldExtractor e{Field::kDstIp, 0, 0xFF};
+  EXPECT_EQ(e.extract(pkt), 36u);
+}
+
+TEST(FieldExtractor, SynBit) {
+  PacketFields pkt;
+  pkt.tcp_flags = 0x12;  // SYN|ACK
+  const FieldExtractor e{Field::kTcpFlags, 1, 0x1};
+  EXPECT_EQ(e.extract(pkt), 1u);
+  pkt.tcp_flags = 0x10;  // ACK only
+  EXPECT_EQ(e.extract(pkt), 0u);
+}
+
+TEST(FieldExtractor, ShiftBeyondWidthIsSafe) {
+  PacketFields pkt;
+  pkt.dst_ip = 0xFFFFFFFF;
+  const FieldExtractor e{Field::kDstIp, 255, 0xFF};
+  EXPECT_EQ(e.extract(pkt), 0u);  // clamped shift, no UB
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+  const Prefix p{0, 0};
+  EXPECT_TRUE(p.matches(0));
+  EXPECT_TRUE(p.matches(0xFFFFFFFF));
+}
+
+TEST(Prefix, Slash8) {
+  const Prefix p{ip(10, 0, 0, 0), 8};
+  EXPECT_TRUE(p.matches(ip(10, 0, 5, 6)));
+  EXPECT_TRUE(p.matches(ip(10, 255, 255, 255)));
+  EXPECT_FALSE(p.matches(ip(11, 0, 0, 1)));
+}
+
+TEST(Prefix, Slash24) {
+  const Prefix p{ip(10, 0, 5, 0), 24};
+  EXPECT_TRUE(p.matches(ip(10, 0, 5, 6)));
+  EXPECT_FALSE(p.matches(ip(10, 0, 1, 6)));
+}
+
+TEST(Prefix, Slash32ExactMatch) {
+  const Prefix p{ip(10, 0, 5, 6), 32};
+  EXPECT_TRUE(p.matches(ip(10, 0, 5, 6)));
+  EXPECT_FALSE(p.matches(ip(10, 0, 5, 7)));
+}
+
+TEST(Prefix, OverlongLengthClampedTo32) {
+  const Prefix p{ip(10, 0, 5, 6), 64};
+  EXPECT_TRUE(p.matches(ip(10, 0, 5, 6)));
+  EXPECT_FALSE(p.matches(ip(10, 0, 5, 7)));
+}
+
+TEST(MatchSpec, DefaultIsWildcard) {
+  const MatchSpec m;
+  PacketFields pkt;
+  pkt.dst_ip = ip(1, 2, 3, 4);
+  pkt.protocol = 17;
+  EXPECT_TRUE(m.matches(pkt));
+}
+
+TEST(MatchSpec, DstPrefixFilter) {
+  MatchSpec m;
+  m.dst_prefix = Prefix{ip(10, 0, 0, 0), 8};
+  PacketFields pkt;
+  pkt.dst_ip = ip(10, 9, 9, 9);
+  EXPECT_TRUE(m.matches(pkt));
+  pkt.dst_ip = ip(192, 168, 0, 1);
+  EXPECT_FALSE(m.matches(pkt));
+}
+
+TEST(MatchSpec, ProtocolFilter) {
+  MatchSpec m;
+  m.protocol = 6;  // TCP
+  PacketFields pkt;
+  pkt.protocol = 6;
+  EXPECT_TRUE(m.matches(pkt));
+  pkt.protocol = 17;
+  EXPECT_FALSE(m.matches(pkt));
+}
+
+TEST(MatchSpec, SynFloodEntry) {
+  // Figure 4's example row: "SYN == 1 -> reg1 += 1".
+  MatchSpec m;
+  m.protocol = 6;
+  m.flag_mask = 0x02;
+  m.flag_value = 0x02;
+  PacketFields pkt;
+  pkt.protocol = 6;
+  pkt.tcp_flags = 0x02;
+  EXPECT_TRUE(m.matches(pkt));
+  pkt.tcp_flags = 0x12;  // SYN|ACK still carries SYN
+  EXPECT_TRUE(m.matches(pkt));
+  pkt.tcp_flags = 0x10;  // pure ACK
+  EXPECT_FALSE(m.matches(pkt));
+}
+
+TEST(MatchSpec, CombinedFilters) {
+  MatchSpec m;
+  m.dst_prefix = Prefix{ip(10, 0, 5, 0), 24};
+  m.src_prefix = Prefix{ip(172, 16, 0, 0), 12};
+  m.protocol = 6;
+  PacketFields pkt;
+  pkt.dst_ip = ip(10, 0, 5, 1);
+  pkt.src_ip = ip(172, 17, 3, 4);
+  pkt.protocol = 6;
+  EXPECT_TRUE(m.matches(pkt));
+  pkt.src_ip = ip(172, 32, 0, 1);  // outside /12
+  EXPECT_FALSE(m.matches(pkt));
+}
+
+}  // namespace
+}  // namespace stat4

@@ -1,0 +1,104 @@
+// Tests for the portable checked 64-bit arithmetic helpers.
+#include "stat4/checked_arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace stat4 {
+namespace {
+
+constexpr Accum kMax = std::numeric_limits<Accum>::max();
+constexpr Accum kMin = std::numeric_limits<Accum>::min();
+
+TEST(CheckedAdd, NormalCases) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(-2, 3), 1);
+  EXPECT_EQ(checked_add(0, 0), 0);
+  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+  EXPECT_EQ(checked_add(kMin + 1, -1), kMin);
+}
+
+TEST(CheckedAdd, OverflowDetected) {
+  EXPECT_FALSE(checked_add(kMax, 1).has_value());
+  EXPECT_FALSE(checked_add(kMax / 2 + 1, kMax / 2 + 1).has_value());
+  EXPECT_FALSE(checked_add(kMin, -1).has_value());
+}
+
+TEST(CheckedSub, NormalCases) {
+  EXPECT_EQ(checked_sub(5, 3), 2);
+  EXPECT_EQ(checked_sub(3, 5), -2);
+  EXPECT_EQ(checked_sub(kMin, 0), kMin);
+  EXPECT_EQ(checked_sub(kMax, kMax), 0);
+}
+
+TEST(CheckedSub, OverflowDetected) {
+  EXPECT_FALSE(checked_sub(kMin, 1).has_value());
+  EXPECT_FALSE(checked_sub(kMax, -1).has_value());
+  EXPECT_FALSE(checked_sub(0, kMin).has_value());  // -kMin overflows
+}
+
+TEST(CheckedMul, NormalCases) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_EQ(checked_mul(-6, 7), -42);
+  EXPECT_EQ(checked_mul(-6, -7), 42);
+  EXPECT_EQ(checked_mul(0, kMax), 0);
+  EXPECT_EQ(checked_mul(kMax, 1), kMax);
+  EXPECT_EQ(checked_mul(1, kMin), kMin);
+}
+
+TEST(CheckedMul, OverflowDetectedInAllSignCombinations) {
+  EXPECT_FALSE(checked_mul(kMax, 2).has_value());
+  EXPECT_FALSE(checked_mul(2, kMax).has_value());
+  EXPECT_FALSE(checked_mul(kMin, 2).has_value());
+  EXPECT_FALSE(checked_mul(kMin, -1).has_value());  // |kMin| > kMax
+  EXPECT_FALSE(checked_mul(-2, kMin).has_value());
+  EXPECT_FALSE(checked_mul(3'037'000'500LL, 3'037'000'500LL).has_value());
+}
+
+TEST(CheckedMul, BoundaryJustFits) {
+  // 3037000499^2 = 9223372030926249001 < 2^63-1.
+  EXPECT_EQ(checked_mul(3'037'000'499LL, 3'037'000'499LL),
+            9'223'372'030'926'249'001LL);
+}
+
+TEST(ResolveOverflow, PassesValuesThrough) {
+  EXPECT_EQ(resolve_overflow(Accum{7}, OverflowPolicy::kThrow, true, "t"), 7);
+  EXPECT_EQ(resolve_overflow(Accum{-7}, OverflowPolicy::kSaturate, false,
+                             "t"),
+            -7);
+}
+
+TEST(ResolveOverflow, ThrowPolicyThrows) {
+  EXPECT_THROW(
+      (void)resolve_overflow(std::nullopt, OverflowPolicy::kThrow, true,
+                             "test op"),
+      OverflowError);
+  try {
+    (void)resolve_overflow(std::nullopt, OverflowPolicy::kThrow, true,
+                           "test op");
+  } catch (const OverflowError& e) {
+    EXPECT_NE(std::string(e.what()).find("test op"), std::string::npos)
+        << "error message names the operation";
+  }
+}
+
+TEST(ResolveOverflow, SaturatePolicyClamps) {
+  EXPECT_EQ(resolve_overflow(std::nullopt, OverflowPolicy::kSaturate, true,
+                             "t"),
+            kMax);
+  EXPECT_EQ(resolve_overflow(std::nullopt, OverflowPolicy::kSaturate, false,
+                             "t"),
+            kMin);
+}
+
+TEST(CheckedArith, ConstexprUsable) {
+  static_assert(checked_add(1, 2).value() == 3);
+  static_assert(!checked_add(kMax, 1).has_value());
+  static_assert(checked_mul(4, 5).value() == 20);
+  static_assert(!checked_mul(kMin, -1).has_value());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace stat4

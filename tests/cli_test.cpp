@@ -1,0 +1,224 @@
+// Tests for the runtime CLI (the bmv2 simple_switch_CLI analogue).
+#include "cli/runtime_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "p4sim/craft.hpp"
+#include "p4sim/trace.hpp"
+
+namespace cli {
+namespace {
+
+struct CliFixture {
+  stat4p4::MonitorApp app;
+  RuntimeCli shell{app};
+
+  std::string run(const std::string& line) { return shell.execute(line); }
+};
+
+// ------------------------------------------------------------------ parsing
+
+TEST(CliParse, Ipv4Addresses) {
+  std::uint32_t addr = 0;
+  EXPECT_TRUE(parse_ipv4_addr("10.0.5.6", &addr));
+  EXPECT_EQ(addr, p4sim::ipv4(10, 0, 5, 6));
+  EXPECT_TRUE(parse_ipv4_addr("255.255.255.255", &addr));
+  EXPECT_EQ(addr, 0xFFFFFFFFu);
+  EXPECT_FALSE(parse_ipv4_addr("10.0.5", &addr));
+  EXPECT_FALSE(parse_ipv4_addr("10.0.5.6.7", &addr));
+  EXPECT_FALSE(parse_ipv4_addr("10.0.5.256", &addr));
+  EXPECT_FALSE(parse_ipv4_addr("ten.zero.five.six", &addr));
+  EXPECT_FALSE(parse_ipv4_addr("10..5.6", &addr));
+}
+
+TEST(CliParse, Prefixes) {
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;
+  EXPECT_TRUE(parse_prefix("10.0.0.0/8", &addr, &len));
+  EXPECT_EQ(addr, p4sim::ipv4(10, 0, 0, 0));
+  EXPECT_EQ(len, 8);
+  EXPECT_TRUE(parse_prefix("0.0.0.0/0", &addr, &len));
+  EXPECT_EQ(len, 0);
+  EXPECT_FALSE(parse_prefix("10.0.0.0", &addr, &len));
+  EXPECT_FALSE(parse_prefix("10.0.0.0/33", &addr, &len));
+  EXPECT_FALSE(parse_prefix("10.0.0/8", &addr, &len));
+}
+
+// ----------------------------------------------------------------- commands
+
+TEST(Cli, HelpAndUnknown) {
+  CliFixture f;
+  EXPECT_NE(f.run("help").find("forward_add"), std::string::npos);
+  EXPECT_NE(f.run("frobnicate").find("error: unknown command"),
+            std::string::npos);
+  EXPECT_EQ(f.run(""), "");
+  EXPECT_EQ(f.run("# a comment"), "");
+}
+
+TEST(Cli, QuitSetsDone) {
+  CliFixture f;
+  EXPECT_FALSE(f.shell.done());
+  EXPECT_EQ(f.run("quit"), "bye");
+  EXPECT_TRUE(f.shell.done());
+}
+
+TEST(Cli, ForwardAndInject) {
+  CliFixture f;
+  EXPECT_NE(f.run("forward_add 10.0.0.0/8 1").find("entry handle"),
+            std::string::npos);
+  EXPECT_EQ(f.run("inject_udp 1.2.3.4 10.0.5.6 0"), "forwarded");
+  EXPECT_EQ(f.run("inject_udp 1.2.3.4 192.168.0.1 1"), "dropped");
+  EXPECT_NE(f.run("counters").find("packets=2"), std::string::npos);
+}
+
+TEST(Cli, BindAndStats) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  EXPECT_NE(f.run("bind_add 10.0.0.0/8 1 8").find("entry handle"),
+            std::string::npos);
+  for (int i = 0; i < 5; ++i) {
+    f.run("inject_udp 1.1.1.1 10.0.3.1 " + std::to_string(i));
+  }
+  const auto stats = f.run("stats 1");
+  EXPECT_NE(stats.find("N=1"), std::string::npos);
+  EXPECT_NE(stats.find("Xsum=5"), std::string::npos);
+  EXPECT_NE(stats.find("Xsumsq=25"), std::string::npos);
+}
+
+TEST(Cli, RegisterReadSingleAndRange) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  f.run("bind_add 10.0.0.0/8 1 8");
+  f.run("inject_udp 1.1.1.1 10.0.2.9 0");
+  // counters row for dist 1 starts at 256; /24 octet 2 -> cell 258.
+  EXPECT_EQ(f.run("register_read stat_counters 258"),
+            "stat_counters[258] = 1");
+  const auto multi = f.run("register_read stat_counters 257 3");
+  EXPECT_NE(multi.find("stat_counters[257] = 0"), std::string::npos);
+  EXPECT_NE(multi.find("stat_counters[258] = 1"), std::string::npos);
+  EXPECT_NE(f.run("register_read no_such_array 0").find("error"),
+            std::string::npos);
+}
+
+TEST(Cli, AlertFlowThroughCli) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  f.run("bind_add 10.0.0.0/8 1 8 --check 64");
+  // Balanced round-robin, then a hot subnet.
+  int ts = 0;
+  for (int i = 0; i < 600; ++i) {
+    f.run("inject_udp 1.1.1.1 10.0." + std::to_string(1 + i % 6) + ".1 " +
+          std::to_string(ts++));
+  }
+  EXPECT_TRUE(f.shell.digests().empty());
+  std::string last;
+  for (int i = 0; i < 4000 && f.shell.digests().empty(); ++i) {
+    last = f.run("inject_udp 1.1.1.1 10.0.4.1 " + std::to_string(ts++));
+  }
+  ASSERT_FALSE(f.shell.digests().empty()) << "alert never raised";
+  EXPECT_NE(last.find("digest"), std::string::npos);
+  EXPECT_NE(f.run("stats 1").find("alerted=1"), std::string::npos);
+  EXPECT_EQ(f.run("rearm 1"), "ok");
+  EXPECT_NE(f.run("stats 1").find("alerted=0"), std::string::npos);
+  EXPECT_EQ(f.run("reset 1"), "ok");
+  EXPECT_NE(f.run("stats 1").find("Xsum=0"), std::string::npos);
+}
+
+TEST(Cli, BindModifyRetargets) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  const auto out = f.run("bind_add 10.0.0.0/8 1 8");
+  const auto handle = out.substr(out.rfind(' ') + 1);
+  EXPECT_EQ(f.run("bind_modify " + handle + " 10.0.4.0/24 2 0"), "ok");
+  f.run("inject_udp 1.1.1.1 10.0.4.7 0");
+  EXPECT_EQ(f.run("register_read stat_counters 519"),  // dist 2 base + 7
+            "stat_counters[519] = 1");
+  EXPECT_EQ(f.run("bind_del " + handle), "ok");
+  EXPECT_NE(f.run("bind_del " + handle).find("error"), std::string::npos);
+}
+
+TEST(Cli, SynFlagBinding) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  EXPECT_NE(f.run("bind_add 10.0.1.0/24 1 0 --syn").find("entry handle"),
+            std::string::npos);
+  // UDP must not match a --syn binding.
+  f.run("inject_udp 1.1.1.1 10.0.1.7 0");
+  EXPECT_NE(f.run("stats 1").find("Xsum=0"), std::string::npos);
+}
+
+TEST(Cli, RateAddAndDisasm) {
+  CliFixture f;
+  EXPECT_NE(f.run("rate_add 10.0.0.0/8 0 8 100").find("entry handle"),
+            std::string::npos);
+  const auto text = f.run("disasm window_tick");
+  EXPECT_NE(text.find("action window_tick"), std::string::npos);
+  EXPECT_NE(f.run("disasm nonsense").find("error"), std::string::npos);
+}
+
+TEST(Cli, DumpTables) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  EXPECT_NE(f.run("dump ipv4_forward").find("1/1024 entries"),
+            std::string::npos);
+  EXPECT_NE(f.run("dump nonsense").find("error"), std::string::npos);
+}
+
+TEST(Cli, ErrorsForBadArguments) {
+  CliFixture f;
+  EXPECT_NE(f.run("forward_add banana 1").find("error"), std::string::npos);
+  EXPECT_NE(f.run("rate_add 10.0.0.0/8 0").find("error"), std::string::npos);
+  EXPECT_NE(f.run("bind_add 10.0.0.0/8 1 8 --bogus").find("error"),
+            std::string::npos);
+  EXPECT_NE(f.run("bind_add 10.0.0.0/8 99 0").find("error"),
+            std::string::npos)
+      << "distribution out of range surfaces as a CLI error, not a throw";
+  EXPECT_NE(f.run("stats notanumber").find("error"), std::string::npos);
+}
+
+TEST(Cli, MitigateAddThroughCli) {
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  f.run("bind_add 10.0.0.0/8 1 8 --check 64");
+  f.run("mitigate_add 10.0.0.0/8 1 8");
+  int ts = 0;
+  for (int i = 0; i < 600; ++i) {
+    f.run("inject_udp 1.1.1.1 10.0." + std::to_string(1 + i % 6) + ".1 " +
+          std::to_string(ts++));
+  }
+  for (int i = 0; i < 4000 && f.shell.digests().empty(); ++i) {
+    f.run("inject_udp 1.1.1.1 10.0.4.1 " + std::to_string(ts++));
+  }
+  ASSERT_FALSE(f.shell.digests().empty());
+  EXPECT_EQ(f.run("inject_udp 1.1.1.1 10.0.4.1 " + std::to_string(ts++)),
+            "dropped")
+      << "mitigation installed via the CLI must drop the offender";
+}
+
+TEST(Cli, ReplayTraceFile) {
+  // Record a small trace, write it to a temp file, replay through the CLI.
+  const std::string path = ::testing::TempDir() + "/cli_replay.s4tr";
+  {
+    std::ofstream out(path, std::ios::binary);
+    p4sim::TraceWriter writer(out);
+    for (int i = 0; i < 20; ++i) {
+      p4sim::Packet pkt = p4sim::make_udp_packet(
+          p4sim::ipv4(1, 1, 1, 1), p4sim::ipv4(10, 0, 3, 1), 1, 2);
+      pkt.ingress_ts = i;
+      writer.record(pkt);
+    }
+  }
+  CliFixture f;
+  f.run("forward_add 10.0.0.0/8 1");
+  f.run("bind_add 10.0.0.0/8 1 8");
+  const auto out = f.run("replay " + path);
+  EXPECT_NE(out.find("replayed 20 packets: 20 forwarded"), std::string::npos)
+      << out;
+  EXPECT_NE(f.run("stats 1").find("Xsum=20"), std::string::npos);
+  EXPECT_NE(f.run("replay /no/such/file").find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cli

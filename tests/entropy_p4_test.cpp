@@ -1,0 +1,136 @@
+// Tests for the switch-side entropy tracker: bit-exact with the library,
+// and detecting concentration / dispersion anomalies via digests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "p4sim/p4sim.hpp"
+#include "stat4/approx_math.hpp"
+#include "stat4/entropy.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace stat4p4 {
+namespace {
+
+using p4sim::ipv4;
+using stat4::kLog2FracBits;
+using stat4::TimeNs;
+
+struct EntropyFixture {
+  explicit EntropyFixture(std::uint64_t theta_fp, bool above = false) {
+    app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+    FreqBindingSpec spec;
+    spec.dst_prefix = ipv4(10, 0, 0, 0);
+    spec.dst_prefix_len = 8;
+    spec.dist = 1;
+    spec.shift = 0;   // last octet
+    spec.mask = 0xFF;
+    spec.check = true;
+    spec.min_total = 512;
+    app.install_entropy_binding(spec, theta_fp, above);
+  }
+
+  void send(unsigned host, TimeNs ts) {
+    p4sim::Packet pkt =
+        p4sim::make_udp_packet(1, ipv4(10, 0, 0, host & 0xFF), 1, 2);
+    pkt.ingress_ts = ts;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+  }
+
+  MonitorApp app;
+  std::vector<p4sim::Digest> digests;
+};
+
+TEST(EntropyP4, RegistersMatchLibraryBitExact) {
+  EntropyFixture f(/*theta=*/1, /*above=*/false);  // tiny theta: no alerts
+  stat4::EntropyEstimator lib(256);
+
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto host = static_cast<unsigned>(rng() % 200);
+    f.send(host, i);
+    lib.observe(host);
+  }
+  const auto& rf = f.app.sw().registers();
+  const auto& regs = f.app.regs();
+  EXPECT_EQ(rf.read(regs.xsum, 1), lib.total());
+  EXPECT_EQ(rf.read(regs.xsumsq, 1), lib.weighted_log_sum());
+}
+
+TEST(EntropyP4, ConcentrationRaisesLowEntropyDigest) {
+  // theta = 2 bits; normal traffic is uniform across 64 hosts (H ~ 6).
+  EntropyFixture f(2u << kLog2FracBits, /*above=*/false);
+  std::mt19937_64 rng(2);
+  TimeNs t = 0;
+  for (int i = 0; i < 6400; ++i) {
+    f.send(static_cast<unsigned>(rng() % 64), t++);
+  }
+  ASSERT_TRUE(f.digests.empty()) << "uniform traffic must not alert";
+
+  // A flood concentrates everything on one host: entropy collapses.
+  for (int i = 0; i < 400000 && f.digests.empty(); ++i) f.send(9, t++);
+  ASSERT_FALSE(f.digests.empty());
+  EXPECT_EQ(f.digests[0].id, kDigestEntropyLow);
+  EXPECT_EQ(f.app.sw().registers().read(f.app.regs().hot_value, 1), 9u)
+      << "the concentrating value is captured for mitigation";
+}
+
+TEST(EntropyP4, DispersionRaisesHighEntropyDigest) {
+  // theta = 5 bits; normal traffic hits 4 services (H ~ 2).
+  EntropyFixture f(5u << kLog2FracBits, /*above=*/true);
+  std::mt19937_64 rng(3);
+  TimeNs t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    f.send(static_cast<unsigned>(rng() % 4), t++);
+  }
+  ASSERT_TRUE(f.digests.empty()) << "concentrated traffic must not alert";
+
+  // An address scan sprays uniformly over the whole octet.
+  for (int i = 0; i < 400000 && f.digests.empty(); ++i) {
+    f.send(static_cast<unsigned>(rng() % 256), t++);
+  }
+  ASSERT_FALSE(f.digests.empty());
+  EXPECT_EQ(f.digests[0].id, kDigestEntropyHigh);
+}
+
+TEST(EntropyP4, ThresholdCrossingMatchesLibraryDecision) {
+  // Drive both implementations and assert the digest fires on exactly the
+  // packet where the library's entropy_below flips (same fixed-point math).
+  const std::uint64_t theta = 3u << kLog2FracBits;
+  EntropyFixture f(theta, false);
+  stat4::EntropyEstimator lib(256);
+
+  std::mt19937_64 rng(4);
+  TimeNs t = 0;
+  // Warm up uniform.
+  for (int i = 0; i < 2000; ++i) {
+    const auto host = static_cast<unsigned>(rng() % 64);
+    f.send(host, t++);
+    lib.observe(host);
+  }
+  ASSERT_TRUE(f.digests.empty());
+  ASSERT_FALSE(lib.entropy_below(theta));
+
+  // Concentrate; both must flip on the same observation.
+  bool lib_flipped = false;
+  for (int i = 0; i < 500000 && f.digests.empty(); ++i) {
+    f.send(21, t++);
+    lib.observe(21);
+    lib_flipped = lib.entropy_below(theta);
+    if (lib_flipped) break;
+  }
+  ASSERT_TRUE(lib_flipped);
+  ASSERT_EQ(f.digests.size(), 1u)
+      << "switch digest must land on the library's flip packet";
+}
+
+TEST(EntropyP4, MedianOptionRejected) {
+  MonitorApp app;
+  FreqBindingSpec spec;
+  spec.median = true;
+  EXPECT_THROW(app.install_entropy_binding(spec, 1), stat4::UsageError);
+}
+
+}  // namespace
+}  // namespace stat4p4

@@ -1,0 +1,181 @@
+// Tests for online entropy estimation (the Ding et al. [7] extension).
+#include "stat4/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "stat4/approx_math.hpp"
+
+namespace stat4 {
+namespace {
+
+/// Exact Shannon entropy of the estimator's underlying counters, in bits.
+double exact_entropy(const EntropyEstimator& e) {
+  const double total = static_cast<double>(e.total());
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (Value v = 0; v < e.domain_size(); ++v) {
+    const auto f = e.frequency(v);
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- approx_log2
+
+TEST(ApproxLog2, ExactAtPowersOfTwo) {
+  for (unsigned e = 0; e < 60; ++e) {
+    EXPECT_EQ(approx_log2(std::uint64_t{1} << e),
+              static_cast<std::uint64_t>(e) << kLog2FracBits)
+        << "2^" << e;
+  }
+}
+
+TEST(ApproxLog2, TrivialValues) {
+  EXPECT_EQ(approx_log2(0), 0u);
+  EXPECT_EQ(approx_log2(1), 0u);
+}
+
+TEST(ApproxLog2, WithinLogLinearBound) {
+  // The linear-in-mantissa approximation of log2 errs by at most
+  // 1 - (1+ln(ln 2))/ln 2 ~ 0.0860, plus up to 2^-8 ~ 0.004 of fixed-point
+  // truncation.
+  for (std::uint64_t y = 2; y <= 1u << 18; ++y) {
+    const double approx = static_cast<double>(approx_log2(y)) /
+                          static_cast<double>(1u << kLog2FracBits);
+    const double truth = std::log2(static_cast<double>(y));
+    ASSERT_NEAR(approx, truth, 0.090) << "y=" << y;
+  }
+}
+
+TEST(ApproxLog2, MonotoneNonDecreasing) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t y = 1; y <= 1u << 16; ++y) {
+    const auto l = approx_log2(y);
+    ASSERT_GE(l, prev) << "y=" << y;
+    prev = l;
+  }
+}
+
+// --------------------------------------------------------------- estimator
+
+TEST(Entropy, EmptyAndSingleValue) {
+  EntropyEstimator e(16);
+  EXPECT_DOUBLE_EQ(e.entropy_bits(), 0.0);
+  e.observe(3);
+  EXPECT_DOUBLE_EQ(e.entropy_bits(), 0.0);  // one value: zero entropy
+  EXPECT_FALSE(e.entropy_below(1 << kLog2FracBits));
+  EXPECT_FALSE(e.entropy_above(1));
+}
+
+TEST(Entropy, UniformDistributionApproachesLogN) {
+  EntropyEstimator e(16);
+  for (int round = 0; round < 100; ++round) {
+    for (Value v = 0; v < 16; ++v) e.observe(v);
+  }
+  EXPECT_NEAR(e.entropy_bits(), 4.0, 0.15);  // log2(16) = 4
+}
+
+TEST(Entropy, PointMassHasZeroEntropy) {
+  EntropyEstimator e(16);
+  for (int i = 0; i < 1000; ++i) e.observe(7);
+  EXPECT_NEAR(e.entropy_bits(), 0.0, 0.1);
+}
+
+TEST(Entropy, TracksExactEntropyOnRandomStreams) {
+  std::mt19937_64 rng(1);
+  EntropyEstimator e(64);
+  for (int i = 0; i < 20000; ++i) {
+    // Mildly skewed stream.
+    const Value v = rng() % 4 == 0 ? rng() % 8 : rng() % 64;
+    e.observe(v);
+    if (i % 997 == 0 && e.total() > 100) {
+      ASSERT_NEAR(e.entropy_bits(), exact_entropy(e), 0.2) << "step " << i;
+    }
+  }
+}
+
+TEST(Entropy, UnobserveInvertsObserve) {
+  EntropyEstimator e(32);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 500; ++i) e.observe(rng() % 32);
+  const auto s = e.weighted_log_sum();
+  const auto t = e.total();
+  e.observe(5);
+  e.unobserve(5);
+  EXPECT_EQ(e.weighted_log_sum(), s);
+  EXPECT_EQ(e.total(), t);
+}
+
+TEST(Entropy, CollapseDetectedByThresholdTest) {
+  // DDoS concentration: destination entropy collapses when one victim
+  // dominates.  theta = 2.0 bits.
+  const std::uint64_t theta = 2u << kLog2FracBits;
+  EntropyEstimator e(64);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 6400; ++i) e.observe(rng() % 64);  // H ~ 6 bits
+  EXPECT_FALSE(e.entropy_below(theta));
+  EXPECT_GT(e.entropy_bits(), 5.0);
+
+  // Attack: 50x the traffic, all to value 9.
+  for (int i = 0; i < 320000; ++i) e.observe(9);
+  EXPECT_TRUE(e.entropy_below(theta)) << "H=" << e.entropy_bits();
+  EXPECT_LT(e.entropy_bits(), 1.0);
+}
+
+TEST(Entropy, ScanDetectedByUpperTest) {
+  // Port/address scanning: entropy spikes when traffic spreads thinly.
+  // Normal: 90% of traffic to 4 services -> low entropy.
+  const std::uint64_t theta = 5u << kLog2FracBits;
+  EntropyEstimator e(256);
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    e.observe(rng() % 10 == 0 ? rng() % 256 : rng() % 4);
+  }
+  EXPECT_FALSE(e.entropy_above(theta)) << "H=" << e.entropy_bits();
+
+  // Scan: uniform blast over the whole space.
+  for (int i = 0; i < 200000; ++i) e.observe(rng() % 256);
+  EXPECT_TRUE(e.entropy_above(theta)) << "H=" << e.entropy_bits();
+}
+
+TEST(Entropy, ThresholdTestConsistentWithFractionalRead) {
+  // entropy_below(theta) must agree with entropy_bits() < theta up to the
+  // fixed-point granularity, across a spread of distributions.
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    EntropyEstimator e(32);
+    const int skew = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < 4000; ++i) {
+      e.observe(rng() % static_cast<unsigned>(skew) == 0 ? rng() % 32
+                                                         : rng() % 2);
+    }
+    for (const double theta : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+      const auto theta_fp = static_cast<std::uint64_t>(
+          theta * (1u << kLog2FracBits));
+      const bool below = e.entropy_below(theta_fp);
+      const double h = e.entropy_bits();
+      if (std::abs(h - theta) > 0.05) {  // outside the granularity band
+        ASSERT_EQ(below, h < theta)
+            << "trial " << trial << " theta " << theta << " H " << h;
+      }
+    }
+  }
+}
+
+TEST(Entropy, ResetClears) {
+  EntropyEstimator e(8);
+  e.observe(1);
+  e.observe(2);
+  e.reset();
+  EXPECT_EQ(e.total(), 0u);
+  EXPECT_EQ(e.weighted_log_sum(), 0u);
+  EXPECT_DOUBLE_EQ(e.entropy_bits(), 0.0);
+}
+
+}  // namespace
+}  // namespace stat4

@@ -1,0 +1,170 @@
+// Tests for the fleet correlator (multi-switch events) and the engine's
+// sliding-frequency distribution support.
+#include <gtest/gtest.h>
+
+#include "control/fleet.hpp"
+#include "stat4/engine.hpp"
+
+namespace {
+
+using control::FleetCorrelator;
+using control::FleetEvent;
+using stat4::kMillisecond;
+
+p4sim::Digest digest(std::uint32_t id, stat4::TimeNs t,
+                     std::uint64_t magnitude = 100) {
+  p4sim::Digest d;
+  d.id = id;
+  d.time = t;
+  d.payload = {0, magnitude, 0};
+  return d;
+}
+
+TEST(FleetCorrelator, SingleSwitchIsLocalEvent) {
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(1, 0));
+  corr.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].network_wide());
+  EXPECT_EQ(events[0].switches, (std::vector<control::SwitchId>{1}));
+  EXPECT_EQ(events[0].combined_magnitude, 100u);
+}
+
+TEST(FleetCorrelator, NearbyDigestsCorrelate) {
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(1, 0, 100));
+  corr.ingest(2, digest(1, 3 * kMillisecond, 150));
+  corr.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].network_wide());
+  EXPECT_EQ(events[0].switches.size(), 2u);
+  EXPECT_EQ(events[0].combined_magnitude, 250u);
+  EXPECT_EQ(events[0].first_time, 0);
+  EXPECT_EQ(events[0].last_time, 3 * kMillisecond);
+}
+
+TEST(FleetCorrelator, DistantDigestsStaySeparate) {
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(1, 0));
+  corr.ingest(2, digest(1, 100 * kMillisecond));  // expires the first
+  EXPECT_EQ(events.size(), 1u) << "first event completed by time";
+  corr.flush();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].network_wide());
+  EXPECT_FALSE(events[1].network_wide());
+}
+
+TEST(FleetCorrelator, DifferentDigestKindsDoNotMix) {
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(1, 0));
+  corr.ingest(2, digest(2, kMillisecond));  // imbalance vs spike
+  corr.flush();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].digest_id, events[1].digest_id);
+}
+
+TEST(FleetCorrelator, DuplicateSwitchCountedOnce) {
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(1, 0, 100));
+  corr.ingest(1, digest(1, kMillisecond, 50));
+  corr.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].switches.size(), 1u) << "same switch joins once";
+  EXPECT_EQ(events[0].combined_magnitude, 150u)
+      << "but its magnitudes accumulate";
+}
+
+TEST(FleetCorrelator, ChainedDigestsExtendTheWindow) {
+  // Each digest within `window` of the event's LAST member extends it.
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+  corr.ingest(1, digest(1, 0));
+  corr.ingest(2, digest(1, 6 * kMillisecond));
+  corr.ingest(3, digest(1, 12 * kMillisecond));  // 12ms from first, 6 from last
+  corr.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].switches.size(), 3u);
+}
+
+// --------------------------------------------- engine sliding distributions
+
+TEST(EngineSliding, BindingUpdatesSlidingDistribution) {
+  stat4::Stat4Engine engine;
+  const auto id = engine.add_sliding_freq_dist(16, 100);
+  stat4::BindingEntry b;
+  b.extractor = {stat4::Field::kDstIp, 0, 0xF};
+  b.dist = id;
+  engine.add_binding(b);
+
+  stat4::PacketFields pkt;
+  for (int i = 0; i < 250; ++i) {
+    pkt.dst_ip = static_cast<std::uint32_t>(i % 16);
+    pkt.timestamp = i;
+    engine.process(pkt);
+  }
+  EXPECT_EQ(engine.sliding(id).total(), 100u) << "window caps the mass";
+  EXPECT_TRUE(engine.sliding(id).primed());
+}
+
+TEST(EngineSliding, ImbalanceAgesOut) {
+  stat4::Stat4Engine engine;
+  const auto id = engine.add_sliding_freq_dist(8, 160);
+  engine.enable_imbalance_check(id, /*min_total=*/64);
+  stat4::BindingEntry b;
+  b.extractor = {stat4::Field::kDstIp, 0, 0x7};
+  b.dist = id;
+  engine.add_binding(b);
+
+  std::vector<stat4::Alert> alerts;
+  engine.set_alert_sink([&](const stat4::Alert& a) { alerts.push_back(a); });
+
+  stat4::PacketFields pkt;
+  auto send = [&](unsigned v, stat4::TimeNs t) {
+    pkt.dst_ip = v;
+    pkt.timestamp = t;
+    engine.process(pkt);
+  };
+  stat4::TimeNs t = 0;
+  // Balanced round-robin: silent.
+  for (int i = 0; i < 320; ++i) send(static_cast<unsigned>(i % 8), t++);
+  ASSERT_TRUE(alerts.empty());
+  // Hot value 3 trips the check...
+  for (int i = 0; i < 200 && alerts.empty(); ++i) send(3, t++);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].value, 3u);
+  // ...then a full window of balanced traffic (latched, so silent) ages
+  // the imbalance out; once re-armed afterwards, the same value no longer
+  // alerts because the hot streak has left the window entirely.
+  for (int i = 0; i < 400; ++i) send(static_cast<unsigned>(i % 8), t++);
+  engine.rearm(id);
+  for (int i = 0; i < 400; ++i) send(static_cast<unsigned>(i % 8), t++);
+  EXPECT_EQ(alerts.size(), 1u)
+      << "stale imbalance must not re-alert after aging out";
+}
+
+TEST(EngineSliding, WrongKindAccessorsThrow) {
+  stat4::Stat4Engine engine;
+  const auto id = engine.add_sliding_freq_dist(8, 10);
+  EXPECT_THROW((void)engine.freq(id), stat4::UsageError);
+  EXPECT_NO_THROW((void)engine.sliding(id));
+  const auto fid = engine.add_freq_dist(8);
+  EXPECT_THROW((void)engine.sliding(fid), stat4::UsageError);
+}
+
+}  // namespace

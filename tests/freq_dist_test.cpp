@@ -1,0 +1,164 @@
+// Tests for frequency distributions (Section 2, "frequency distributions").
+#include "stat4/freq_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/exact_stats.hpp"
+
+namespace stat4 {
+namespace {
+
+TEST(FreqDist, EmptyDomainRejected) {
+  EXPECT_THROW(FreqDist(0), UsageError);
+}
+
+TEST(FreqDist, StartsEmpty) {
+  FreqDist d(8);
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.distinct(), 0u);
+  EXPECT_EQ(d.domain_size(), 8u);
+  for (Value v = 0; v < 8; ++v) EXPECT_EQ(d.frequency(v), 0u);
+}
+
+TEST(FreqDist, ObserveCountsAndStats) {
+  FreqDist d(4);
+  d.observe(1);
+  d.observe(1);
+  d.observe(3);
+  EXPECT_EQ(d.frequency(1), 2u);
+  EXPECT_EQ(d.frequency(3), 1u);
+  EXPECT_EQ(d.total(), 3u);
+  EXPECT_EQ(d.distinct(), 2u);  // N counts distinct values only
+  // X = {2, 1}: Xsum = 3, Xsumsq = 5.
+  EXPECT_EQ(d.stats().xsum(), 3);
+  EXPECT_EQ(d.stats().xsumsq(), 5);
+}
+
+TEST(FreqDist, NIncrementsOnlyOnFirstObservation) {
+  FreqDist d(4);
+  d.observe(2);
+  EXPECT_EQ(d.distinct(), 1u);
+  d.observe(2);
+  d.observe(2);
+  EXPECT_EQ(d.distinct(), 1u) << "repeat observations must not grow N";
+}
+
+TEST(FreqDist, OutOfDomainRejected) {
+  FreqDist d(4);
+  EXPECT_THROW(d.observe(4), UsageError);
+  EXPECT_THROW((void)d.frequency(4), UsageError);
+  EXPECT_THROW(d.unobserve(4), UsageError);
+}
+
+TEST(FreqDist, UnobserveInvertsObserve) {
+  FreqDist d(16);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 500; ++i) d.observe(rng() % 16);
+  const auto total = d.total();
+  const auto xsum = d.stats().xsum();
+  const auto xsumsq = d.stats().xsumsq();
+  d.observe(7);
+  d.unobserve(7);
+  EXPECT_EQ(d.total(), total);
+  EXPECT_EQ(d.stats().xsum(), xsum);
+  EXPECT_EQ(d.stats().xsumsq(), xsumsq);
+}
+
+TEST(FreqDist, UnobserveZeroFrequencyThrows) {
+  FreqDist d(4);
+  EXPECT_THROW(d.unobserve(2), UsageError);
+}
+
+TEST(FreqDist, StatsMatchFromScratchRecomputation) {
+  FreqDist d(32);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    d.observe(rng() % 32);
+    if (i % 97 == 0) {
+      // Recompute the frequency-distribution stats from scratch.
+      std::vector<std::uint64_t> nonzero;
+      for (Value v = 0; v < 32; ++v) {
+        if (d.frequency(v) > 0) nonzero.push_back(d.frequency(v));
+      }
+      const auto truth = baseline::compute_nx_stats(nonzero);
+      ASSERT_EQ(d.stats().n(), truth.n);
+      ASSERT_EQ(d.stats().xsum(), truth.xsum);
+      ASSERT_EQ(d.stats().xsumsq(), truth.xsumsq);
+      ASSERT_EQ(d.stats().variance_nx(), truth.variance_nx);
+    }
+  }
+}
+
+TEST(FreqDist, FrequencyOutlierFindsHotValue) {
+  // The drill-down check: uniform traffic across 36 destinations, then one
+  // destination goes hot.
+  FreqDist d(36);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 3600; ++i) d.observe(rng() % 36);
+  EXPECT_FALSE(d.frequency_outlier(5).is_outlier);
+  for (int i = 0; i < 2000; ++i) d.observe(17);
+  EXPECT_TRUE(d.frequency_outlier(17).is_outlier);
+  EXPECT_FALSE(d.frequency_outlier(5).is_outlier);
+}
+
+TEST(FreqDist, TotalEqualsXsum) {
+  FreqDist d(8);
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    d.observe(rng() % 8);
+    ASSERT_EQ(static_cast<Accum>(d.total()), d.stats().xsum());
+  }
+}
+
+TEST(FreqDist, ResetRestoresEmptyState) {
+  FreqDist d(8);
+  d.attach_percentile(Percentile{50});
+  for (int i = 0; i < 100; ++i) d.observe(3);
+  d.reset();
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.distinct(), 0u);
+  EXPECT_EQ(d.frequency(3), 0u);
+  EXPECT_FALSE(d.percentile(0).observed());
+}
+
+TEST(FreqDist, PercentileIndexOutOfRangeThrows) {
+  FreqDist d(8);
+  EXPECT_THROW((void)d.percentile(0), UsageError);
+  d.attach_percentile(Percentile{50});
+  EXPECT_NO_THROW((void)d.percentile(0));
+  EXPECT_THROW((void)d.percentile(1), UsageError);
+}
+
+TEST(FreqDist, MultipleTrackersUpdateTogether) {
+  FreqDist d(100);
+  const auto p50 = d.attach_percentile(Percentile{50});
+  const auto p90 = d.attach_percentile(Percentile{90});
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 60000; ++i) d.observe(rng() % 100);
+  EXPECT_LT(d.percentile(p50).position(), d.percentile(p90).position())
+      << "median must sit below the 90th percentile on a uniform stream";
+}
+
+TEST(FreqDist, SingleValueDomain) {
+  FreqDist d(1);
+  d.observe(0);
+  d.observe(0);
+  EXPECT_EQ(d.distinct(), 1u);
+  EXPECT_EQ(d.stats().variance_nx(), 0);  // one element: no spread
+}
+
+TEST(FreqDist, HugeCountsStayExact) {
+  FreqDist d(2);
+  for (int i = 0; i < 100000; ++i) d.observe(0);
+  for (int i = 0; i < 50000; ++i) d.observe(1);
+  // X = {100000, 50000}: Xsum = 150000, Xsumsq = 1.25e10.
+  EXPECT_EQ(d.stats().xsum(), 150000);
+  EXPECT_EQ(d.stats().xsumsq(), 12'500'000'000LL);
+  EXPECT_EQ(d.stats().variance_nx(),
+            2 * 12'500'000'000LL - 150000LL * 150000LL);
+}
+
+}  // namespace
+}  // namespace stat4

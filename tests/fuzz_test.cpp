@@ -1,0 +1,173 @@
+// Deterministic pseudo-fuzzing: malformed inputs must never crash or
+// corrupt the system — parsers see random bytes, the switch sees truncated
+// and mutated frames, and the CLI sees garbage command lines.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "cli/runtime_cli.hpp"
+#include "p4sim/p4sim.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace {
+
+using p4sim::ipv4;
+
+TEST(Fuzz, ParserSurvivesRandomBytes) {
+  std::mt19937_64 rng(0xF022);
+  for (int trial = 0; trial < 5000; ++trial) {
+    p4sim::Packet pkt;
+    const std::size_t len = rng() % 128;
+    pkt.data.resize(len);
+    for (auto& b : pkt.data) b = static_cast<p4sim::Byte>(rng());
+    const auto parsed = p4sim::parse(pkt);  // must not crash
+    // Validity flags must be consistent with buffer length.
+    if (len < p4sim::EthernetHeader::kSize) {
+      EXPECT_FALSE(parsed.ipv4.has_value());
+      EXPECT_FALSE(parsed.echo.has_value());
+    }
+  }
+}
+
+TEST(Fuzz, ParserSurvivesTruncatedRealFrames) {
+  const p4sim::Packet full = p4sim::make_tcp_packet(
+      ipv4(1, 2, 3, 4), ipv4(10, 0, 1, 1), 1000, 80, p4sim::kTcpSyn);
+  for (std::size_t cut = 0; cut <= full.data.size(); ++cut) {
+    p4sim::Packet pkt;
+    pkt.data.assign(full.data.begin(),
+                    full.data.begin() + static_cast<std::ptrdiff_t>(cut));
+    const auto parsed = p4sim::parse(pkt);
+    if (parsed.tcp.has_value()) {
+      EXPECT_GE(cut, p4sim::EthernetHeader::kSize +
+                         p4sim::Ipv4Header::kSize + p4sim::TcpHeader::kSize);
+    }
+  }
+}
+
+TEST(Fuzz, SwitchSurvivesMutatedFrames) {
+  stat4p4::MonitorApp app;
+  app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+  app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0,
+                           8'000'000ull, 100, 8);
+  stat4p4::FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;
+  app.install_freq_binding(spec);
+
+  std::mt19937_64 rng(0xF055);
+  stat4::TimeNs t = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(
+        static_cast<std::uint32_t>(rng()), static_cast<std::uint32_t>(rng()),
+        static_cast<std::uint16_t>(rng()), static_cast<std::uint16_t>(rng()));
+    // Mutate a few random bytes, sometimes truncate or extend.
+    for (int m = 0; m < 4; ++m) {
+      pkt.data[rng() % pkt.data.size()] = static_cast<p4sim::Byte>(rng());
+    }
+    if (rng() % 5 == 0) pkt.data.resize(rng() % (pkt.data.size() + 1));
+    if (rng() % 7 == 0) pkt.data.resize(pkt.data.size() + rng() % 64, 0);
+    pkt.ingress_ts = t++;
+    EXPECT_NO_THROW((void)app.sw().process(std::move(pkt)))
+        << "trial " << trial;
+  }
+  // The switch is still coherent afterwards: a normal packet forwards.
+  p4sim::Packet ok = p4sim::make_udp_packet(1, ipv4(10, 0, 1, 1), 2, 3);
+  ok.ingress_ts = t;
+  EXPECT_FALSE(app.sw().process(std::move(ok)).dropped);
+}
+
+TEST(Fuzz, CliSurvivesGarbageLines) {
+  stat4p4::MonitorApp app;
+  cli::RuntimeCli shell(app);
+  std::mt19937_64 rng(0xF0CC);
+  const std::string verbs[] = {
+      "forward_add", "rate_add",  "bind_add", "bind_modify",
+      "bind_del",    "register_read", "stats", "rearm",
+      "reset",       "inject_udp", "dump",    "disasm"};
+  const std::string junk[] = {"10.0.0.0/8", "banana", "-5", "999999999999",
+                              "0xZZ", "/", "10.0.0.256/8", "--check",
+                              "--median", "\t", "§§§"};
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string line = verbs[rng() % std::size(verbs)];
+    const auto words = rng() % 6;
+    for (std::uint64_t w = 0; w < words; ++w) {
+      line += ' ';
+      line += junk[rng() % std::size(junk)];
+    }
+    EXPECT_NO_THROW((void)shell.execute(line)) << line;
+    ASSERT_FALSE(shell.done()) << "garbage must not quit the shell";
+  }
+}
+
+TEST(Fuzz, TraceReaderSurvivesRandomStreams) {
+  std::mt19937_64 rng(0xF07A);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes;
+    if (trial % 3 == 0) bytes = "S4TR";  // sometimes a valid magic prefix
+    const std::size_t len = rng() % 200;
+    for (std::size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng()));
+    }
+    std::stringstream is(bytes);
+    try {
+      p4sim::TraceReader reader(is);
+      while (reader.next().has_value()) {
+      }
+    } catch (const std::runtime_error&) {
+      // Expected for malformed input; anything else would escape the try.
+    }
+  }
+}
+
+TEST(Fuzz, RandomProgramsValidateOrThrowCleanly) {
+  // Random instruction sequences either pass validation and execute without
+  // UB, or are rejected with std::invalid_argument — never anything else.
+  std::mt19937_64 rng(0xF099);
+  for (int trial = 0; trial < 2000; ++trial) {
+    p4sim::Program prog;
+    prog.name = "fuzz";
+    const auto n = 1 + rng() % 40;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      p4sim::Instruction ins;
+      ins.op = static_cast<p4sim::Op>(rng() %
+                                      (static_cast<int>(p4sim::Op::kDigest) +
+                                       1));
+      ins.dst = static_cast<p4sim::TempId>(rng() % (p4sim::kTempCount + 8));
+      ins.a = static_cast<p4sim::TempId>(rng() % (p4sim::kTempCount + 8));
+      ins.b = static_cast<p4sim::TempId>(rng() % (p4sim::kTempCount + 8));
+      ins.c = static_cast<p4sim::TempId>(rng() % (p4sim::kTempCount + 8));
+      ins.imm = rng();
+      ins.field = static_cast<p4sim::FieldRef>(rng() % p4sim::kFieldCount);
+      ins.reg = static_cast<p4sim::RegisterId>(rng() % 3);
+      prog.code.push_back(ins);
+    }
+    bool valid = true;
+    try {
+      prog.validate(p4sim::AluProfile::bmv2());
+    } catch (const std::invalid_argument&) {
+      valid = false;
+    }
+    if (!valid) continue;
+
+    p4sim::RegisterFile regs;
+    regs.declare("r0", 8);
+    regs.declare("r1", 8);
+    regs.declare("r2", 8);
+    p4sim::Packet pkt = p4sim::make_udp_packet(1, 2, 3, 4);
+    auto parsed = p4sim::parse(pkt);
+    p4sim::PacketView view;
+    view.parsed = &parsed;
+    std::vector<p4sim::Digest> digests;
+    p4sim::ExecutionContext ctx;
+    ctx.view = &view;
+    ctx.registers = &regs;
+    ctx.digests = &digests;
+    EXPECT_NO_THROW(p4sim::execute(prog, ctx)) << "trial " << trial;
+  }
+}
+
+}  // namespace

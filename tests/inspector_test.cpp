@@ -1,0 +1,151 @@
+// Tests for the hybrid in-switch + in-controller monitoring components.
+#include <gtest/gtest.h>
+
+#include "control/control.hpp"
+#include "p4sim/craft.hpp"
+
+namespace control {
+namespace {
+
+using netsim::ControlChannel;
+using netsim::Simulator;
+using p4sim::ipv4;
+using stat4::kMicrosecond;
+using stat4::kMillisecond;
+
+// ------------------------------------------------------- snapshot analysis
+
+DistributionSnapshot make_snapshot(std::vector<stat4::Count> freqs) {
+  DistributionSnapshot s;
+  s.frequencies = std::move(freqs);
+  return s;
+}
+
+TEST(Snapshot, TopKOrdersByFrequency) {
+  const auto s = make_snapshot({0, 5, 100, 0, 30, 30, 2});
+  const auto top = s.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[0].second, 100u);
+  EXPECT_EQ(top[1].first, 4u);  // ties broken by value
+  EXPECT_EQ(top[2].first, 5u);
+}
+
+TEST(Snapshot, TopKHandlesFewerValuesThanK) {
+  const auto s = make_snapshot({0, 7, 0});
+  EXPECT_EQ(s.top_k(5).size(), 1u);
+}
+
+TEST(Snapshot, UnimodalDistribution) {
+  std::vector<stat4::Count> freqs(64, 0);
+  for (int v = 20; v < 30; ++v) {
+    freqs[static_cast<std::size_t>(v)] =
+        static_cast<stat4::Count>(100 - 10 * std::abs(v - 25));
+  }
+  EXPECT_EQ(make_snapshot(freqs).mode_count(), 1u);
+}
+
+TEST(Snapshot, BimodalDistribution) {
+  // The Section 5 example: a bimodal distribution the controller should
+  // split into two separately tracked modes.
+  std::vector<stat4::Count> freqs(64, 0);
+  for (int v = 5; v < 12; ++v) freqs[static_cast<std::size_t>(v)] = 80;
+  for (int v = 40; v < 48; ++v) freqs[static_cast<std::size_t>(v)] = 90;
+  EXPECT_EQ(make_snapshot(freqs).mode_count(), 2u);
+}
+
+TEST(Snapshot, NoiseDoesNotInflateModeCount) {
+  std::vector<stat4::Count> freqs(64, 0);
+  // One real mode plus background noise at 2% of the peak.
+  for (int v = 10; v < 20; ++v) freqs[static_cast<std::size_t>(v)] = 500;
+  for (std::size_t v = 30; v < 64; v += 3) freqs[v] = 10;
+  EXPECT_EQ(make_snapshot(freqs).mode_count(), 1u);
+}
+
+TEST(Snapshot, EmptyDistributionHasNoModes) {
+  EXPECT_EQ(make_snapshot(std::vector<stat4::Count>(16, 0)).mode_count(), 0u);
+  EXPECT_EQ(make_snapshot({}).mode_count(), 0u);
+}
+
+TEST(Snapshot, TotalSumsCounters) {
+  EXPECT_EQ(make_snapshot({1, 2, 3}).total(), 6u);
+}
+
+// ------------------------------------------------------------- inspector
+
+struct InspectorFixture {
+  InspectorFixture() : channel(sim), inspector(channel, app) {
+    app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+    stat4p4::FreqBindingSpec spec;
+    spec.dst_prefix = ipv4(10, 0, 0, 0);
+    spec.dst_prefix_len = 8;
+    spec.dist = 1;
+    spec.shift = 8;
+    spec.check = false;
+    app.install_freq_binding(spec);
+  }
+
+  void send(std::uint32_t dst, stat4::TimeNs ts) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(1, dst, 2, 3);
+    pkt.ingress_ts = ts;
+    (void)app.sw().process(std::move(pkt));
+  }
+
+  Simulator sim;
+  stat4p4::MonitorApp app;
+  ControlChannel channel;
+  DistributionInspector inspector;
+};
+
+TEST(Inspector, PullsCountersThroughChannel) {
+  InspectorFixture f;
+  for (int i = 0; i < 100; ++i) f.send(ipv4(10, 0, 3, 1), i);
+  for (int i = 0; i < 40; ++i) f.send(ipv4(10, 0, 5, 1), 100 + i);
+
+  bool done = false;
+  f.inspector.pull(1, [&](const DistributionSnapshot& snap) {
+    done = true;
+    EXPECT_EQ(snap.dist, 1u);
+    EXPECT_EQ(snap.frequencies.at(3), 100u);
+    EXPECT_EQ(snap.frequencies.at(5), 40u);
+    EXPECT_EQ(snap.n, 2u);
+    EXPECT_EQ(snap.xsum, 140u);
+    EXPECT_EQ(snap.total(), 140u);
+    const auto top = snap.top_k(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].first, 3u);
+  });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.inspector.pulls_issued(), 1u);
+}
+
+TEST(Inspector, PullPaysRegisterReadCost) {
+  InspectorFixture f;
+  stat4::TimeNs landed = -1;
+  f.inspector.pull(1, [&](const DistributionSnapshot& snap) {
+    landed = snap.pulled_at;
+    // 256 counters + 4 measure registers at 2us each, plus the RTT.
+    EXPECT_EQ(snap.pull_cost, 260 * 2 * kMicrosecond + 2 * 5 * kMillisecond);
+  });
+  f.sim.run();
+  EXPECT_GE(landed, 0);
+}
+
+TEST(Inspector, SnapshotSeesUpdatesDuringPull) {
+  // Packets processed while the pull is in flight are included: the
+  // snapshot is taken at delivery, like a CLI register read on bmv2.
+  InspectorFixture f;
+  f.send(ipv4(10, 0, 3, 1), 0);
+  bool checked = false;
+  f.inspector.pull(1, [&](const DistributionSnapshot& snap) {
+    checked = true;
+    EXPECT_EQ(snap.frequencies.at(3), 2u);
+  });
+  f.sim.schedule_at(kMillisecond, [&] { f.send(ipv4(10, 0, 3, 1), 1); });
+  f.sim.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace control

@@ -1,0 +1,292 @@
+// Tests for the in-switch local reaction (mitigation), value-sample
+// tracking, and the stall check — Figure 1c's "locally react to anomalies"
+// plus Table 1's remote-failure use case, all on the switch substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "p4sim/p4sim.hpp"
+#include "stat4/stat4.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace stat4p4 {
+namespace {
+
+using p4sim::ipv4;
+using stat4::kMillisecond;
+using stat4::TimeNs;
+
+struct Fixture {
+  Fixture() { app.install_forward(ipv4(10, 0, 0, 0), 8, 1); }
+
+  /// Sends one UDP packet; returns true if it was forwarded (not dropped).
+  bool send(std::uint32_t dst, TimeNs ts, std::uint32_t pad = 0) {
+    p4sim::Packet pkt =
+        p4sim::make_udp_packet(ipv4(8, 8, 8, 8), dst, 1, 2, pad);
+    pkt.ingress_ts = ts;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+    return !out.dropped;
+  }
+
+  MonitorApp app;
+  std::vector<p4sim::Digest> digests;
+};
+
+// ---------------------------------------------------------------- mitigation
+
+TEST(Mitigation, DropsHotValueAfterAlertLatches) {
+  Fixture f;
+  FreqBindingSpec track;
+  track.dst_prefix = ipv4(10, 0, 0, 0);
+  track.dst_prefix_len = 8;
+  track.dist = 1;
+  track.shift = 8;  // per-/24
+  track.check = true;
+  track.min_total = 128;
+  f.app.install_freq_binding(track);
+  f.app.install_mitigation(track);  // same extractor, same distribution
+
+  // Balanced phase: all subnets forwarded.
+  TimeNs t = 0;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(f.send(ipv4(10, 0, 1 + static_cast<unsigned>(i % 6), 1), t++));
+  }
+  ASSERT_TRUE(f.digests.empty());
+
+  // Subnet 4 goes hot until the alert latches.
+  while (f.digests.empty()) {
+    f.send(ipv4(10, 0, 4, 1), t++);
+    ASSERT_LT(t, 10000) << "alert never latched";
+  }
+  EXPECT_EQ(f.digests[0].payload[1], 4u);
+
+  // From the next packet on, traffic to the hot /24 is dropped IN THE
+  // SWITCH — no controller involved — while other subnets still flow.
+  EXPECT_FALSE(f.send(ipv4(10, 0, 4, 1), t++)) << "offender must be dropped";
+  EXPECT_FALSE(f.send(ipv4(10, 0, 4, 9), t++)) << "whole hot /24 blocked";
+  EXPECT_TRUE(f.send(ipv4(10, 0, 2, 1), t++)) << "innocents still forwarded";
+
+  // Re-arming alone does NOT lift the block: the hot subnet's counters are
+  // still outliers, so the very next tracked packet re-latches before the
+  // mitigation stage runs — by design.  The controller must also reset the
+  // distribution (exactly what the drill-down does when re-binding).
+  f.app.rearm(1);
+  EXPECT_FALSE(f.send(ipv4(10, 0, 4, 1), t++)) << "stale counters re-latch";
+  f.app.rearm(1);
+  f.app.reset_distribution(1);
+  EXPECT_TRUE(f.send(ipv4(10, 0, 4, 1), t++))
+      << "rearm + reset lifts the block";
+}
+
+TEST(Mitigation, InactiveWithoutAlert) {
+  Fixture f;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;
+  f.app.install_mitigation(spec);
+  // hot_value defaults to 0 and alerted is 0: nothing may be dropped, not
+  // even traffic whose extracted value happens to be 0.
+  EXPECT_TRUE(f.send(ipv4(10, 0, 0, 5), 0));
+  EXPECT_TRUE(f.send(ipv4(10, 0, 3, 5), 1));
+}
+
+TEST(Mitigation, TableAddsOneStage) {
+  Fixture f;
+  const auto a = p4sim::analyze_switch(f.app.sw());
+  EXPECT_EQ(a.tables, 4u);
+  EXPECT_EQ(a.pipeline_stages, 4u);
+}
+
+// --------------------------------------------------------------- track_value
+
+TEST(TrackValue, StatsMatchLibraryOnPacketLengths) {
+  Fixture f;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 2;
+  spec.shift = 0;
+  spec.mask = 0xFFFF;  // lengths fit
+  spec.check = false;
+  f.app.install_value_binding(spec);
+
+  stat4::RunningStats lib;
+  std::mt19937_64 rng(1);
+  TimeNs t = 0;
+  for (int i = 0; i < 150; ++i) {
+    const auto pad = 64 + static_cast<std::uint32_t>(rng() % 128);
+    f.send(ipv4(10, 0, 1, 1), t++, pad);
+    lib.add(pad);  // make_udp_packet pads to exactly `pad` bytes
+  }
+  const auto& rf = f.app.sw().registers();
+  const auto& regs = f.app.regs();
+  EXPECT_EQ(rf.read(regs.n, 2), lib.n());
+  EXPECT_EQ(rf.read(regs.xsum, 2), static_cast<std::uint64_t>(lib.xsum()));
+  EXPECT_EQ(rf.read(regs.xsumsq, 2),
+            static_cast<std::uint64_t>(lib.xsumsq()));
+  EXPECT_EQ(rf.read(regs.var, 2),
+            static_cast<std::uint64_t>(lib.variance_nx()));
+}
+
+TEST(TrackValue, SamplesStoredInCounterRow) {
+  Fixture f;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.mask = 0xFFFF;
+  spec.check = false;
+  f.app.install_value_binding(spec);
+
+  const std::uint32_t sizes[] = {100, 200, 300};
+  TimeNs t = 0;
+  for (const auto sz : sizes) f.send(ipv4(10, 0, 1, 1), t++, sz);
+
+  const auto& rf = f.app.sw().registers();
+  const std::uint64_t base = 1 * f.app.config().counter_size;
+  EXPECT_EQ(rf.read(f.app.regs().counters, base + 0), 100u);
+  EXPECT_EQ(rf.read(f.app.regs().counters, base + 1), 200u);
+  EXPECT_EQ(rf.read(f.app.regs().counters, base + 2), 300u);
+}
+
+TEST(TrackValue, OutlierDigestOnGiantValue) {
+  Fixture f;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.mask = 0xFFFF;
+  spec.check = true;
+  spec.min_total = 64;
+  f.app.install_value_binding(spec);
+
+  // Steady packet sizes, deterministic jitter.
+  constexpr std::uint32_t kSizes[] = {480, 500, 520, 500, 500};
+  TimeNs t = 0;
+  for (int i = 0; i < 200; ++i) {
+    f.send(ipv4(10, 0, 1, 1), t++, kSizes[i % 5]);
+  }
+  ASSERT_TRUE(f.digests.empty());
+
+  // A jumbo frame: clear upper outlier.
+  f.send(ipv4(10, 0, 1, 1), t++, 9000);
+  ASSERT_EQ(f.digests.size(), 1u);
+  EXPECT_EQ(f.digests[0].id, kDigestValueOutlier);
+  EXPECT_EQ(f.digests[0].payload[1], 9000u);
+}
+
+TEST(TrackValue, MedianOptionRejected) {
+  Fixture f;
+  FreqBindingSpec spec;
+  spec.median = true;
+  EXPECT_THROW(f.app.install_value_binding(spec), stat4::UsageError);
+}
+
+// --------------------------------------------------------------- stall check
+
+TEST(StallCheck, DetectsRateCollapse) {
+  Fixture f;
+  f.app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8 * kMillisecond, 100,
+                             /*min_history=*/8, /*stall_check=*/true);
+
+  // Steady ~100/interval.
+  constexpr int kJitter[] = {95, 100, 105, 100, 100};
+  TimeNs t = 0;
+  for (int interval = 0; interval < 40; ++interval) {
+    for (int i = 0; i < kJitter[interval % 5]; ++i) {
+      f.send(ipv4(10, 0, 1, 1), t + i * 1000);
+    }
+    t += 8 * kMillisecond;
+  }
+  ASSERT_TRUE(f.digests.empty());
+
+  // The remote path fails: a trickle of 2 packets per interval (the window
+  // program needs SOME packet to close intervals; total silence is caught
+  // by the controller's liveness timer in a full deployment).
+  for (int interval = 0; interval < 3; ++interval) {
+    f.send(ipv4(10, 0, 1, 1), t);
+    f.send(ipv4(10, 0, 1, 1), t + kMillisecond);
+    t += 8 * kMillisecond;
+  }
+  f.send(ipv4(10, 0, 1, 1), t);
+  ASSERT_FALSE(f.digests.empty()) << "collapse not detected";
+  EXPECT_EQ(f.digests[0].id, kDigestRateStall);
+  EXPECT_LE(f.digests[0].payload[1], 2u) << "offending interval count";
+}
+
+TEST(StallCheck, DisabledByDefault) {
+  Fixture f;
+  f.app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8 * kMillisecond, 100,
+                             8);  // stall_check defaults to false
+  constexpr int kJitter[] = {95, 100, 105, 100, 100};
+  TimeNs t = 0;
+  for (int interval = 0; interval < 40; ++interval) {
+    for (int i = 0; i < kJitter[interval % 5]; ++i) {
+      f.send(ipv4(10, 0, 1, 1), t + i * 1000);
+    }
+    t += 8 * kMillisecond;
+  }
+  for (int interval = 0; interval < 3; ++interval) {
+    f.send(ipv4(10, 0, 1, 1), t);
+    t += 8 * kMillisecond;
+  }
+  f.send(ipv4(10, 0, 1, 1), t);
+  EXPECT_TRUE(f.digests.empty()) << "stall digests require opting in";
+}
+
+// ------------------------------------------- end-to-end: detect then block
+
+TEST(Mitigation, SynFloodDetectAndBlockEntirelyInSwitch) {
+  // The full local loop for the SYN-flood use case: detect the victim's
+  // anomalous SYN frequency AND rate-limit it, all in the data plane.
+  Fixture f;
+  FreqBindingSpec syn;
+  syn.dst_prefix = ipv4(10, 0, 1, 0);
+  syn.dst_prefix_len = 24;
+  syn.protocol = p4sim::kIpProtoTcp;
+  syn.flag_mask = p4sim::kTcpSyn;
+  syn.flag_value = p4sim::kTcpSyn;
+  syn.dist = 1;
+  syn.shift = 0;
+  syn.mask = 0xFF;
+  syn.check = true;
+  syn.min_total = 256;
+  f.app.install_freq_binding(syn);
+  // Mitigation matches the same traffic class (TCP SYNs into the subnet).
+  f.app.install_mitigation(syn);
+
+  auto send_tcp = [&](unsigned host, std::uint8_t flags, TimeNs ts) {
+    p4sim::Packet pkt = p4sim::make_tcp_packet(
+        ipv4(8, 8, 8, 8), ipv4(10, 0, 1, host), 1000, 80, flags);
+    pkt.ingress_ts = ts;
+    auto out = f.app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) f.digests.push_back(d);
+    return !out.dropped;
+  };
+
+  // Balanced SYNs across 16 servers.
+  TimeNs t = 0;
+  for (int i = 0; i < 1600; ++i) {
+    ASSERT_TRUE(send_tcp(1 + static_cast<unsigned>(i % 16), p4sim::kTcpSyn,
+                         t++));
+  }
+  ASSERT_TRUE(f.digests.empty());
+
+  // Flood host 7 until detection.
+  while (f.digests.empty()) {
+    send_tcp(7, p4sim::kTcpSyn, t++);
+    ASSERT_LT(t, 20000);
+  }
+  // SYNs to the victim are now dropped; SYNs elsewhere and non-SYN traffic
+  // to the victim still flow (it is a SYN rate limiter, not a blackhole).
+  EXPECT_FALSE(send_tcp(7, p4sim::kTcpSyn, t++));
+  EXPECT_TRUE(send_tcp(8, p4sim::kTcpSyn, t++));
+  EXPECT_TRUE(send_tcp(7, p4sim::kTcpAck, t++))
+      << "established traffic to the victim must survive";
+}
+
+}  // namespace
+}  // namespace stat4p4

@@ -1,0 +1,330 @@
+// Tests for the restricted ALU, program builder and interpreter.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "p4sim/action.hpp"
+#include "p4sim/craft.hpp"
+#include "p4sim/register_file.hpp"
+#include "stat4/approx_math.hpp"
+
+namespace p4sim {
+namespace {
+
+/// Runs a builder-produced program against fresh state and returns the value
+/// left in `result_temp` (captured through a register write).
+struct Harness {
+  Harness() {
+    result_reg = regs.declare("result", 4);
+  }
+
+  Word run(Program program, std::vector<Word> action_data = {}) {
+    Packet pkt = make_udp_packet(ipv4(1, 2, 3, 4), ipv4(10, 0, 5, 6), 7, 8);
+    parsed = parse(pkt);
+    PacketView view;
+    view.parsed = &parsed;
+    view.meta_ingress_ts = 1234;
+    view.meta_ingress_port = 2;
+    view.meta_packet_length = pkt.size();
+    ExecutionContext ctx;
+    ctx.view = &view;
+    ctx.registers = &regs;
+    ctx.action_data = action_data;
+    ctx.digests = &digests;
+    execute(program, ctx);
+    return regs.read(result_reg, 0);
+  }
+
+  RegisterFile regs;
+  RegisterId result_reg = 0;
+  ParsedPacket parsed;
+  std::vector<Digest> digests;
+};
+
+/// Builds a program computing f(builder) and storing it in result[0].
+template <typename F>
+Program unary_program(F&& f) {
+  ProgramBuilder b("test");
+  const TempId zero = b.konst(0);
+  const TempId r = f(b);
+  b.store_reg(0, zero, r);
+  return b.take();
+}
+
+TEST(Alu, ArithmeticBasics) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.add(b.konst(40), b.konst(2));
+            })),
+            42u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.sub(b.konst(40), b.konst(2));
+            })),
+            38u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.mul(b.konst(6), b.konst(7));
+            })),
+            42u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.shl(b.konst(1), b.konst(10));
+            })),
+            1024u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.shr(b.konst(1024), b.konst(3));
+            })),
+            128u);
+}
+
+TEST(Alu, SubtractionWrapsLikeP4BitTypes) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.sub(b.konst(0), b.konst(1));
+            })),
+            ~Word{0});
+}
+
+TEST(Alu, ComparisonsProduceBooleans) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.lt(b.konst(3), b.konst(5));
+            })),
+            1u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.ge(b.konst(3), b.konst(5));
+            })),
+            0u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.eq(b.konst(5), b.konst(5));
+            })),
+            1u);
+}
+
+TEST(Alu, SelectActsAsTernary) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.select(b.konst(1), b.konst(10), b.konst(20));
+            })),
+            10u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.select(b.konst(0), b.konst(10), b.konst(20));
+            })),
+            20u);
+}
+
+TEST(Alu, ParamReadsActionData) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) { return b.param(1); }),
+                  {11, 22, 33}),
+            22u);
+  // Missing action data reads as zero, like an uninitialized P4 param.
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) { return b.param(9); }),
+                  {11}),
+            0u);
+}
+
+TEST(Alu, FieldLoads) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.load_field(FieldRef::kIpv4Dst);
+            })),
+            ipv4(10, 0, 5, 6));
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.load_field(FieldRef::kMetaIngressTs);
+            })),
+            1234u);
+}
+
+TEST(Alu, RegisterReadWriteThroughProgram) {
+  Harness h;
+  const RegisterId scratch = h.regs.declare("scratch", 8);
+  ProgramBuilder b("rw");
+  const TempId idx = b.konst(3);
+  const TempId val = b.konst(77);
+  b.store_reg(scratch, idx, val);
+  const TempId readback = b.load_reg(scratch, idx);
+  b.store_reg(0, b.konst(0), readback);
+  h.run(b.take());
+  EXPECT_EQ(h.regs.read(scratch, 3), 77u);
+}
+
+TEST(Alu, DigestOnlyFiresWhenConditionHolds) {
+  Harness h;
+  ProgramBuilder b("dig");
+  const TempId yes = b.konst(1);
+  const TempId no = b.konst(0);
+  const TempId w = b.konst(42);
+  b.digest_if(no, 7, w, w, w);
+  b.digest_if(yes, 9, w, w, w);
+  h.run(b.take());
+  ASSERT_EQ(h.digests.size(), 1u);
+  EXPECT_EQ(h.digests[0].id, 9u);
+  EXPECT_EQ(h.digests[0].payload[0], 42u);
+  EXPECT_EQ(h.digests[0].time, 0);
+}
+
+TEST(Builder, MsbIndexMatchesReference) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const Word y = (rng() % (Word{1} << 60)) + 1;
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.msb_index(b.konst(y));
+    }));
+    ASSERT_EQ(got, static_cast<Word>(stat4::msb_index(y))) << "y=" << y;
+  }
+}
+
+TEST(Builder, ApproxSqrtBitExactWithLibrary) {
+  // The P4-program rendering of Figure 2 must agree bit-for-bit with the
+  // C++ library implementation — the continuous form of the Section 3
+  // validation.
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const Word y = rng() % (Word{1} << 50);
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.approx_sqrt(b.konst(y));
+    }));
+    ASSERT_EQ(got, stat4::approx_sqrt(y)) << "y=" << y;
+  }
+}
+
+TEST(Builder, ApproxSqrtSmallValuesExhaustive) {
+  for (Word y = 0; y <= 4096; ++y) {
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.approx_sqrt(b.konst(y));
+    }));
+    ASSERT_EQ(got, stat4::approx_sqrt(y)) << "y=" << y;
+  }
+}
+
+TEST(Builder, ApproxSquareBitExactWithLibrary) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Word y = rng() % (Word{1} << 31);
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.approx_square(b.konst(y));
+    }));
+    ASSERT_EQ(got, stat4::approx_square(y)) << "y=" << y;
+  }
+}
+
+TEST(Builder, ApproxMulCloseToProduct) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const Word a = (rng() % 100000) + 1;
+    const Word b_ = (rng() % 100000) + 1;
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.approx_mul(b.konst(a), b.konst(b_));
+    }));
+    const double truth = static_cast<double>(a) * static_cast<double>(b_);
+    const double rel = (truth - static_cast<double>(got)) / truth;
+    ASSERT_GE(rel, 0.0) << a << "*" << b_;  // always an underestimate
+    ASSERT_LT(rel, 0.25) << a << "*" << b_;
+  }
+}
+
+TEST(Builder, ApproxMulZeroOperand) {
+  Harness h;
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.approx_mul(b.konst(0), b.konst(123));
+            })),
+            0u);
+  EXPECT_EQ(h.run(unary_program([](ProgramBuilder& b) {
+              return b.approx_mul(b.konst(123), b.konst(0));
+            })),
+            0u);
+}
+
+TEST(Builder, MulShiftAddExactForThirtyTwoBitOperands) {
+  std::mt19937_64 rng(0x3A3A);
+  for (int i = 0; i < 300; ++i) {
+    const Word a = rng() & 0xFFFFFFFF;
+    const Word b_ = rng() & 0xFFFFFFFF;
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.mul_shift_add(b.konst(a), b.konst(b_), 32);
+    }));
+    ASSERT_EQ(got, a * b_) << a << " * " << b_;
+  }
+}
+
+TEST(Builder, MulShiftAddNarrowLadderMasksHighBits) {
+  // An 8-bit ladder multiplies by only the low 8 bits of `a` — exactly
+  // the semantics the Stat4 programs rely on when they bound the ladder by
+  // a known operand width.
+  Harness h;
+  const Word got = h.run(unary_program([](ProgramBuilder& b) {
+    return b.mul_shift_add(b.konst(0x105), b.konst(10), 8);
+  }));
+  EXPECT_EQ(got, 0x05u * 10u);
+}
+
+TEST(Builder, MulShiftAddRejectsBadWidth) {
+  ProgramBuilder b("w");
+  const TempId x = b.konst(1);
+  EXPECT_THROW((void)b.mul_shift_add(x, x, 0), std::invalid_argument);
+  EXPECT_THROW((void)b.mul_shift_add(x, x, 65), std::invalid_argument);
+}
+
+TEST(Builder, ApproxLog2BitExactWithLibrary) {
+  std::mt19937_64 rng(0x106);
+  for (int i = 0; i < 300; ++i) {
+    const Word y = rng() % (Word{1} << 40);
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.approx_log2(b.konst(y));
+    }));
+    ASSERT_EQ(got, stat4::approx_log2(y)) << "y=" << y;
+  }
+  for (Word y = 0; y < 2048; ++y) {
+    Harness h;
+    const Word got = h.run(unary_program([&](ProgramBuilder& b) {
+      return b.approx_log2(b.konst(y));
+    }));
+    ASSERT_EQ(got, stat4::approx_log2(y)) << "y=" << y;
+  }
+}
+
+TEST(Validation, MulForbiddenOnNoMulProfile) {
+  ProgramBuilder b("mul");
+  const TempId r = b.mul(b.konst(2), b.konst(3));
+  b.store_reg(0, b.konst(0), r);
+  const Program p = b.take();
+  EXPECT_NO_THROW(p.validate(AluProfile::bmv2()));
+  EXPECT_THROW(p.validate(AluProfile::hardware_no_mul()),
+               std::invalid_argument);
+}
+
+TEST(Validation, ApproxVariantsPassNoMulProfile) {
+  ProgramBuilder b("approx");
+  const TempId r = b.approx_mul(b.approx_square(b.konst(9)), b.konst(3));
+  b.store_reg(0, b.konst(0), r);
+  const Program p = b.take();
+  EXPECT_NO_THROW(p.validate(AluProfile::hardware_no_mul()));
+}
+
+TEST(Validation, InstructionBudgetEnforced) {
+  ProgramBuilder b("big");
+  TempId acc = b.konst(0);
+  for (int i = 0; i < 100; ++i) acc = b.add(acc, b.konst(1));
+  const Program p = b.take();
+  AluProfile tiny;
+  tiny.max_instructions = 10;
+  EXPECT_THROW(p.validate(tiny), std::invalid_argument);
+}
+
+TEST(Validation, TempPoolExhaustionThrows) {
+  ProgramBuilder b("huge");
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i < kTempCount + 1; ++i) b.konst(1);
+      },
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4sim

@@ -1,0 +1,224 @@
+// Tests for the one-step-per-packet percentile tracking of Figure 3.
+#include "stat4/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "baseline/exact_stats.hpp"
+#include "stat4/freq_dist.hpp"
+
+namespace stat4 {
+namespace {
+
+/// Drives a FreqDist + median tracker with a value stream.
+struct MedianHarness {
+  explicit MedianHarness(std::size_t domain) : dist(domain) {
+    idx = dist.attach_percentile(Percentile{50});
+  }
+  void feed(Value v) { dist.observe(v); }
+  [[nodiscard]] Value median() const { return dist.percentile(idx).position(); }
+  FreqDist dist;
+  std::size_t idx = 0;
+};
+
+TEST(PercentileTracker, RejectsDegeneratePercentiles) {
+  std::vector<Count> f(4, 0);
+  EXPECT_THROW(PercentileTracker(Percentile{0}, f), UsageError);
+  EXPECT_THROW(PercentileTracker(Percentile{100}, f), UsageError);
+  EXPECT_NO_THROW(PercentileTracker(Percentile{1}, f));
+  EXPECT_NO_THROW(PercentileTracker(Percentile{99}, f));
+}
+
+TEST(PercentileTracker, FirstObservationSeedsPosition) {
+  MedianHarness h(16);
+  h.feed(7);
+  EXPECT_TRUE(h.dist.percentile(0).observed());
+  EXPECT_EQ(h.median(), 7u);
+}
+
+TEST(PercentileTracker, PaperFigure3Example) {
+  // Figure 3: values 1..10, frequencies {0,10,2,0,0,1,0,0,5,6}, median at 4,
+  // low = 12, high = 12.  Adding an 8 makes high = 13 > low + f[4] = 12, so
+  // the median moves one slot up (towards 6, crossing the empty slot 5).
+  FreqDist dist(11);  // domain 0..10
+  const std::size_t mi = dist.attach_percentile(Percentile{50});
+
+  // Build the frequency state directly, then restore the tracker snapshot
+  // the paper depicts.
+  const std::vector<Count> target = {0, 0, 10, 2, 0, 0, 1, 0, 0, 5, 6};
+  for (Value v = 0; v < target.size(); ++v) {
+    for (Count i = 0; i < target[v]; ++i) dist.observe(v);
+  }
+  dist.percentile(mi).restore_state(/*pos=*/4, /*low=*/12, /*high=*/12);
+
+  dist.observe(8);
+  EXPECT_EQ(dist.percentile(mi).position(), 5u)
+      << "one packet moves the median one slot";
+  EXPECT_EQ(dist.percentile(mi).low_count(), 12u);
+  EXPECT_EQ(dist.percentile(mi).high_count(), 13u);
+
+  dist.observe(8);  // second packet completes the move across empty slot 5
+  EXPECT_EQ(dist.percentile(mi).position(), 6u);
+}
+
+TEST(PercentileTracker, ConvergesToSingleMass) {
+  MedianHarness h(32);
+  h.feed(3);
+  for (int i = 0; i < 50; ++i) h.feed(20);
+  EXPECT_EQ(h.median(), 20u);
+}
+
+TEST(PercentileTracker, StableWhenBalanced) {
+  MedianHarness h(16);
+  h.feed(8);
+  for (int i = 0; i < 100; ++i) {
+    h.feed(4);
+    h.feed(12);
+  }
+  // Mass is symmetric around 8; the median must not drift away.
+  EXPECT_EQ(h.median(), 8u);
+}
+
+TEST(PercentileTracker, MovesAtMostOneSlotPerPacket) {
+  MedianHarness h(1024);
+  h.feed(0);
+  Value prev = h.median();
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    h.feed(rng() % 1024);
+    const Value cur = h.median();
+    const auto diff = cur > prev ? cur - prev : prev - cur;
+    ASSERT_LE(diff, 1u) << "packet " << i;
+    prev = cur;
+  }
+}
+
+TEST(PercentileTracker, LowHighInvariantMaintained) {
+  // low/high must always equal the true mass below/above the position.
+  FreqDist dist(64);
+  const auto mi = dist.attach_percentile(Percentile{50});
+  std::mt19937_64 rng(12);
+  for (int i = 0; i < 4000; ++i) {
+    dist.observe(rng() % 64);
+    const auto& t = dist.percentile(mi);
+    Count below = 0;
+    Count above = 0;
+    for (Value v = 0; v < 64; ++v) {
+      if (v < t.position()) below += dist.frequency(v);
+      if (v > t.position()) above += dist.frequency(v);
+    }
+    ASSERT_EQ(t.low_count(), below) << "packet " << i;
+    ASSERT_EQ(t.high_count(), above) << "packet " << i;
+  }
+}
+
+TEST(PercentileTracker, MedianTracksUniformStream) {
+  // Table 3 setup: uniform values in [0, N); after N/2 samples the error is
+  // at most 1%.  We assert a 2% envelope for robustness.
+  for (const std::size_t n : {100u, 1000u}) {
+    MedianHarness h(n);
+    std::mt19937_64 rng(n);
+    for (std::size_t i = 0; i < 4 * n; ++i) h.feed(rng() % n);
+    const auto exact = baseline::exact_median(h.dist.frequencies());
+    const double err =
+        std::abs(static_cast<double>(h.median()) -
+                 static_cast<double>(exact)) /
+        static_cast<double>(n);
+    EXPECT_LT(err, 0.02) << "N=" << n;
+  }
+}
+
+TEST(PercentileTracker, NinetiethPercentileRule) {
+  // "tracking the 90-th percentile p amounts to ensuring that the frequency
+  // of values lower than p is nine times bigger than the frequency of values
+  // higher than p."
+  FreqDist dist(100);
+  const auto pi = dist.attach_percentile(Percentile{90});
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 50000; ++i) dist.observe(rng() % 100);
+  const auto& t = dist.percentile(pi);
+  const auto exact = baseline::exact_percentile(dist.frequencies(), 90);
+  const double err = std::abs(static_cast<double>(t.position()) -
+                              static_cast<double>(exact));
+  EXPECT_LE(err, 2.0) << "tracked=" << t.position() << " exact=" << exact;
+}
+
+TEST(PercentileTracker, TenthPercentileSymmetric) {
+  FreqDist dist(100);
+  const auto pi = dist.attach_percentile(Percentile{10});
+  std::mt19937_64 rng(14);
+  for (int i = 0; i < 50000; ++i) dist.observe(rng() % 100);
+  const auto exact = baseline::exact_percentile(dist.frequencies(), 10);
+  const double err =
+      std::abs(static_cast<double>(dist.percentile(pi).position()) -
+               static_cast<double>(exact));
+  EXPECT_LE(err, 2.0);
+}
+
+TEST(PercentileTracker, SkewedDistribution) {
+  // 90% of mass at 5, 10% at 50: median must sit at 5.
+  MedianHarness h(64);
+  std::mt19937_64 rng(15);
+  for (int i = 0; i < 10000; ++i) h.feed(rng() % 10 == 0 ? 50 : 5);
+  EXPECT_EQ(h.median(), 5u);
+}
+
+TEST(PercentileTracker, DecrementSupportsWindowedTracking) {
+  FreqDist dist(32);
+  const auto mi = dist.attach_percentile(Percentile{50});
+  // Fill with low values, then slide the window to high values.
+  for (int i = 0; i < 200; ++i) dist.observe(4);
+  for (int i = 0; i < 200; ++i) {
+    dist.observe(24);
+    dist.unobserve(4);
+  }
+  // Let the tracker catch up: it moves one slot per update, so feed a few
+  // balanced updates.
+  for (int i = 0; i < 64; ++i) {
+    dist.observe(24);
+    dist.unobserve(24);
+  }
+  EXPECT_EQ(dist.percentile(mi).position(), 24u);
+}
+
+TEST(PercentileTracker, RestoreStateValidatesDomain) {
+  std::vector<Count> f(8, 0);
+  PercentileTracker t(Percentile{50}, f);
+  EXPECT_THROW(t.restore_state(8, 0, 0), UsageError);
+  EXPECT_NO_THROW(t.restore_state(7, 0, 0));
+}
+
+TEST(PercentileTracker, ResetForgetsEverything) {
+  MedianHarness h(16);
+  h.feed(5);
+  h.feed(5);
+  h.dist.reset();
+  EXPECT_FALSE(h.dist.percentile(0).observed());
+  EXPECT_EQ(h.dist.total(), 0u);
+}
+
+// Parameterized sweep over percentiles: on a large uniform stream every
+// tracked percentile must land near its exact value.
+class PercentileSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PercentileSweep, TracksUniformStream) {
+  const unsigned p = GetParam();
+  FreqDist dist(200);
+  const auto pi = dist.attach_percentile(Percentile{p});
+  std::mt19937_64 rng(p * 7919);
+  for (int i = 0; i < 100000; ++i) dist.observe(rng() % 200);
+  const auto exact = baseline::exact_percentile(dist.frequencies(), p);
+  const double err =
+      std::abs(static_cast<double>(dist.percentile(pi).position()) -
+               static_cast<double>(exact));
+  EXPECT_LE(err, 3.0) << "percentile " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepPercentiles, PercentileSweep,
+                         ::testing::Values(5, 10, 25, 50, 75, 90, 95, 99));
+
+}  // namespace
+}  // namespace stat4

@@ -1,0 +1,76 @@
+// Tests for the register file (the P4 register extern).
+#include "p4sim/register_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4sim {
+namespace {
+
+TEST(RegisterFile, DeclarationValidation) {
+  RegisterFile rf;
+  EXPECT_THROW(rf.declare("zero", 0), std::invalid_argument);
+  EXPECT_THROW(rf.declare("wide", 4, 65), std::invalid_argument);
+  EXPECT_THROW(rf.declare("nil", 4, 0), std::invalid_argument);
+  EXPECT_NO_THROW(rf.declare("ok", 4, 64));
+  EXPECT_NO_THROW(rf.declare("bit", 4, 1));
+}
+
+TEST(RegisterFile, ReadWriteRoundTrip) {
+  RegisterFile rf;
+  const auto id = rf.declare("r", 8);
+  rf.write(id, 3, 0xDEADBEEF);
+  EXPECT_EQ(rf.read(id, 3), 0xDEADBEEFu);
+  EXPECT_EQ(rf.read(id, 4), 0u) << "other cells start at zero";
+}
+
+TEST(RegisterFile, WidthMasking) {
+  // Writes truncate to the declared width, like a P4 bit<W> register.
+  RegisterFile rf;
+  const auto r8 = rf.declare("r8", 2, 8);
+  rf.write(r8, 0, 0x1FF);
+  EXPECT_EQ(rf.read(r8, 0), 0xFFu);
+  const auto r1 = rf.declare("r1", 2, 1);
+  rf.write(r1, 0, 2);
+  EXPECT_EQ(rf.read(r1, 0), 0u);
+  rf.write(r1, 0, 3);
+  EXPECT_EQ(rf.read(r1, 0), 1u);
+  const auto r64 = rf.declare("r64", 1, 64);
+  rf.write(r64, 0, ~Word{0});
+  EXPECT_EQ(rf.read(r64, 0), ~Word{0});
+}
+
+TEST(RegisterFile, OutOfBoundsSemantics) {
+  // Reads return 0, writes are dropped — no faults on the data path.
+  RegisterFile rf;
+  const auto id = rf.declare("r", 4);
+  EXPECT_EQ(rf.read(id, 100), 0u);
+  rf.write(id, 100, 42);  // silently dropped
+  EXPECT_EQ(rf.read(id, 100), 0u);
+  // Unknown arrays, however, are programming errors.
+  EXPECT_THROW((void)rf.read(99, 0), std::out_of_range);
+  EXPECT_THROW(rf.write(99, 0, 1), std::out_of_range);
+  EXPECT_THROW((void)rf.info(99), std::out_of_range);
+}
+
+TEST(RegisterFile, StateAccounting) {
+  RegisterFile rf;
+  rf.declare("a", 100, 64);  // 800 bytes
+  rf.declare("b", 10, 8);    // 10 bytes
+  rf.declare("c", 16, 12);   // 12 bits -> 2 bytes per cell -> 32 bytes
+  EXPECT_EQ(rf.total_state_bytes(), 800u + 10u + 32u);
+  EXPECT_EQ(rf.array_count(), 3u);
+  EXPECT_EQ(rf.info(0).name, "a");
+  EXPECT_EQ(rf.info(2).width_bits, 12u);
+}
+
+TEST(RegisterFile, ClearZeroesEverything) {
+  RegisterFile rf;
+  const auto id = rf.declare("r", 4);
+  rf.write(id, 0, 1);
+  rf.write(id, 3, 2);
+  rf.clear();
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(rf.read(id, i), 0u);
+}
+
+}  // namespace
+}  // namespace p4sim

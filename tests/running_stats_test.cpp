@@ -1,0 +1,306 @@
+// Tests for the N-scaled online statistics (Section 2 identities).
+#include "stat4/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "baseline/exact_stats.hpp"
+#include "baseline/welford.hpp"
+#include "stat4/approx_math.hpp"
+
+namespace stat4 {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  RunningStats s;
+  EXPECT_EQ(s.n(), 0u);
+  EXPECT_EQ(s.xsum(), 0);
+  EXPECT_EQ(s.xsumsq(), 0);
+  EXPECT_EQ(s.variance_nx(), 0);
+  EXPECT_EQ(s.stddev_nx(), 0u);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(2);
+  // Figure 5's first packet: N=1, Xsum=2, Xsumsq=4, var=0, sd=0.
+  EXPECT_EQ(s.n(), 1u);
+  EXPECT_EQ(s.xsum(), 2);
+  EXPECT_EQ(s.xsumsq(), 4);
+  EXPECT_EQ(s.variance_nx(), 0);
+  EXPECT_EQ(s.stddev_nx(), 0u);
+}
+
+TEST(RunningStats, MeanOfNxIsXsum) {
+  RunningStats s;
+  for (Value x : {3u, 5u, 7u, 9u}) s.add(x);
+  // NX = {4*3, 4*5, 4*7, 4*9}; mean(NX) = 4*6 = 24 = Xsum.
+  EXPECT_EQ(s.mean_nx(), 24);
+  EXPECT_EQ(s.n(), 4u);
+}
+
+TEST(RunningStats, VarianceIdentityMatchesDefinition) {
+  // var(NX) = N * Xsumsq - Xsum^2 must equal the from-scratch variance of
+  // the N-scaled values.
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    RunningStats s;
+    std::vector<std::uint64_t> values;
+    const int n = 1 + static_cast<int>(rng() % 64);
+    for (int i = 0; i < n; ++i) {
+      const Value x = rng() % 1000;
+      values.push_back(x);
+      s.add(x);
+    }
+    const auto truth = baseline::compute_nx_stats(values);
+    ASSERT_EQ(s.n(), truth.n);
+    ASSERT_EQ(s.xsum(), truth.xsum);
+    ASSERT_EQ(s.xsumsq(), truth.xsumsq);
+    ASSERT_EQ(s.variance_nx(), truth.variance_nx);
+  }
+}
+
+TEST(RunningStats, VarianceMatchesWelfordScaledByNCubed) {
+  // var(NX) = N^2 * var(X) and Welford computes var(X) (population form),
+  // so var_nx ~= N^2 * welford.variance() up to float rounding.
+  std::mt19937_64 rng(43);
+  RunningStats s;
+  baseline::Welford w;
+  for (int i = 0; i < 500; ++i) {
+    const Value x = rng() % 100;
+    s.add(x);
+    w.add(static_cast<double>(x));
+    const double expected = static_cast<double>(s.n()) *
+                            static_cast<double>(s.n()) * w.variance();
+    ASSERT_NEAR(static_cast<double>(s.variance_nx()), expected,
+                std::max(1.0, expected * 1e-9))
+        << "after " << i + 1 << " values";
+  }
+}
+
+TEST(RunningStats, StdDevLazyCacheInvalidatedByUpdates) {
+  RunningStats s;
+  s.add(1);
+  s.add(9);
+  const Value sd1 = s.stddev_nx();
+  EXPECT_EQ(s.stddev_nx(), sd1);  // cached read, same value
+  s.add(100);
+  const Value sd2 = s.stddev_nx();
+  EXPECT_NE(sd1, sd2);  // update must invalidate the cache
+}
+
+TEST(RunningStats, StdDevApproxTracksExact) {
+  std::mt19937_64 rng(44);
+  RunningStats s;
+  for (int i = 0; i < 2000; ++i) {
+    s.add(rng() % 1000);
+    if (s.variance_nx() > 100) {
+      const auto approx = static_cast<double>(s.stddev_nx());
+      const auto exact = static_cast<double>(s.stddev_nx_exact());
+      ASSERT_LT(std::abs(approx - exact) / exact, 0.065)
+          << "variance=" << s.variance_nx();
+    }
+  }
+}
+
+TEST(RunningStats, RemoveUndoesAdd) {
+  RunningStats s;
+  std::mt19937_64 rng(45);
+  std::vector<Value> vals;
+  for (int i = 0; i < 100; ++i) {
+    vals.push_back(rng() % 500);
+    s.add(vals.back());
+  }
+  const auto n = s.n();
+  const auto sum = s.xsum();
+  const auto sumsq = s.xsumsq();
+  s.add(77);
+  s.remove(77);
+  EXPECT_EQ(s.n(), n);
+  EXPECT_EQ(s.xsum(), sum);
+  EXPECT_EQ(s.xsumsq(), sumsq);
+}
+
+TEST(RunningStats, RemoveFromEmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.remove(1), UsageError);
+}
+
+TEST(RunningStats, ReplaceEqualsRemoveThenAdd) {
+  RunningStats a;
+  RunningStats b;
+  for (Value x : {10u, 20u, 30u}) {
+    a.add(x);
+    b.add(x);
+  }
+  a.replace(20, 50);
+  b.remove(20);
+  b.add(50);
+  EXPECT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.xsum(), b.xsum());
+  EXPECT_EQ(a.xsumsq(), b.xsumsq());
+  EXPECT_EQ(a.variance_nx(), b.variance_nx());
+}
+
+TEST(RunningStats, ReplaceOnEmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.replace(1, 2), UsageError);
+}
+
+TEST(RunningStats, FrequencyBumpMatchesDerivedRule) {
+  // Xsumsq += 2f + 1 must equal recomputing sum of squared frequencies.
+  RunningStats s;
+  std::vector<Count> freqs(10, 0);
+  std::mt19937_64 rng(46);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = rng() % freqs.size();
+    s.bump_frequency(freqs[v]);
+    ++freqs[v];
+
+    Accum xsum = 0;
+    Accum xsumsq = 0;
+    Count distinct = 0;
+    for (const auto f : freqs) {
+      const auto fa = static_cast<Accum>(f);
+      xsum += fa;
+      xsumsq += fa * fa;
+      if (f > 0) ++distinct;
+    }
+    ASSERT_EQ(s.xsum(), xsum);
+    ASSERT_EQ(s.xsumsq(), xsumsq);
+    ASSERT_EQ(s.n(), distinct);
+  }
+}
+
+TEST(RunningStats, DropFrequencyInvertsBump) {
+  RunningStats s;
+  s.bump_frequency(0);  // f: 0 -> 1, N: 0 -> 1
+  s.bump_frequency(1);  // f: 1 -> 2
+  s.drop_frequency(2);  // f: 2 -> 1
+  s.drop_frequency(1);  // f: 1 -> 0, N: 1 -> 0
+  EXPECT_EQ(s.n(), 0u);
+  EXPECT_EQ(s.xsum(), 0);
+  EXPECT_EQ(s.xsumsq(), 0);
+}
+
+TEST(RunningStats, DropFrequencyOfAbsentElementThrows) {
+  RunningStats s;
+  s.bump_frequency(0);
+  EXPECT_THROW(s.drop_frequency(0), UsageError);
+}
+
+TEST(RunningStats, UpperOutlierDetectsSpike) {
+  RunningStats s;
+  // A steady rate of ~100 per interval...
+  for (int i = 0; i < 50; ++i) s.add(100 + static_cast<Value>(i % 5));
+  // ... then a 10x spike.
+  EXPECT_TRUE(s.upper_outlier(1000).is_outlier);
+  EXPECT_FALSE(s.upper_outlier(103).is_outlier);
+}
+
+TEST(RunningStats, LowerOutlierDetectsStall) {
+  RunningStats s;
+  for (int i = 0; i < 50; ++i) s.add(100 + static_cast<Value>(i % 5));
+  // Traffic stalls to zero — the "remote failure" use case of Table 1.
+  EXPECT_TRUE(s.lower_outlier(0).is_outlier);
+  EXPECT_FALSE(s.lower_outlier(101).is_outlier);
+}
+
+TEST(RunningStats, OutlierVerdictCarriesComparison) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(10);
+  const auto v = s.upper_outlier(20);
+  EXPECT_EQ(v.scaled_value, 200);          // N*x = 10*20
+  EXPECT_EQ(v.threshold, s.xsum() + 2 * static_cast<Accum>(s.stddev_nx()));
+}
+
+TEST(RunningStats, OutlierUsesConfigurableSigma) {
+  RunningStats s;
+  std::mt19937_64 rng(47);
+  for (int i = 0; i < 100; ++i) s.add(100 + rng() % 20);
+  // A value may be outside 2 sigma but inside 6 sigma.
+  Value probe = 135;
+  if (s.upper_outlier(probe, 2).is_outlier) {
+    EXPECT_FALSE(s.upper_outlier(probe, 20).is_outlier);
+  }
+}
+
+TEST(RunningStats, CompareMeanToTargetIsDivisionFree) {
+  RunningStats s;
+  for (Value x : {8u, 10u, 12u}) s.add(x);  // mean 10
+  EXPECT_EQ(s.compare_mean_to(10), 0);
+  EXPECT_EQ(s.compare_mean_to(11), -1);
+  EXPECT_EQ(s.compare_mean_to(9), 1);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats s;
+  s.add(5);
+  s.add(6);
+  s.reset();
+  EXPECT_EQ(s.n(), 0u);
+  EXPECT_EQ(s.xsum(), 0);
+  EXPECT_EQ(s.variance_nx(), 0);
+}
+
+TEST(RunningStats, OverflowThrowPolicy) {
+  RunningStats s(OverflowPolicy::kThrow);
+  const Value huge = 4'000'000'000ULL;  // huge^2 ~ 1.6e19 > int64 max
+  EXPECT_THROW(s.add(huge), OverflowError);
+}
+
+TEST(RunningStats, OverflowSaturatePolicy) {
+  RunningStats s(OverflowPolicy::kSaturate);
+  const Value huge = 4'000'000'000ULL;
+  EXPECT_NO_THROW(s.add(huge));
+  EXPECT_EQ(s.xsumsq(), std::numeric_limits<Accum>::max());
+  // Variance under saturation is clamped to be non-negative.
+  EXPECT_GE(s.variance_nx(), 0);
+}
+
+TEST(RunningStats, ValueBeyondAccumRangeThrowsUsageError) {
+  RunningStats s;
+  EXPECT_THROW(s.add(std::numeric_limits<Value>::max()), UsageError);
+}
+
+TEST(RunningStats, VarianceNeverNegativeProperty) {
+  std::mt19937_64 rng(48);
+  for (int trial = 0; trial < 100; ++trial) {
+    RunningStats s;
+    const int n = 1 + static_cast<int>(rng() % 200);
+    for (int i = 0; i < n; ++i) s.add(rng() % 100000);
+    ASSERT_GE(s.variance_nx(), 0);
+  }
+}
+
+// Property sweep: identity accumulators equal from-scratch recomputation for
+// a range of value magnitudes.
+class MagnitudeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MagnitudeSweep, IdentityHoldsAtMagnitude) {
+  const std::uint64_t mag = GetParam();
+  std::mt19937_64 rng(mag);
+  RunningStats s;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    const Value x = rng() % (mag + 1);
+    values.push_back(x);
+    s.add(x);
+  }
+  const auto truth = baseline::compute_nx_stats(values);
+  EXPECT_EQ(s.variance_nx(), truth.variance_nx);
+  EXPECT_EQ(s.xsum(), truth.xsum);
+}
+
+// Magnitudes follow the paper's "order of magnitude" storage advice: values
+// stay small enough that N*Xsumsq fits comfortably in 64 bits.
+INSTANTIATE_TEST_SUITE_P(Magnitudes, MagnitudeSweep,
+                         ::testing::Values(1, 10, 100, 1000, 10000, 100000,
+                                           1000000));
+
+}  // namespace
+}  // namespace stat4

@@ -1,0 +1,120 @@
+// Tests for sliding-window frequency distributions.
+#include "stat4/sliding_freq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/exact_stats.hpp"
+
+namespace stat4 {
+namespace {
+
+TEST(SlidingFreqDist, RejectsEmptyWindow) {
+  EXPECT_THROW(SlidingFreqDist(8, 0), UsageError);
+}
+
+TEST(SlidingFreqDist, BehavesLikeFreqDistWhileFilling) {
+  SlidingFreqDist sliding(16, 100);
+  FreqDist plain(16);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Value v = rng() % 16;
+    sliding.observe(v);
+    plain.observe(v);
+  }
+  EXPECT_EQ(sliding.total(), plain.total());
+  EXPECT_EQ(sliding.stats().xsum(), plain.stats().xsum());
+  EXPECT_EQ(sliding.stats().xsumsq(), plain.stats().xsumsq());
+  EXPECT_TRUE(sliding.primed());
+}
+
+TEST(SlidingFreqDist, TotalCappedAtWindow) {
+  SlidingFreqDist d(16, 50);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    d.observe(rng() % 16);
+    ASSERT_LE(d.total(), 50u);
+  }
+  EXPECT_EQ(d.total(), 50u);
+}
+
+TEST(SlidingFreqDist, CountersMatchBruteForceWindow) {
+  // Frequencies must equal exactly the counts over the last W observations.
+  constexpr std::size_t kWindow = 64;
+  SlidingFreqDist d(8, kWindow);
+  std::vector<Value> history;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Value v = rng() % 8;
+    d.observe(v);
+    history.push_back(v);
+    if (i % 37 != 0) continue;
+    const std::size_t start =
+        history.size() > kWindow ? history.size() - kWindow : 0;
+    std::vector<Count> expect(8, 0);
+    for (std::size_t j = start; j < history.size(); ++j) {
+      ++expect[history[j]];
+    }
+    for (Value v2 = 0; v2 < 8; ++v2) {
+      ASSERT_EQ(d.frequency(v2), expect[v2]) << "step " << i;
+    }
+  }
+}
+
+TEST(SlidingFreqDist, StatsTrackWindowExactly) {
+  SlidingFreqDist d(8, 32);
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    d.observe(rng() % 8);
+    if (!d.primed()) continue;
+    // Recompute the frequency-distribution stats from the live counters.
+    std::vector<std::uint64_t> nonzero;
+    for (Value v = 0; v < 8; ++v) {
+      if (d.frequency(v) > 0) nonzero.push_back(d.frequency(v));
+    }
+    const auto truth = baseline::compute_nx_stats(nonzero);
+    ASSERT_EQ(d.stats().n(), truth.n);
+    ASSERT_EQ(d.stats().xsum(), truth.xsum);
+    ASSERT_EQ(d.stats().variance_nx(), truth.variance_nx);
+  }
+}
+
+TEST(SlidingFreqDist, OldImbalanceForgotten) {
+  // The reason this class exists: a historical hot spot must stop looking
+  // like an outlier once it leaves the window.
+  SlidingFreqDist d(8, 200);
+  for (int i = 0; i < 150; ++i) d.observe(3);          // old hot streak
+  for (int i = 0; i < 50; ++i) d.observe(static_cast<Value>(i % 8));
+  EXPECT_TRUE(d.frequency_outlier(3).is_outlier);
+  // A full window of balanced traffic later...
+  for (int i = 0; i < 400; ++i) d.observe(static_cast<Value>(i % 8));
+  EXPECT_FALSE(d.frequency_outlier(3).is_outlier)
+      << "stale imbalance must age out";
+}
+
+TEST(SlidingFreqDist, PercentileTracksWindowedMedian) {
+  SlidingFreqDist d(64, 256);
+  const auto mi = d.attach_percentile(Percentile{50});
+  // Low values first, then the window slides entirely onto high values.
+  for (int i = 0; i < 256; ++i) d.observe(5 + static_cast<Value>(i % 3));
+  for (int i = 0; i < 1024; ++i) d.observe(40 + static_cast<Value>(i % 3));
+  const auto pos = d.percentile(mi).position();
+  EXPECT_GE(pos, 40u);
+  EXPECT_LE(pos, 42u);
+}
+
+TEST(SlidingFreqDist, ResetRestoresEmpty) {
+  SlidingFreqDist d(8, 16);
+  for (int i = 0; i < 40; ++i) d.observe(2);
+  d.reset();
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_FALSE(d.primed());
+  EXPECT_EQ(d.frequency(2), 0u);
+  // Usable again after reset.
+  d.observe(5);
+  EXPECT_EQ(d.frequency(5), 1u);
+}
+
+}  // namespace
+}  // namespace stat4

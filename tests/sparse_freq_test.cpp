@@ -1,0 +1,252 @@
+// Tests for sparse (hash-table) frequency distributions — the Section 5
+// future-work extension — in both the C++ library and the P4 program.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "p4sim/p4sim.hpp"
+#include "stat4/freq_dist.hpp"
+#include "stat4/sparse_freq.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace stat4 {
+namespace {
+
+TEST(SparseFreqDist, RejectsBadConfig) {
+  EXPECT_THROW(SparseFreqDist(0), UsageError);
+  EXPECT_THROW(SparseFreqDist(100), UsageError);  // not a power of two
+  EXPECT_THROW(SparseFreqDist(64, 0), UsageError);
+  EXPECT_THROW(SparseFreqDist(64, 9), UsageError);
+  EXPECT_NO_THROW(SparseFreqDist(64, 2));
+}
+
+TEST(SparseFreqDist, TracksDistinctKeys) {
+  SparseFreqDist d(64);
+  d.observe(0xDEADBEEF);
+  d.observe(0xDEADBEEF);
+  d.observe(42);
+  EXPECT_EQ(d.frequency(0xDEADBEEF), 2u);
+  EXPECT_EQ(d.frequency(42), 1u);
+  EXPECT_EQ(d.frequency(7), 0u);
+  EXPECT_EQ(d.distinct(), 2u);
+  EXPECT_EQ(d.total(), 3u);
+  EXPECT_EQ(d.overflow(), 0u);
+}
+
+TEST(SparseFreqDist, HugeKeysWork) {
+  // The whole point: 64-bit keys with tiny memory.
+  SparseFreqDist d(256);
+  const Value k1 = 0xFFFFFFFF00000001ull;
+  const Value k2 = 0x123456789ABCDEFull;
+  for (int i = 0; i < 10; ++i) d.observe(k1);
+  for (int i = 0; i < 5; ++i) d.observe(k2);
+  EXPECT_EQ(d.frequency(k1), 10u);
+  EXPECT_EQ(d.frequency(k2), 5u);
+}
+
+TEST(SparseFreqDist, StatsMatchDenseEquivalent) {
+  // At low load (64 keys in 1024 slots, 4 probes) nothing overflows, and
+  // sparse and dense must agree on every statistical measure.
+  SparseFreqDist sparse(1024, 4);
+  FreqDist dense(64);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const Value v = rng() % 64;
+    sparse.observe(v);
+    dense.observe(v);
+  }
+  ASSERT_EQ(sparse.overflow(), 0u);
+  EXPECT_EQ(sparse.stats().n(), dense.stats().n());
+  EXPECT_EQ(sparse.stats().xsum(), dense.stats().xsum());
+  EXPECT_EQ(sparse.stats().xsumsq(), dense.stats().xsumsq());
+  EXPECT_EQ(sparse.stats().variance_nx(), dense.stats().variance_nx());
+}
+
+TEST(SparseFreqDist, OverflowCountedNotCorrupted) {
+  // 4 slots, 1 probe: the fifth distinct key cannot fit.
+  SparseFreqDist d(4, 1);
+  std::map<Value, Count> tracked;
+  for (Value k = 0; k < 100; ++k) d.observe(k * 7919);
+  EXPECT_GT(d.overflow(), 0u);
+  // Every tracked frequency is exact — no silent aliasing.
+  for (const auto& [key, count] : d.entries()) {
+    EXPECT_EQ(count, 1u) << "key " << key;
+  }
+  EXPECT_EQ(d.total() + d.overflow(), 100u);
+}
+
+TEST(SparseFreqDist, MoreProbesFitMoreKeys) {
+  std::mt19937_64 rng(2);
+  std::vector<Value> keys;
+  for (int i = 0; i < 48; ++i) keys.push_back(rng());
+
+  SparseFreqDist one_probe(64, 1);
+  SparseFreqDist two_probes(64, 2);
+  SparseFreqDist four_probes(64, 4);
+  for (const auto k : keys) {
+    one_probe.observe(k);
+    two_probes.observe(k);
+    four_probes.observe(k);
+  }
+  EXPECT_GE(two_probes.distinct(), one_probe.distinct());
+  EXPECT_GE(four_probes.distinct(), two_probes.distinct());
+}
+
+TEST(SparseFreqDist, OutlierDetectionOnSparseKeys) {
+  SparseFreqDist d(256);
+  std::mt19937_64 rng(3);
+  std::vector<Value> keys;
+  for (int i = 0; i < 32; ++i) keys.push_back(rng());
+  for (int round = 0; round < 50; ++round) {
+    for (const auto k : keys) d.observe(k);
+  }
+  EXPECT_FALSE(d.frequency_outlier(keys[3]).is_outlier);
+  for (int i = 0; i < 3000; ++i) d.observe(keys[7]);
+  EXPECT_TRUE(d.frequency_outlier(keys[7]).is_outlier);
+  EXPECT_FALSE(d.frequency_outlier(keys[3]).is_outlier);
+}
+
+TEST(SparseFreqDist, ResetClearsEverything) {
+  SparseFreqDist d(64);
+  d.observe(123);
+  d.reset();
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.distinct(), 0u);
+  EXPECT_EQ(d.overflow(), 0u);
+  EXPECT_EQ(d.frequency(123), 0u);
+  EXPECT_TRUE(d.entries().empty());
+}
+
+TEST(SparseFreqDist, MemoryFootprintBeatsDenseForWideDomains) {
+  // Tracking /32 destinations densely would need 2^32 counters; sparse
+  // needs only the table.  (This is the Section 5 motivation.)
+  SparseFreqDist d(1024);
+  EXPECT_LT(d.state_bytes(), 64u * 1024u);
+}
+
+// ------------------------------------------------ P4 program equivalence
+
+struct SparseSwitchFixture {
+  SparseSwitchFixture() {
+    app.install_forward(p4sim::ipv4(0, 0, 0, 0), 0, 1);
+    stat4p4::FreqBindingSpec spec;
+    spec.dist = 1;
+    spec.shift = 0;
+    spec.mask = 0xFFFFFFFF;  // the FULL destination address as the key
+    spec.check = false;
+    handle = app.install_sparse_binding(spec);
+  }
+
+  void send(std::uint32_t dst, TimeNs ts) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(1, dst, 2, 3);
+    pkt.ingress_ts = ts;
+    (void)app.sw().process(std::move(pkt));
+  }
+
+  stat4p4::MonitorApp app;  // counter_size 256 = power of two
+  p4sim::EntryHandle handle = 0;
+};
+
+TEST(SparseP4, BitExactWithCppLibrary) {
+  SparseSwitchFixture f;
+  // Library mirror: same capacity (256), same probes (2), same hashes.
+  SparseFreqDist lib(256, 2);
+
+  std::mt19937_64 rng(4);
+  std::vector<std::uint32_t> ips;
+  for (int i = 0; i < 100; ++i) {
+    ips.push_back(static_cast<std::uint32_t>(rng()));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const auto ip = ips[rng() % ips.size()];
+    f.send(ip, i);
+    lib.observe(ip);
+  }
+
+  const auto& rf = f.app.sw().registers();
+  const auto& regs = f.app.regs();
+  EXPECT_EQ(rf.read(regs.n, 1), lib.stats().n());
+  EXPECT_EQ(rf.read(regs.xsum, 1),
+            static_cast<std::uint64_t>(lib.stats().xsum()));
+  EXPECT_EQ(rf.read(regs.xsumsq, 1),
+            static_cast<std::uint64_t>(lib.stats().xsumsq()));
+  EXPECT_EQ(rf.read(regs.var, 1),
+            static_cast<std::uint64_t>(lib.stats().variance_nx()));
+  EXPECT_EQ(rf.read(regs.sparse_overflow, 1), lib.overflow());
+
+  // Spot-check per-key agreement through the probe positions.
+  for (const auto ip : ips) {
+    const auto expected = lib.frequency(ip);
+    // Locate on the switch with the same probe math.
+    Count on_switch = 0;
+    for (unsigned probe = 0; probe < 2; ++probe) {
+      const std::uint64_t h1 = sparse_hash1(ip);
+      const std::uint64_t h2 = sparse_hash2(ip) | 1;
+      const std::uint64_t idx =
+          256 + ((h1 + probe * h2) & 255);  // dist 1 base = 256
+      if (rf.read(regs.sparse_keys, idx) == static_cast<Value>(ip) + 1) {
+        on_switch = rf.read(regs.sparse_counts, idx);
+        break;
+      }
+    }
+    ASSERT_EQ(on_switch, expected) << "ip " << ip;
+  }
+}
+
+TEST(SparseP4, DetectsHeavyHitterAmongFullAddresses) {
+  stat4p4::MonitorApp app;
+  app.install_forward(p4sim::ipv4(0, 0, 0, 0), 0, 1);
+  stat4p4::FreqBindingSpec spec;
+  spec.dist = 1;
+  spec.mask = 0xFFFFFFFF;
+  spec.check = true;
+  spec.min_total = 512;
+  app.install_sparse_binding(spec);
+
+  std::vector<p4sim::Digest> digests;
+  auto send = [&](std::uint32_t dst, TimeNs ts) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(1, dst, 2, 3);
+    pkt.ingress_ts = ts;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+  };
+
+  // Balanced: 64 random /32s round-robin.
+  std::mt19937_64 rng(5);
+  std::vector<std::uint32_t> ips;
+  for (int i = 0; i < 64; ++i) ips.push_back(static_cast<std::uint32_t>(rng()));
+  TimeNs t = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (const auto ip : ips) send(ip, t++);
+  }
+  ASSERT_TRUE(digests.empty());
+
+  // One address goes hot.
+  const std::uint32_t hot = ips[13];
+  for (int i = 0; i < 4000 && digests.empty(); ++i) send(hot, t++);
+  ASSERT_EQ(digests.size(), 1u);
+  EXPECT_EQ(digests[0].id, stat4p4::kDigestImbalance);
+  EXPECT_EQ(digests[0].payload[1], hot) << "digest names the full address";
+}
+
+TEST(SparseP4, RequiresPowerOfTwoCounterSize) {
+  p4sim::P4Switch sw("bad");
+  stat4p4::Stat4Config cfg;
+  cfg.counter_num = 1;
+  cfg.counter_size = 100;  // not a power of two
+  const auto regs = stat4p4::declare_registers(sw, cfg);
+  EXPECT_THROW(
+      (void)stat4p4::build_track_sparse(regs, cfg, p4sim::FieldRef::kIpv4Dst),
+      std::invalid_argument);
+}
+
+TEST(SparseP4, MedianOptionRejected) {
+  stat4p4::MonitorApp app;
+  stat4p4::FreqBindingSpec spec;
+  spec.median = true;
+  EXPECT_THROW(app.install_sparse_binding(spec), UsageError);
+}
+
+}  // namespace
+}  // namespace stat4

@@ -1,0 +1,520 @@
+// Cross-validation of the Stat4 P4 programs against the C++ library and
+// host-side ground truth — the Figure 5 / Section 3 experiment as tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/exact_stats.hpp"
+#include "p4sim/p4sim.hpp"
+#include "stat4/stat4.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace stat4p4 {
+namespace {
+
+using p4sim::ipv4;
+using p4sim::kTcpSyn;
+using p4sim::Packet;
+using stat4::kMillisecond;
+using stat4::TimeNs;
+
+// ------------------------------------------------------------------ echo app
+
+TEST(EchoApp, FirstPacketMatchesFigure5) {
+  // Figure 5 annotates the first reply with N=1, Xsum=2, Xsumsq=4, var=0,
+  // sd=0 — wait: the tracked quantity is the *frequency distribution* of
+  // payload integers, so after one packet f = {1}: N=1, Xsum=1, Xsumsq=1.
+  // The figure's "2" payload refers to the frame's value field; we assert
+  // the distribution semantics of Section 2.
+  EchoApp app;
+  Packet pkt = p4sim::make_echo_packet(2);
+  pkt.ingress_port = 0;
+  auto out = app.sw().process(std::move(pkt));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].first, 0) << "echo reflects to the ingress port";
+  const auto reply = p4sim::parse(out.packets[0].second);
+  ASSERT_TRUE(reply.echo.has_value());
+  EXPECT_EQ(reply.echo->n, 1u);
+  EXPECT_EQ(reply.echo->xsum, 1u);
+  EXPECT_EQ(reply.echo->xsumsq, 1u);
+  EXPECT_EQ(reply.echo->var_nx, 0u);
+  EXPECT_EQ(reply.echo->sd_nx, 0u);
+}
+
+TEST(EchoApp, TenThousandPacketValidation) {
+  // The paper: "In all our experiments (with up to 10,000 packets), the
+  // values of N, Xsum, Xsumsq and sigma^2 stored at the switch are equal to
+  // those computed at the host."
+  EchoApp app;
+  std::mt19937_64 rng(0xF16E5);
+  std::vector<stat4::Count> host_freqs(511, 0);
+
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t value = static_cast<std::int64_t>(rng() % 511) - 255;
+    auto out = app.sw().process(p4sim::make_echo_packet(value));
+    ASSERT_EQ(out.packets.size(), 1u);
+    const auto reply = p4sim::parse(out.packets[0].second);
+    ASSERT_TRUE(reply.echo.has_value());
+
+    // Host-side recomputation from scratch (the software cross-check).
+    ++host_freqs[static_cast<std::size_t>(value + 255)];
+    std::vector<std::uint64_t> nonzero;
+    for (const auto f : host_freqs) {
+      if (f > 0) nonzero.push_back(f);
+    }
+    const auto truth = baseline::compute_nx_stats(nonzero);
+    ASSERT_EQ(reply.echo->n, truth.n) << "packet " << i;
+    ASSERT_EQ(reply.echo->xsum, static_cast<std::uint64_t>(truth.xsum));
+    ASSERT_EQ(reply.echo->xsumsq, static_cast<std::uint64_t>(truth.xsumsq));
+    ASSERT_EQ(reply.echo->var_nx,
+              static_cast<std::uint64_t>(truth.variance_nx));
+    ASSERT_EQ(reply.echo->sd_nx,
+              stat4::approx_sqrt(static_cast<std::uint64_t>(truth.variance_nx)));
+  }
+}
+
+TEST(EchoApp, AgreesWithCppLibraryBitExact) {
+  // Switch-side and library-side Stat4 must be the same algorithm.
+  EchoApp app;
+  stat4::FreqDist lib(511);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t value = static_cast<std::int64_t>(rng() % 511) - 255;
+    auto out = app.sw().process(p4sim::make_echo_packet(value));
+    lib.observe(static_cast<stat4::Value>(value + 255));
+    const auto reply = p4sim::parse(out.packets[0].second);
+    ASSERT_EQ(reply.echo->n, lib.stats().n());
+    ASSERT_EQ(reply.echo->xsum,
+              static_cast<std::uint64_t>(lib.stats().xsum()));
+    ASSERT_EQ(reply.echo->xsumsq,
+              static_cast<std::uint64_t>(lib.stats().xsumsq()));
+    ASSERT_EQ(reply.echo->var_nx,
+              static_cast<std::uint64_t>(lib.stats().variance_nx()));
+    ASSERT_EQ(reply.echo->sd_nx, lib.stats().stddev_nx());
+  }
+}
+
+TEST(EchoApp, NonEchoFramesDropped) {
+  EchoApp app;
+  auto out = app.sw().process(p4sim::make_udp_packet(1, 2, 3, 4));
+  EXPECT_TRUE(out.dropped);
+  EXPECT_EQ(app.sw().registers().read(app.regs().xsum, 0), 0u);
+}
+
+TEST(EchoApp, RejectsTooSmallCounterSize) {
+  EXPECT_THROW(EchoApp({1, 256, 2}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- track_freq
+
+struct MonitorFixture {
+  MonitorFixture() {
+    app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+  }
+
+  void send_udp(std::uint32_t dst, TimeNs ts) {
+    Packet pkt = p4sim::make_udp_packet(ipv4(8, 8, 8, 8), dst, 4000, 80);
+    pkt.ingress_ts = ts;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+  }
+
+  void send_tcp(std::uint32_t dst, std::uint8_t flags, TimeNs ts) {
+    Packet pkt =
+        p4sim::make_tcp_packet(ipv4(8, 8, 8, 8), dst, 4000, 80, flags);
+    pkt.ingress_ts = ts;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+  }
+
+  MonitorApp app;
+  std::vector<p4sim::Digest> digests;
+};
+
+TEST(TrackFreq, RegistersMatchCppFreqDist) {
+  MonitorFixture m;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;   // /24 octet
+  spec.mask = 0xFF;
+  spec.check = false;
+  m.app.install_freq_binding(spec);
+
+  stat4::FreqDist lib(256);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned subnet = 1 + static_cast<unsigned>(rng() % 6);
+    const unsigned host = 1 + static_cast<unsigned>(rng() % 36);
+    m.send_udp(ipv4(10, 0, subnet, host), i);
+    lib.observe(subnet);
+  }
+
+  const auto& rf = m.app.sw().registers();
+  const auto& regs = m.app.regs();
+  EXPECT_EQ(rf.read(regs.n, 1), lib.stats().n());
+  EXPECT_EQ(rf.read(regs.xsum, 1),
+            static_cast<std::uint64_t>(lib.stats().xsum()));
+  EXPECT_EQ(rf.read(regs.xsumsq, 1),
+            static_cast<std::uint64_t>(lib.stats().xsumsq()));
+  EXPECT_EQ(rf.read(regs.var, 1),
+            static_cast<std::uint64_t>(lib.stats().variance_nx()));
+  const std::uint64_t base = 1 * m.app.config().counter_size;
+  for (unsigned s = 0; s < 8; ++s) {
+    EXPECT_EQ(rf.read(regs.counters, base + s), lib.frequency(s))
+        << "subnet " << s;
+  }
+}
+
+TEST(TrackFreq, ImbalanceDigestIdentifiesHotSubnet) {
+  MonitorFixture m;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;
+  spec.mask = 0xFF;
+  spec.check = true;
+  spec.min_total = 128;
+  m.app.install_freq_binding(spec);
+
+  // Balanced phase: round-robin across the six /24s.  The +N quantization
+  // slack in the check guarantees a perfectly balanced stream never trips.
+  TimeNs t = 0;
+  for (int i = 0; i < 1200; ++i) {
+    const unsigned subnet = 1 + static_cast<unsigned>(i % 6);
+    m.send_udp(ipv4(10, 0, subnet, 1), t++);
+  }
+  ASSERT_TRUE(m.digests.empty()) << "balanced traffic must not alert";
+
+  // Hot subnet 5.
+  for (int i = 0; i < 4000 && m.digests.empty(); ++i) {
+    m.send_udp(ipv4(10, 0, 5, 6), t++);
+  }
+  ASSERT_EQ(m.digests.size(), 1u);
+  EXPECT_EQ(m.digests[0].id, kDigestImbalance);
+  EXPECT_EQ(m.digests[0].payload[0], 1u) << "distribution id";
+  EXPECT_EQ(m.digests[0].payload[1], 5u) << "hot /24 identified";
+
+  // Latched: continued traffic raises nothing until the controller re-arms.
+  for (int i = 0; i < 500; ++i) m.send_udp(ipv4(10, 0, 5, 6), t++);
+  EXPECT_EQ(m.digests.size(), 1u);
+  m.app.rearm(1);
+  for (int i = 0; i < 5 && m.digests.size() < 2; ++i) {
+    m.send_udp(ipv4(10, 0, 5, 6), t++);
+  }
+  EXPECT_EQ(m.digests.size(), 2u);
+}
+
+TEST(TrackFreq, SynFloodBinding) {
+  // Table 1's "SYN flood" use case: track only SYN packets per destination.
+  MonitorFixture m;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 1, 0);
+  spec.dst_prefix_len = 24;
+  spec.protocol = p4sim::kIpProtoTcp;
+  spec.flag_mask = kTcpSyn;
+  spec.flag_value = kTcpSyn;
+  spec.dist = 2;
+  spec.shift = 0;
+  spec.mask = 0xFF;
+  spec.check = false;
+  m.app.install_freq_binding(spec);
+
+  TimeNs t = 0;
+  for (int i = 0; i < 10; ++i) m.send_tcp(ipv4(10, 0, 1, 7), kTcpSyn, t++);
+  for (int i = 0; i < 90; ++i) {
+    m.send_tcp(ipv4(10, 0, 1, 7), p4sim::kTcpAck, t++);
+  }
+  m.send_udp(ipv4(10, 0, 1, 7), t++);
+
+  const auto& rf = m.app.sw().registers();
+  const std::uint64_t base = 2 * m.app.config().counter_size;
+  EXPECT_EQ(rf.read(m.app.regs().counters, base + 7), 10u)
+      << "only SYN packets counted";
+}
+
+TEST(TrackFreq, MedianRegisterTracksCppTracker) {
+  MonitorFixture m;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 0;   // last octet
+  spec.mask = 0xFF;
+  spec.check = false;
+  spec.median = true;
+  spec.percentile = 50;
+  m.app.install_freq_binding(spec);
+
+  stat4::FreqDist lib(256);
+  const auto mi = lib.attach_percentile(stat4::Percentile{50});
+
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const unsigned host = static_cast<unsigned>(rng() % 200);
+    m.send_udp(ipv4(10, 0, 0, host), i);
+    lib.observe(host);
+    const auto& rf = m.app.sw().registers();
+    ASSERT_EQ(rf.read(m.app.regs().med_pos, 1),
+              lib.percentile(mi).position())
+        << "packet " << i;
+    ASSERT_EQ(rf.read(m.app.regs().med_low, 1),
+              lib.percentile(mi).low_count());
+    ASSERT_EQ(rf.read(m.app.regs().med_high, 1),
+              lib.percentile(mi).high_count());
+  }
+}
+
+TEST(TrackFreq, NinetiethPercentileOnSwitch) {
+  MonitorFixture m;
+  FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 0;
+  spec.mask = 0xFF;
+  spec.check = false;
+  spec.median = true;
+  spec.percentile = 90;
+  m.app.install_freq_binding(spec);
+
+  stat4::FreqDist lib(256);
+  const auto pi = lib.attach_percentile(stat4::Percentile{90});
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned host = static_cast<unsigned>(rng() % 100);
+    m.send_udp(ipv4(10, 0, 0, host), i);
+    lib.observe(host);
+  }
+  EXPECT_EQ(m.app.sw().registers().read(m.app.regs().med_pos, 1),
+            lib.percentile(pi).position());
+}
+
+// --------------------------------------------------------------- window_tick
+
+TEST(WindowTick, MatchesCppIntervalWindowUnderContinuousTraffic) {
+  MonitorFixture m;
+  m.app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, /*dist=*/0,
+                             8 * kMillisecond, /*window=*/100);
+  stat4::IntervalWindow lib(100, 8 * kMillisecond);
+
+  std::mt19937_64 rng(8);
+  TimeNs t = 0;
+  for (int interval = 0; interval < 300; ++interval) {
+    const int pkts = 20 + static_cast<int>(rng() % 10);
+    for (int i = 0; i < pkts; ++i) {
+      const TimeNs ts = t + i * 100;
+      m.send_udp(ipv4(10, 0, 1, 1), ts);
+      lib.record(ts, 1);
+    }
+    t += 8 * kMillisecond;
+  }
+  const auto& rf = m.app.sw().registers();
+  const auto& regs = m.app.regs();
+  EXPECT_EQ(rf.read(regs.n, 0), lib.stats().n());
+  EXPECT_EQ(rf.read(regs.xsum, 0),
+            static_cast<std::uint64_t>(lib.stats().xsum()));
+  EXPECT_EQ(rf.read(regs.xsumsq, 0),
+            static_cast<std::uint64_t>(lib.stats().xsumsq()));
+  EXPECT_EQ(rf.read(regs.var, 0),
+            static_cast<std::uint64_t>(lib.stats().variance_nx()));
+  EXPECT_EQ(rf.read(regs.cur_count, 0), lib.current_count());
+}
+
+TEST(WindowTick, SpikeDigestAtFirstIntervalAfterOnset) {
+  MonitorFixture m;
+  m.app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8 * kMillisecond, 100,
+                             /*min_history=*/8);
+  // Steady ~100 packets per 8ms interval with deterministic jitter.
+  constexpr int kJitter[] = {90, 95, 100, 105, 110};
+  TimeNs t = 0;
+  for (int interval = 0; interval < 50; ++interval) {
+    for (int i = 0; i < kJitter[interval % 5]; ++i) {
+      m.send_udp(ipv4(10, 0, 2, 2), t + i * 1000);
+    }
+    t += 8 * kMillisecond;
+  }
+  ASSERT_TRUE(m.digests.empty());
+
+  // Spike: 10x the packet rate.
+  for (int i = 0; i < 1000; ++i) m.send_udp(ipv4(10, 0, 2, 2), t + i * 100);
+  t += 8 * kMillisecond;
+  // The first packet of the next interval closes the spike interval.
+  m.send_udp(ipv4(10, 0, 2, 2), t);
+  ASSERT_EQ(m.digests.size(), 1u);
+  EXPECT_EQ(m.digests[0].id, kDigestRateSpike);
+  EXPECT_EQ(m.digests[0].payload[0], 0u);      // distribution id
+  EXPECT_EQ(m.digests[0].payload[1], 1000u);   // the offending interval count
+}
+
+TEST(WindowTick, SweepIntervalLengthsAndWindowSizes) {
+  // The paper's result sweep: intervals 8ms..2s, windows 10..100 — the spike
+  // is detected in the first interval after onset in every configuration.
+  for (const TimeNs len : {8 * kMillisecond, 100 * kMillisecond,
+                           2000 * kMillisecond}) {
+    for (const std::uint64_t win : {std::uint64_t{10}, std::uint64_t{100}}) {
+      MonitorFixture m;
+      m.app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0,
+                                 static_cast<std::uint64_t>(len), win, 8);
+      constexpr int kJitter[] = {180, 190, 200, 210, 220};
+      TimeNs t = 0;
+      for (int interval = 0; interval < 30; ++interval) {
+        const int pkts = kJitter[interval % 5];
+        for (int i = 0; i < pkts; ++i) {
+          m.send_udp(ipv4(10, 0, 3, 3), t + i);
+        }
+        t += len;
+      }
+      ASSERT_TRUE(m.digests.empty()) << "len=" << len << " win=" << win;
+      for (int i = 0; i < 2000; ++i) m.send_udp(ipv4(10, 0, 3, 3), t + i);
+      t += len;
+      m.send_udp(ipv4(10, 0, 3, 3), t);
+      ASSERT_EQ(m.digests.size(), 1u) << "len=" << len << " win=" << win;
+      EXPECT_EQ(m.digests[0].id, kDigestRateSpike);
+    }
+  }
+}
+
+// ------------------------------------------------- switch-level drill-down
+
+TEST(DrillDown, SpikeThenSubnetThenHost) {
+  // The full Section 4 sequence with an ideal (zero-latency) controller:
+  // spike alert -> bind per-/24 tracking -> imbalance alert naming the /24
+  // -> re-bind per-destination -> imbalance alert naming the host.
+  MonitorFixture m;
+  m.app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8 * kMillisecond, 100,
+                             8);
+
+  std::mt19937_64 rng(0xCA5E);
+  const unsigned hot_subnet = 1 + static_cast<unsigned>(rng() % 6);
+  const unsigned hot_host = 1 + static_cast<unsigned>(rng() % 36);
+
+  TimeNs t = 0;
+  auto send_uniform = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      const unsigned s = 1 + static_cast<unsigned>(rng() % 6);
+      const unsigned h = 1 + static_cast<unsigned>(rng() % 36);
+      m.send_udp(ipv4(10, 0, s, h), t);
+      t += 40'000;  // 40us between packets: ~200 per 8ms interval
+    }
+  };
+  auto send_spike = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      // The spike targets one destination; background traffic continues.
+      m.send_udp(ipv4(10, 0, hot_subnet, hot_host), t);
+      t += 4'000;
+      if (i % 10 == 0) send_uniform(1);
+    }
+  };
+
+  send_uniform(4000);  // ~20 intervals of steady history
+  ASSERT_TRUE(m.digests.empty());
+
+  // Phase 1: spike begins; the rate check must fire.
+  send_spike(4000);
+  ASSERT_FALSE(m.digests.empty()) << "spike not detected";
+  ASSERT_EQ(m.digests[0].id, kDigestRateSpike);
+  m.digests.clear();
+
+  // Phase 2 (controller): bind per-/24 tracking, reset + rearm.
+  FreqBindingSpec per24;
+  per24.dst_prefix = ipv4(10, 0, 0, 0);
+  per24.dst_prefix_len = 8;
+  per24.dist = 1;
+  per24.shift = 8;
+  per24.mask = 0xFF;
+  per24.check = true;
+  per24.min_total = 256;
+  const auto handle = m.app.install_freq_binding(per24);
+  m.app.reset_distribution(1);
+
+  send_spike(4000);
+  ASSERT_FALSE(m.digests.empty()) << "imbalance not detected";
+  const auto& d2 = m.digests[0];
+  ASSERT_EQ(d2.id, kDigestImbalance);
+  EXPECT_EQ(d2.payload[1], hot_subnet) << "wrong /24 identified";
+  m.digests.clear();
+
+  // Phase 3 (controller): re-target the same entry to per-destination
+  // tracking inside the identified /24.
+  FreqBindingSpec perhost = per24;
+  perhost.dst_prefix = ipv4(10, 0, hot_subnet, 0);
+  perhost.dst_prefix_len = 24;
+  perhost.dist = 2;
+  perhost.shift = 0;
+  m.app.modify_freq_binding(handle, perhost);
+  m.app.reset_distribution(2);
+
+  send_spike(4000);
+  ASSERT_FALSE(m.digests.empty()) << "destination not pinpointed";
+  const auto& d3 = m.digests[0];
+  ASSERT_EQ(d3.id, kDigestImbalance);
+  EXPECT_EQ(d3.payload[0], 2u);
+  EXPECT_EQ(d3.payload[1], hot_host) << "wrong destination identified";
+}
+
+// -------------------------------------------------------- no-mul profile
+
+TEST(NoMulProfile, MonitorAppBuildsAndDetects) {
+  // "Some hardware switches do not support the squaring of values unknown
+  // at compile time" — the whole app must still assemble from shift-based
+  // approximations and detect a gross spike.
+  MonitorApp app({4, 256, 2}, p4sim::AluProfile::hardware_no_mul());
+  app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+  app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8 * kMillisecond, 50, 8);
+
+  std::vector<p4sim::Digest> digests;
+  auto send = [&](TimeNs ts) {
+    Packet pkt = p4sim::make_udp_packet(1, ipv4(10, 0, 1, 1), 2, 3);
+    pkt.ingress_ts = ts;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+  };
+
+  constexpr int kJitter[] = {90, 100, 110, 95, 105};
+  TimeNs t = 0;
+  for (int interval = 0; interval < 40; ++interval) {
+    for (int i = 0; i < kJitter[interval % 5]; ++i) send(t + i * 1000);
+    t += 8 * kMillisecond;
+  }
+  EXPECT_TRUE(digests.empty());
+  for (int i = 0; i < 5000; ++i) send(t + i * 100);
+  t += 8 * kMillisecond;
+  send(t);
+  ASSERT_EQ(digests.size(), 1u);
+  EXPECT_EQ(digests[0].id, kDigestRateSpike);
+}
+
+// ------------------------------------------------------- resource analysis
+
+TEST(Resources, MonitorAppStructureMatchesPaperShape)
+{
+  MonitorApp app;  // defaults: 4 distributions x 256 counters
+  app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+  app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8 * kMillisecond, 100);
+
+  const auto a = p4sim::analyze_switch(app.sw());
+  EXPECT_EQ(a.tables, 4u);  // forward + rate + freq binding + mitigation
+  // "at most one dependency between match-action rules": our three stages
+  // key on fields no action writes, so the analyzer must report <= 1.
+  EXPECT_LE(a.match_dependencies, 1u);
+  // The override of the oldest counter is the longest chain; the paper
+  // counts 12 sequential steps at P4 statement granularity — our IR is
+  // finer-grained, so require at least that many.
+  EXPECT_GE(a.longest_action_chain, 12u);
+  // State memory: three 4x256 cell arrays (dense counters + sparse
+  // keys/counts) + 16 per-distribution state arrays.
+  EXPECT_EQ(a.state_bytes, (3u * 4u * 256u + 16u * 4u) * 8u);
+}
+
+TEST(Resources, RegisterArrayAccounting) {
+  EchoApp app;  // 1 distribution x 512 counters
+  const auto a = p4sim::analyze_switch(app.sw());
+  EXPECT_EQ(a.register_arrays, 19u);
+  EXPECT_EQ(a.state_bytes, (3u * 512u + 16u) * 8u);
+}
+
+}  // namespace
+}  // namespace stat4p4

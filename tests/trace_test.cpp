@@ -1,0 +1,151 @@
+// Tests for packet trace recording and replay.
+#include "p4sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "p4sim/craft.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace p4sim {
+namespace {
+
+TEST(Trace, RoundTripPreservesEverything) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+
+  std::vector<Packet> originals;
+  for (int i = 0; i < 50; ++i) {
+    Packet pkt = make_udp_packet(ipv4(1, 2, 3, 4), ipv4(10, 0, 1, 1),
+                                 static_cast<std::uint16_t>(1000 + i), 80,
+                                 100 + static_cast<std::size_t>(i));
+    pkt.ingress_ts = i * 1000;
+    pkt.ingress_port = static_cast<PortId>(i % 4);
+    writer.record(pkt);
+    originals.push_back(std::move(pkt));
+  }
+  EXPECT_EQ(writer.packets_written(), 50u);
+
+  TraceReader reader(buf);
+  for (const auto& orig : originals) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->ingress_ts, orig.ingress_ts);
+    EXPECT_EQ(got->ingress_port, orig.ingress_port);
+    EXPECT_EQ(got->data, orig.data);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.packets_read(), 50u);
+}
+
+TEST(Trace, EmptyTraceIsValid) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  TraceReader reader(buf);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Trace, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "NOPE\0\0\0\0";
+  EXPECT_THROW(TraceReader reader(buf), std::runtime_error);
+}
+
+TEST(Trace, TruncatedPayloadDetected) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  writer.record(make_udp_packet(1, 2, 3, 4));
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 5);  // cut into the payload
+  std::stringstream cut(bytes);
+  TraceReader reader(cut);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(Trace, TruncatedHeaderDetected) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  writer.record(make_udp_packet(1, 2, 3, 4));
+  std::string bytes = buf.str();
+  // Keep the file header + the record's timestamp, cut inside port/length.
+  bytes.resize(8 + 8 + 1);
+  std::stringstream cut(bytes);
+  TraceReader reader(cut);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(Trace, ReplayMatchesLiveProcessing) {
+  // Record a workload, then replay it into a fresh identical switch: the
+  // register state and digests must match the live run exactly.
+  auto make_app = [] {
+    stat4p4::MonitorApp app;
+    app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+    return app;
+  };
+  stat4p4::MonitorApp live = make_app();
+  stat4p4::FreqBindingSpec spec;
+  spec.dst_prefix = ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;
+  spec.check = true;
+  spec.min_total = 64;
+  live.install_freq_binding(spec);
+
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  std::vector<Digest> live_digests;
+
+  stat4::TimeNs t = 0;
+  auto send = [&](std::uint32_t dst) {
+    Packet pkt = make_udp_packet(ipv4(1, 1, 1, 1), dst, 1, 2);
+    pkt.ingress_ts = t++;
+    writer.record(pkt);
+    auto out = live.sw().process(std::move(pkt));
+    for (auto& d : out.digests) live_digests.push_back(d);
+  };
+  for (int i = 0; i < 600; ++i) {
+    send(ipv4(10, 0, 1 + static_cast<unsigned>(i % 6), 1));
+  }
+  for (int i = 0; i < 2000 && live_digests.empty(); ++i) {
+    send(ipv4(10, 0, 5, 6));
+  }
+  ASSERT_FALSE(live_digests.empty());
+
+  stat4p4::MonitorApp fresh = make_app();
+  fresh.install_freq_binding(spec);
+  const auto result = replay_trace(buf, fresh.sw());
+
+  EXPECT_EQ(result.packets, writer.packets_written());
+  EXPECT_EQ(result.digests.size(), live_digests.size());
+  ASSERT_FALSE(result.digests.empty());
+  EXPECT_EQ(result.digests[0].payload[1], live_digests[0].payload[1]);
+  EXPECT_EQ(result.digests[0].time, live_digests[0].time);
+  // Full register comparison across both switches.
+  const auto& a = live.sw().registers();
+  const auto& b = fresh.sw().registers();
+  for (std::size_t r = 0; r < a.array_count(); ++r) {
+    const auto id = static_cast<RegisterId>(r);
+    for (std::uint32_t i = 0; i < a.info(id).size; ++i) {
+      ASSERT_EQ(a.read(id, i), b.read(id, i))
+          << a.info(id).name << '[' << i << ']';
+    }
+  }
+}
+
+TEST(Trace, ReplayCountsForwardedAndDropped) {
+  stat4p4::MonitorApp app;
+  app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  writer.record(make_udp_packet(1, ipv4(10, 0, 1, 1), 2, 3));   // forwarded
+  writer.record(make_udp_packet(1, ipv4(192, 168, 0, 1), 2, 3));  // dropped
+  const auto result = replay_trace(buf, app.sw());
+  EXPECT_EQ(result.packets, 2u);
+  EXPECT_EQ(result.forwarded, 1u);
+  EXPECT_EQ(result.dropped, 1u);
+}
+
+}  // namespace
+}  // namespace p4sim

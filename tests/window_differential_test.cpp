@@ -1,0 +1,125 @@
+// Differential testing of the windowed (rate-over-time) tracker: the C++
+// IntervalWindow/engine and the P4 window_tick program must agree exactly
+// under continuous traffic, across randomized interval lengths, window
+// sizes and load patterns.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "p4sim/p4sim.hpp"
+#include "stat4/stat4.hpp"
+#include "stat4p4/stat4p4.hpp"
+
+namespace {
+
+using p4sim::ipv4;
+using stat4::TimeNs;
+
+void run_window_trial(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+
+  const TimeNs interval = (1 + static_cast<TimeNs>(rng() % 20)) *
+                          stat4::kMillisecond;
+  const std::uint64_t window = 4 + rng() % 60;
+  const std::uint64_t min_history = 2 + rng() % 6;
+
+  stat4p4::MonitorApp app;
+  app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
+  app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0,
+                           static_cast<std::uint64_t>(interval), window,
+                           min_history);
+
+  stat4::IntervalWindow lib(window, interval);
+  std::size_t lib_closed = 0;
+  std::uint64_t lib_alerts = 0;
+  bool lib_latched = false;
+  lib.set_on_interval([&](const stat4::IntervalReport& r) {
+    ++lib_closed;
+    if (lib_latched || lib_closed <= min_history) return;
+    if (r.upper.is_outlier) {
+      lib_latched = true;
+      ++lib_alerts;
+    }
+  });
+
+  std::vector<p4sim::Digest> digests;
+
+  // Continuous traffic: every interval gets at least one packet (the P4
+  // program closes one interval per packet, so gaps would diverge — that
+  // divergence is documented in DESIGN.md).  Base load with a mid-run burst.
+  TimeNs t = 0;
+  const int total_intervals = static_cast<int>(window) * 3 + 20;
+  const int burst_at = total_intervals / 2;
+  for (int iv = 0; iv < total_intervals; ++iv) {
+    int pkts = 40 + static_cast<int>(rng() % 20);
+    if (iv == burst_at) pkts *= 20;
+    // First packet of the run lands at exactly t = 0 so both grid-anchoring
+    // conventions (library: floor(ts/len); switch: first-packet ts)
+    // coincide.
+    const TimeNs step = interval / (pkts + 1);
+    for (int p = 0; p < pkts; ++p) {
+      const TimeNs ts = t + p * step;
+      p4sim::Packet pkt =
+          p4sim::make_udp_packet(1, ipv4(10, 0, 1, 1), 2, 3);
+      pkt.ingress_ts = ts;
+      auto out = app.sw().process(std::move(pkt));
+      for (const auto& d : out.digests) digests.push_back(d);
+      lib.record(ts, 1);
+    }
+    t += interval;
+  }
+  // One trailing packet to close the final interval on both sides.
+  {
+    p4sim::Packet pkt = p4sim::make_udp_packet(1, ipv4(10, 0, 1, 1), 2, 3);
+    pkt.ingress_ts = t;
+    auto out = app.sw().process(std::move(pkt));
+    for (const auto& d : out.digests) digests.push_back(d);
+    lib.record(t, 1);
+  }
+
+  const auto& rf = app.sw().registers();
+  const auto& regs = app.regs();
+  ASSERT_EQ(rf.read(regs.n, 0), lib.stats().n())
+      << "seed " << seed << " interval " << interval << " window " << window;
+  ASSERT_EQ(rf.read(regs.xsum, 0),
+            static_cast<std::uint64_t>(lib.stats().xsum()));
+  ASSERT_EQ(rf.read(regs.xsumsq, 0),
+            static_cast<std::uint64_t>(lib.stats().xsumsq()));
+  ASSERT_EQ(rf.read(regs.var, 0),
+            static_cast<std::uint64_t>(lib.stats().variance_nx()));
+  ASSERT_EQ(rf.read(regs.cur_count, 0), lib.current_count());
+
+  // Alert parity: the burst must be caught by both or neither (both, since
+  // it is 20x the base load), with the same offending interval count.
+  ASSERT_EQ(digests.size(), lib_alerts)
+      << "seed " << seed << " interval " << interval << " window " << window;
+  EXPECT_EQ(digests.size(), 1u) << "the 20x burst should trip exactly once";
+
+  // Ring contents must match the library's history.
+  const auto history = lib.history();
+  const std::uint64_t head = rf.read(regs.win_head, 0);
+  const std::uint64_t completed = rf.read(regs.win_count, 0);
+  ASSERT_EQ(completed, lib.completed());
+  const std::uint64_t n_in_ring =
+      completed >= window ? window : completed;
+  ASSERT_EQ(history.size(), n_in_ring);
+  const std::uint64_t start =
+      completed >= window ? head : 0;  // oldest slot
+  for (std::uint64_t i = 0; i < n_in_ring; ++i) {
+    const std::uint64_t slot = (start + i) % window;
+    ASSERT_EQ(rf.read(regs.counters, slot), history[i])
+        << "ring slot " << slot << " seed " << seed;
+  }
+}
+
+class WindowDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowDifferentialTest, LibraryAndSwitchAgree) {
+  run_window_trial(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, WindowDifferentialTest,
+                         ::testing::Range<std::uint64_t>(100, 116));
+
+}  // namespace

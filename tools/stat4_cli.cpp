@@ -1,0 +1,19 @@
+// Interactive / scripted runtime CLI over a Stat4 monitor switch — the
+// operational companion to bmv2's simple_switch_CLI.  Reads commands from
+// stdin (one per line), prints each result; `help` lists commands.
+#include <iostream>
+#include <string>
+
+#include "cli/runtime_cli.hpp"
+
+int main() {
+  stat4p4::MonitorApp app;
+  cli::RuntimeCli shell(app);
+  std::cout << "stat4 runtime CLI — 'help' for commands\n";
+  std::string line;
+  while (!shell.done() && std::getline(std::cin, line)) {
+    const std::string out = shell.execute(line);
+    if (!out.empty()) std::cout << out << '\n';
+  }
+  return 0;
+}
