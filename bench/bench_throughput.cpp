@@ -4,11 +4,14 @@
 // trade-off of Section 3.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <random>
+#include <vector>
 
 #include "baseline/welford.hpp"
 #include "netsim/rng.hpp"
 #include "p4sim/craft.hpp"
+#include "runtime/runtime.hpp"
 #include "stat4/stat4.hpp"
 #include "stat4p4/stat4p4.hpp"
 
@@ -158,6 +161,85 @@ void BM_SwitchForwardOnlyPacket(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SwitchForwardOnlyPacket);
+
+// ------------------------------------------------ multi-threaded scaling
+
+// ShardedEngine throughput as the shard count grows, 1..8 worker threads.
+// The workload — 8 frequency distributions, every packet updating all 8 —
+// splits evenly across shards, so on multi-core hardware throughput should
+// scale with the shard count until broadcast overhead dominates (a 4-shard
+// run is expected to beat 1-shard by well over 2x).  On a single core the
+// numbers only show the fan-out overhead; run this on real hardware.
+void BM_ShardedEngineScaling(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  runtime::ShardedEngine engine(shards, stat4::OverflowPolicy::kSaturate,
+                                4096);
+  constexpr std::size_t kDists = 8;
+  for (std::size_t i = 0; i < kDists; ++i) {
+    const auto id = engine.add_freq_dist(1024);
+    stat4::BindingEntry entry;
+    entry.dist = id;
+    entry.match.dst_prefix = stat4::Prefix{p4sim::ipv4(10, 0, 0, 0), 8};
+    entry.extractor.field = stat4::Field::kSrcPort;
+    entry.extractor.shift = static_cast<std::uint8_t>(i % 4);
+    entry.extractor.mask = 1023;
+    entry.kind = stat4::UpdateKind::kFrequencyObserve;
+    engine.add_binding(entry);
+  }
+  engine.start();
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    stat4::PacketFields pkt;
+    pkt.dst_ip = p4sim::ipv4(10, 0, 1, 1);
+    pkt.src_port = static_cast<std::uint16_t>(x);
+    engine.submit(pkt);
+    x = x * 2862933555777941757ull + 3037000493ull;
+  }
+  engine.stop();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["backpressure_waits"] =
+      static_cast<double>(engine.backpressure_waits());
+}
+BENCHMARK(BM_ShardedEngineScaling)->DenseRange(1, 8)->UseRealTime();
+
+// FleetRunner fan-out: one full MonitorApp switch per worker thread, packets
+// round-robined across the fleet.  Unlike sharding (which splits one
+// switch's work), this scales the number of independent switches — the
+// Figure 1c deployment shape.
+void BM_FleetRunnerFanOut(benchmark::State& state) {
+  const auto switches = static_cast<std::size_t>(state.range(0));
+  runtime::FleetRunner::Config cfg;
+  cfg.queue_capacity = 4096;
+  cfg.policy = runtime::FleetRunner::Policy::kBlock;
+  runtime::FleetRunner runner(cfg);
+  std::vector<std::unique_ptr<stat4p4::MonitorApp>> apps;
+  for (std::size_t i = 0; i < switches; ++i) {
+    apps.push_back(std::make_unique<stat4p4::MonitorApp>());
+    apps.back()->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+    stat4p4::FreqBindingSpec spec;
+    spec.dst_prefix = p4sim::ipv4(10, 0, 0, 0);
+    spec.dst_prefix_len = 8;
+    spec.dist = 1;
+    spec.shift = 8;
+    spec.check = false;
+    apps.back()->install_freq_binding(spec);
+    runner.add_switch(*apps.back());
+  }
+  runner.start();
+  std::uint64_t x = 1;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(
+        p4sim::ipv4(8, 8, 8, 8),
+        p4sim::ipv4(10, 0, 1 + static_cast<unsigned>(x % 6), 1), 1, 2);
+    runner.inject(static_cast<control::SwitchId>(next), std::move(pkt));
+    next = (next + 1) % switches;
+    x = x * 2862933555777941757ull + 3037000493ull;
+  }
+  runner.stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetRunnerFanOut)->DenseRange(1, 4)->UseRealTime();
 
 }  // namespace
 

@@ -1,12 +1,16 @@
-// Network-wide detection across multiple switches (Section 5).
+// Network-wide detection across multiple switches (Section 5) — on the
+// threaded fleet runtime.
 //
 // "A full exploration of how to analyze a wider range of distributions,
 // possibly performing statistical analyses across multiple switches, is an
 // interesting direction for future work."
 //
 // Scenario: a server farm is split across two edge switches (A: subnets
-// 10.0.1-3, B: subnets 10.0.4-6), each running the Stat4 rate monitor on
-// its own traffic.  Two anomalies are injected:
+// 10.0.1-3, B: subnets 10.0.4-6).  Each switch runs the Stat4 rate monitor
+// ON ITS OWN WORKER THREAD (runtime::FleetRunner) — the Figure 1c shape:
+// switches process traffic independently and only anomaly digests travel to
+// the controller, which correlates them (control::FleetCorrelator).  Two
+// anomalies are injected:
 //
 //   1. a LOCAL spike to one destination behind switch A — only A alerts;
 //      the controller treats it as a single-switch event;
@@ -16,13 +20,15 @@
 //      combined magnitude.
 //
 // Usage:  multi_switch [seed]
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <vector>
 
-#include "netsim/netsim.hpp"
 #include "p4sim/craft.hpp"
+#include "runtime/runtime.hpp"
 #include "stat4p4/stat4p4.hpp"
 
 namespace {
@@ -48,10 +54,10 @@ struct Edge {
   stat4p4::MonitorApp app;
 };
 
-struct AlertRecord {
-  const char* sw;
+struct TimedPacket {
   TimeNs time;
-  std::uint64_t magnitude;
+  std::uint32_t src;
+  std::uint32_t dst;
 };
 
 }  // namespace
@@ -59,120 +65,127 @@ struct AlertRecord {
 int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
-  netsim::Rng rng(seed);
-  std::printf("Multi-switch correlation (Section 5), seed %" PRIu64 "\n\n",
+  std::mt19937_64 rng(seed);
+  std::printf("Multi-switch correlation (Section 5), seed %" PRIu64
+              ", one worker thread per switch\n\n",
               seed);
 
-  netsim::Simulator sim;
-  netsim::Network net(sim);
   Edge a("switch-A");
   Edge b("switch-B");
 
-  const auto node_a = net.add_node(std::make_unique<netsim::P4SwitchNode>(a.app.sw()));
-  const auto node_b = net.add_node(std::make_unique<netsim::P4SwitchNode>(b.app.sw()));
-  const auto sink_a = net.add_node(std::make_unique<netsim::HostNode>());
-  const auto sink_b = net.add_node(std::make_unique<netsim::HostNode>());
-  net.link(node_a, 1, sink_a, 0, 50'000);
-  net.link(node_b, 1, sink_b, 0, 50'000);
+  runtime::FleetRunner::Config cfg;
+  cfg.queue_capacity = 1024;
+  cfg.policy = runtime::FleetRunner::Policy::kBlock;  // lossless replay
+  runtime::FleetRunner runner(cfg);
+  const auto sw_a = runner.add_switch(a.app);
+  const auto sw_b = runner.add_switch(b.app);
 
-  // The "controller": collects alerts from both switches and correlates
-  // events that land within one monitoring interval of each other.
-  std::vector<AlertRecord> alerts;
-  auto hook = [&](Edge& e, netsim::NodeId node) {
-    net.node<netsim::P4SwitchNode>(node).set_digest_sink(
-        [&](const p4sim::Digest& d) {
-          if (d.id == stat4p4::kDigestRateSpike) {
-            alerts.push_back({e.name, d.time, d.payload[1]});
-            std::printf("t=%8.1f ms  %s: RATE-SPIKE digest (interval count "
-                        "%" PRIu64 ")\n",
-                        static_cast<double>(d.time) / 1e6, e.name,
-                        d.payload[1]);
-          }
-        });
-  };
-  hook(a, node_a);
-  hook(b, node_b);
+  // The controller: digests from both switches land — time-ordered — in the
+  // fleet correlator, which folds same-kind digests within one window into
+  // one event and classifies it local vs network-wide.
+  control::FleetCorrelator correlator(16 * kMillisecond);
+  std::vector<control::FleetEvent> events;
+  correlator.set_event_sink([&](const control::FleetEvent& e) {
+    events.push_back(e);
+    std::printf("t=%8.1f ms  controller: %s event, %zu switch(es), "
+                "combined magnitude %" PRIu64 " pkts/interval\n",
+                static_cast<double>(e.last_time) / 1e6,
+                e.network_wide() ? "NETWORK-WIDE" : "local",
+                e.switches.size(), e.combined_magnitude);
+  });
+  runner.set_digest_sink([&](control::SwitchId sw, const p4sim::Digest& d) {
+    if (d.id == stat4p4::kDigestRateSpike) {
+      std::printf("t=%8.1f ms  %s: RATE-SPIKE digest (interval count "
+                  "%" PRIu64 ")\n",
+                  static_cast<double>(d.time) / 1e6,
+                  sw == sw_a ? "switch-A" : "switch-B", d.payload[1]);
+    }
+  });
 
-  // Baseline: uniform traffic to all 36 destinations, routed to the edge
-  // switch owning each destination's subnet.
-  auto route = [&](p4sim::Packet pkt) {
-    const auto parsed = p4sim::parse(pkt);
-    const auto subnet = (parsed.ipv4->dst >> 8) & 0xFF;
-    net.inject(subnet <= 3 ? node_a : node_b, 0, std::move(pkt));
-  };
-  netsim::PacketPump pump(sim, route);
+  // Build the 4.5 s traffic timeline up front, then replay it through the
+  // fleet: ~20k pps baseline to 36 destinations, plus the two anomalies.
   std::vector<std::uint32_t> all_dests;
   for (unsigned s = 1; s <= 6; ++s) {
     for (unsigned h = 1; h <= 6; ++h) all_dests.push_back(ipv4(10, 0, s, h));
   }
-  pump.launch(0, 0, 40'000,
-              netsim::uniform_udp_factory(rng, ipv4(1, 1, 1, 1), all_dests));
-
-  // Anomaly 1 at t=1s: local spike behind switch A only.
-  const TimeNs local_start = 1 * kSecond;
-  pump.launch(local_start, local_start + 500 * kMillisecond, 5'000,
-              netsim::fixed_udp_factory(ipv4(2, 2, 2, 2), ipv4(10, 0, 2, 3)));
-
+  const TimeNs run_end = 4500 * kMillisecond;
+  std::vector<TimedPacket> timeline;
+  for (TimeNs t = 0; t < run_end;
+       t += (40 + static_cast<TimeNs>(rng() % 21)) * 1000) {  // 40-60 us
+    timeline.push_back({t, ipv4(1, 1, 1, 1),
+                        all_dests[rng() % all_dests.size()]});
+  }
+  // Anomaly 1 at t=1s: +5k pps local spike behind switch A only.
+  for (TimeNs t = 1 * kSecond; t < 1 * kSecond + 500 * kMillisecond;
+       t += 200 * 1000) {
+    timeline.push_back({t, ipv4(2, 2, 2, 2), ipv4(10, 0, 2, 3)});
+  }
   // Anomaly 2 at t=3s: distributed surge across BOTH halves of the farm.
-  const TimeNs dist_start = 3 * kSecond;
-  std::vector<std::uint32_t> half_a{ipv4(10, 0, 1, 1), ipv4(10, 0, 2, 2),
-                                    ipv4(10, 0, 3, 3)};
-  std::vector<std::uint32_t> half_b{ipv4(10, 0, 4, 4), ipv4(10, 0, 5, 5),
-                                    ipv4(10, 0, 6, 6)};
-  pump.launch(dist_start, 0, 5'000,
-              netsim::uniform_udp_factory(rng, ipv4(3, 3, 3, 3), half_a));
-  pump.launch(dist_start, 0, 5'000,
-              netsim::uniform_udp_factory(rng, ipv4(3, 3, 3, 3), half_b));
+  const std::vector<std::uint32_t> half_a{
+      ipv4(10, 0, 1, 1), ipv4(10, 0, 2, 2), ipv4(10, 0, 3, 3)};
+  const std::vector<std::uint32_t> half_b{
+      ipv4(10, 0, 4, 4), ipv4(10, 0, 5, 5), ipv4(10, 0, 6, 6)};
+  for (TimeNs t = 3 * kSecond; t < 3 * kSecond + 800 * kMillisecond;
+       t += 200 * 1000) {
+    timeline.push_back({t, ipv4(3, 3, 3, 3), half_a[rng() % half_a.size()]});
+    timeline.push_back({t, ipv4(3, 3, 3, 3), half_b[rng() % half_b.size()]});
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimedPacket& x, const TimedPacket& y) {
+                     return x.time < y.time;
+                   });
+
+  // Route each packet to the edge switch owning its destination subnet.
+  runner.start();
+  auto replay_until = [&, i = std::size_t{0}](TimeNs end) mutable {
+    for (; i < timeline.size() && timeline[i].time < end; ++i) {
+      const TimedPacket& tp = timeline[i];
+      p4sim::Packet pkt =
+          p4sim::make_udp_packet(tp.src, tp.dst, 4000, 5000);
+      pkt.ingress_ts = tp.time;
+      const auto subnet = (tp.dst >> 8) & 0xFF;
+      runner.inject(subnet <= 3 ? sw_a : sw_b, std::move(pkt));
+    }
+  };
 
   // Phase 1: run past the local spike; exactly switch A must have alerted.
-  sim.run_until(2 * kSecond);
-  const auto phase1 = alerts;
-  bool ok = phase1.size() == 1 && std::string(phase1[0].sw) == "switch-A";
-  std::printf("\nphase 1 (local spike): %zu alert(s), from %s -> %s\n\n",
-              phase1.size(), phase1.empty() ? "-" : phase1[0].sw,
+  replay_until(2 * kSecond);
+  runner.flush();                // barrier: both switches fully caught up
+  runner.drain_into(correlator); // digests ingested in time order
+  correlator.advance(2 * kSecond);
+  const auto phase1 = events;
+  bool ok = phase1.size() == 1 && !phase1[0].network_wide() &&
+            phase1[0].switches == std::vector<control::SwitchId>{sw_a};
+  std::printf("\nphase 1 (local spike): %zu event(s) -> %s\n\n",
+              phase1.size(),
               ok ? "correctly localized to switch A" : "UNEXPECTED");
 
-  // Re-arm both switches for phase 2.
+  // Re-arm both switches for phase 2 — safe here: flush() was a barrier and
+  // this thread is the only producer, so the workers are idle.
   a.app.rearm(0);
   b.app.rearm(0);
-  alerts.clear();
+  events.clear();
 
-  // Phase 2: run past the distributed surge; both switches must alert, and
-  // the digests must land within one interval of each other.
-  sim.run_until(4 * kSecond);
-  pump.stop_all();
-  sim.run();
+  // Phase 2: run past the distributed surge; both switches must alert and
+  // the controller must fold the digests into ONE network-wide event.
+  replay_until(run_end);
+  runner.flush();
+  runner.drain_into(correlator);
+  correlator.flush();
+  runner.stop();
 
-  bool saw_a = false;
-  bool saw_b = false;
-  TimeNs ta = 0;
-  TimeNs tb = 0;
-  std::uint64_t combined = 0;
-  for (const auto& rec : alerts) {
-    if (std::string(rec.sw) == "switch-A" && !saw_a) {
-      saw_a = true;
-      ta = rec.time;
-      combined += rec.magnitude;
-    }
-    if (std::string(rec.sw) == "switch-B" && !saw_b) {
-      saw_b = true;
-      tb = rec.time;
-      combined += rec.magnitude;
-    }
-  }
-  const bool correlated =
-      saw_a && saw_b && std::abs(ta - tb) <= 16 * kMillisecond;
-  std::printf("\nphase 2 (distributed surge): A=%s B=%s, digests %.1f ms "
-              "apart\n",
-              saw_a ? "alerted" : "silent", saw_b ? "alerted" : "silent",
-              saw_a && saw_b ? static_cast<double>(std::abs(ta - tb)) / 1e6
-                             : -1.0);
-  if (correlated) {
-    std::printf("controller correlation: ONE network-wide event, combined "
-                "magnitude %" PRIu64 " pkts/interval across 2 switches\n",
-                combined);
-  }
-  ok = ok && correlated;
+  const bool correlated = events.size() == 1 && events[0].network_wide() &&
+                          events[0].switches.size() == 2;
+  std::printf("\nphase 2 (distributed surge): %zu event(s)%s\n",
+              events.size(),
+              correlated ? ", ONE network-wide event across 2 switches"
+                         : " UNEXPECTED");
+  const auto totals = runner.totals();
+  std::printf("fleet totals: %" PRIu64 " packets injected, %" PRIu64
+              " delivered, %" PRIu64 " dropped across %zu threads\n",
+              totals.sent, totals.delivered, totals.dropped,
+              runner.switch_count());
+  ok = ok && correlated && totals.delivered == totals.sent;
   std::printf("\n%s\n", ok ? "MULTI-SWITCH CORRELATION SUCCEEDED."
                            : "MULTI-SWITCH CORRELATION FAILED");
   return ok ? 0 : 1;

@@ -30,6 +30,8 @@ void FleetCorrelator::ingest(SwitchId sw, const p4sim::Digest& digest) {
   open_.push_back(std::move(event));
 }
 
+void FleetCorrelator::advance(stat4::TimeNs now) { expire(now); }
+
 void FleetCorrelator::expire(stat4::TimeNs now) {
   for (std::size_t i = 0; i < open_.size();) {
     if (now - open_[i].last_time > window_) {

@@ -49,6 +49,13 @@ class FleetCorrelator {
   /// when flush() is called; completed events go to the sink.
   void ingest(SwitchId sw, const p4sim::Digest& digest);
 
+  /// Let controller time pass without a digest: completes every open event
+  /// whose last member is more than `window` before `now`.  Without this, an
+  /// event at the end of a trace would stay open until flush() — digests are
+  /// rare by design, so "a later digest arrives" is not a completion signal
+  /// the controller can rely on.
+  void advance(stat4::TimeNs now);
+
   /// Force-complete every open event (end of run).
   void flush();
 

@@ -1,0 +1,163 @@
+#include "runtime/fleet_runner.hpp"
+
+#include <algorithm>
+
+#include "p4sim/switch.hpp"
+
+namespace runtime {
+
+FleetRunner::~FleetRunner() {
+  if (running_) stop();
+}
+
+control::SwitchId FleetRunner::add_switch(stat4p4::MonitorApp& app) {
+  if (running_) {
+    throw stat4::UsageError("runtime: cannot add a switch while running");
+  }
+  auto lane = std::make_unique<SwitchLane>();
+  lane->app = &app;
+  lane->ring = std::make_unique<SpscRing<p4sim::Packet>>(cfg_.queue_capacity);
+  switches_.push_back(std::move(lane));
+  return static_cast<control::SwitchId>(switches_.size() - 1);
+}
+
+void FleetRunner::worker_loop(control::SwitchId id, SwitchLane& lane) {
+  Backoff backoff;
+  p4sim::Packet pkt;
+  while (true) {
+    bool did_work = false;
+    while (lane.ring->try_pop(pkt)) {
+      did_work = true;
+      auto out = lane.app->sw().process(std::move(pkt));
+      for (auto& digest : out.digests) {
+        digest_channel_.push({id, std::move(digest)});
+        lane.digests.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Release-publish the processed count last, so a flush() observing it
+      // also observes the register state and the queued digests.
+      lane.delivered.fetch_add(1, std::memory_order_release);
+    }
+    if (did_work) {
+      backoff.reset();
+      continue;
+    }
+    if (lane.ring->closed() && lane.ring->empty()) return;
+    backoff.pause();
+  }
+}
+
+void FleetRunner::start() {
+  if (running_) throw stat4::UsageError("runtime: fleet already running");
+  if (switches_.empty()) {
+    throw stat4::UsageError("runtime: no switches registered");
+  }
+  stop_requested_.store(false, std::memory_order_relaxed);
+  for (auto& lane : switches_) {
+    lane->ring = std::make_unique<SpscRing<p4sim::Packet>>(cfg_.queue_capacity);
+    lane->sent = 0;
+    lane->dropped = 0;
+    lane->delivered.store(0, std::memory_order_relaxed);
+    lane->digests.store(0, std::memory_order_relaxed);
+  }
+  running_ = true;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    SwitchLane* lane = switches_[i].get();
+    switches_[i]->worker =
+        std::thread([this, i, lane] {
+          worker_loop(static_cast<control::SwitchId>(i), *lane);
+        });
+  }
+}
+
+bool FleetRunner::inject(control::SwitchId sw, p4sim::Packet pkt) {
+  SwitchLane& lane = *switches_.at(sw);
+  ++lane.sent;
+  if (lane.ring->closed()) {
+    ++lane.dropped;
+    return false;
+  }
+  if (cfg_.policy == Policy::kBlock) {
+    lane.ring->push_blocking(std::move(pkt));
+    return true;
+  }
+  if (!lane.ring->try_push(std::move(pkt))) {
+    ++lane.dropped;
+    return false;
+  }
+  return true;
+}
+
+void FleetRunner::close_input(control::SwitchId sw) {
+  switches_.at(sw)->ring->close();
+}
+
+std::size_t FleetRunner::poll_digests() {
+  // With no sink installed, digests stay queued — never silently discarded —
+  // so a later drain_into() still sees them.
+  if (!digest_sink_) return 0;
+  std::vector<TaggedDigest> pending;
+  digest_channel_.drain(pending);
+  for (const auto& td : pending) digest_sink_(td.sw, td.digest);
+  return pending.size();
+}
+
+void FleetRunner::flush() {
+  if (!running_) return;
+  Backoff backoff;
+  for (auto& lane : switches_) {
+    const std::uint64_t accepted = lane->sent - lane->dropped;
+    while (lane->delivered.load(std::memory_order_acquire) < accepted) {
+      backoff.pause();
+    }
+    backoff.reset();
+  }
+}
+
+void FleetRunner::stop() {
+  if (!running_) return;
+  for (auto& lane : switches_) lane->ring->close();
+  for (auto& lane : switches_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+  running_ = false;
+  poll_digests();
+}
+
+void FleetRunner::drain_into(control::FleetCorrelator& correlator) {
+  std::vector<TaggedDigest> pending;
+  digest_channel_.drain(pending);
+  // Controller-side ordering: digests carry switch-side timestamps, and the
+  // correlator's event-completion rule assumes it sees them in time order.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const TaggedDigest& a, const TaggedDigest& b) {
+                     return a.digest.time < b.digest.time;
+                   });
+  for (const auto& td : pending) {
+    if (digest_sink_) digest_sink_(td.sw, td.digest);
+    correlator.ingest(td.sw, td.digest);
+  }
+}
+
+FleetRunner::Counters FleetRunner::counters(control::SwitchId sw) const {
+  const SwitchLane& lane = *switches_.at(sw);
+  Counters c;
+  c.sent = lane.sent;
+  c.delivered = lane.delivered.load(std::memory_order_acquire);
+  c.dropped = lane.dropped;
+  c.digests = lane.digests.load(std::memory_order_acquire);
+  return c;
+}
+
+FleetRunner::Counters FleetRunner::totals() const {
+  Counters total;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    const Counters c = counters(static_cast<control::SwitchId>(i));
+    total.sent += c.sent;
+    total.delivered += c.delivered;
+    total.dropped += c.dropped;
+    total.digests += c.digests;
+  }
+  return total;
+}
+
+}  // namespace runtime

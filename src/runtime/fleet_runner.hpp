@@ -1,0 +1,154 @@
+// FleetRunner: each emulated switch on its own worker thread.
+//
+// The paper's Figure 1c architecture at fleet scale: many switches process
+// traffic independently at line rate and only their anomaly digests travel
+// to the controller.  FleetRunner reproduces exactly that concurrency
+// structure — one worker thread per registered MonitorApp switch, fed by a
+// bounded SPSC packet ring, with all digests funneled through one MPSC
+// channel to the controller side (typically a control::FleetCorrelator).
+//
+// Backpressure: by default a packet arriving at a full ring is DROPPED and
+// counted, the way a congested switch sheds load; Policy::kBlock instead
+// spins until space frees up (lossless, for replay workloads where every
+// packet must be observed).  Accounting invariant, enforced by
+// tests/fleet_runner_test.cpp:  sent == delivered + dropped  per switch.
+//
+// Shutdown protocol (safe under racing producers):
+//   1. producers observe stop_requested() — or simply finish — and each
+//      calls close_input(sw) for the switches it feeds (close_input must be
+//      the LAST call that producer makes for that switch);
+//   2. workers drain their rings and exit on closed-and-empty;
+//   3. the control thread calls stop(), which joins the workers and drains
+//      the final digests.
+// For the common single-producer case (the control thread feeds all
+// switches itself), flush()/stop() from that thread is all that is needed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "control/fleet.hpp"
+#include "p4sim/packet.hpp"
+#include "runtime/mpsc_channel.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "stat4p4/apps.hpp"
+
+namespace runtime {
+
+class FleetRunner {
+ public:
+  enum class Policy : std::uint8_t {
+    kDrop,   ///< full ring: drop the packet, count it (switch under load)
+    kBlock,  ///< full ring: backpressure-spin (lossless replay)
+  };
+
+  struct Config {
+    std::size_t queue_capacity = 1024;  ///< per-switch ingress ring, packets
+    Policy policy = Policy::kDrop;
+  };
+
+  struct Counters {
+    std::uint64_t sent = 0;       ///< inject() calls (accepted + dropped)
+    std::uint64_t delivered = 0;  ///< packets processed by the switch
+    std::uint64_t dropped = 0;    ///< shed at a full or closed ring
+    std::uint64_t digests = 0;    ///< digests the switch emitted
+  };
+
+  FleetRunner() = default;
+  explicit FleetRunner(Config cfg) : cfg_(cfg) {}
+  ~FleetRunner();
+
+  FleetRunner(const FleetRunner&) = delete;
+  FleetRunner& operator=(const FleetRunner&) = delete;
+
+  /// Register a switch; `app` must outlive the runner.  All switches must be
+  /// registered before start().
+  control::SwitchId add_switch(stat4p4::MonitorApp& app);
+
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+
+  /// Tagged digests go to the sink on the thread that calls poll_digests()/
+  /// flush()/stop()/drain_into() — never on a worker thread.
+  void set_digest_sink(
+      std::function<void(control::SwitchId, const p4sim::Digest&)> sink) {
+    digest_sink_ = std::move(sink);
+  }
+
+  void start();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Enqueue one packet for `sw` (exactly one producer thread per switch).
+  /// Returns false — and counts a drop — when the ring is full under
+  /// Policy::kDrop, or when the switch's input was already closed.
+  bool inject(control::SwitchId sw, p4sim::Packet pkt);
+
+  /// Cooperative-stop flag for producer threads.
+  void request_stop() noexcept {
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// End-of-stream for one switch; called by that switch's producer as its
+  /// last action.  Idempotent.
+  void close_input(control::SwitchId sw);
+
+  /// Deliver queued digests to the sink; returns how many.  Single-consumer:
+  /// call from one (control) thread only.  With no sink installed this is a
+  /// no-op — digests stay queued for drain_into() rather than being
+  /// silently discarded.
+  std::size_t poll_digests();
+
+  /// Barrier: all packets injected so far are processed and their digests
+  /// queued.  Delivery is separate — follow with poll_digests() (sink, in
+  /// arrival order) or drain_into() (correlator, in time order).  Only
+  /// meaningful from the (sole) producer thread, whose own counters define
+  /// "so far".
+  void flush();
+
+  /// Close every input, join all workers, deliver remaining digests.
+  /// Producers must have stopped injecting (inject() after close is a
+  /// counted drop, so a straggler cannot corrupt the accounting).
+  void stop();
+
+  /// Drain pending digests — sorted by switch-side timestamp, the order the
+  /// controller would see them in — into a correlator.  Does not flush().
+  void drain_into(control::FleetCorrelator& correlator);
+
+  [[nodiscard]] Counters counters(control::SwitchId sw) const;
+  [[nodiscard]] Counters totals() const;
+
+ private:
+  struct SwitchLane {
+    stat4p4::MonitorApp* app = nullptr;
+    std::unique_ptr<SpscRing<p4sim::Packet>> ring;
+    std::thread worker;
+    std::uint64_t sent = 0;     ///< producer-owned
+    std::uint64_t dropped = 0;  ///< producer-owned
+    alignas(64) std::atomic<std::uint64_t> delivered{0};
+    alignas(64) std::atomic<std::uint64_t> digests{0};
+  };
+
+  struct TaggedDigest {
+    control::SwitchId sw = 0;
+    p4sim::Digest digest;
+  };
+
+  void worker_loop(control::SwitchId id, SwitchLane& lane);
+
+  Config cfg_{};
+  std::vector<std::unique_ptr<SwitchLane>> switches_;
+  MpscChannel<TaggedDigest> digest_channel_;
+  std::function<void(control::SwitchId, const p4sim::Digest&)> digest_sink_;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+};
+
+}  // namespace runtime

@@ -1,0 +1,56 @@
+// Multi-producer / single-consumer channel for alerts and digests.
+//
+// The control-plane side of the runtime: every shard (or switch worker)
+// pushes its alerts here, and one consumer — the controller thread — drains
+// them into the FleetCorrelator or a user sink.  Unlike the packet path,
+// this channel may take a lock: anomaly digests are rare by design (the
+// whole point of in-switch detection is that the switch only talks to the
+// controller when something is wrong), so a mutex-protected queue is both
+// simple and contention-free in practice, and it keeps the channel safe for
+// any number of producers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace runtime {
+
+template <typename T>
+class MpscChannel {
+ public:
+  /// Any thread may push.
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Move everything currently queued into `out` (appended); returns the
+  /// number of items drained.  Non-blocking.
+  std::size_t drain(std::vector<T>& out) {
+    std::deque<T> grabbed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      grabbed.swap(items_);
+    }
+    for (auto& item : grabbed) out.push_back(std::move(item));
+    return grabbed.size();
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace runtime

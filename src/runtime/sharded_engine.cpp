@@ -1,0 +1,255 @@
+#include "runtime/sharded_engine.hpp"
+
+#include <utility>
+
+namespace runtime {
+
+ShardedEngine::ShardedEngine(std::size_t shards, stat4::OverflowPolicy policy,
+                             std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  if (shards == 0) throw stat4::UsageError("runtime: shard count must be > 0");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<stat4::Stat4Engine>(policy);
+    shard->ring = std::make_unique<SpscRing<Op>>(queue_capacity_);
+    // Each shard engine reports through one sink installed once, here: the
+    // lambda translates local dist ids to global ones and routes the alert
+    // either inline (synchronous mode) or through the MPSC channel (worker
+    // thread -> flush()-calling thread).
+    Shard* sp = shard.get();
+    shard->engine->set_alert_sink([this, sp](const stat4::Alert& a) {
+      stat4::Alert global = a;
+      global.dist = sp->global_of_local[a.dist];
+      global.seq = alert_seq_.fetch_add(1, std::memory_order_acq_rel);
+      if (running_) {
+        alert_channel_.push(global);
+      } else if (alert_sink_) {
+        alert_sink_(global);
+      }
+    });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (running_) stop();
+}
+
+stat4::DistId ShardedEngine::register_dist(std::size_t shard,
+                                           stat4::DistId local) {
+  shards_[shard]->global_of_local.push_back(
+      static_cast<stat4::DistId>(dist_map_.size()));
+  dist_map_.push_back({shard, local});
+  next_shard_ = (shard + 1) % shards_.size();
+  return static_cast<stat4::DistId>(dist_map_.size() - 1);
+}
+
+stat4::DistId ShardedEngine::add_freq_dist(std::size_t domain_size) {
+  const std::size_t s = next_shard_;
+  return register_dist(s, shards_[s]->engine->add_freq_dist(domain_size));
+}
+
+stat4::DistId ShardedEngine::add_sliding_freq_dist(std::size_t domain_size,
+                                                   std::size_t window) {
+  const std::size_t s = next_shard_;
+  return register_dist(
+      s, shards_[s]->engine->add_sliding_freq_dist(domain_size, window));
+}
+
+stat4::DistId ShardedEngine::add_interval_window(std::size_t num_intervals,
+                                                 stat4::TimeNs interval_len,
+                                                 unsigned k_sigma) {
+  const std::size_t s = next_shard_;
+  return register_dist(s, shards_[s]->engine->add_interval_window(
+                              num_intervals, interval_len, k_sigma));
+}
+
+stat4::DistId ShardedEngine::add_value_stats() {
+  const std::size_t s = next_shard_;
+  return register_dist(s, shards_[s]->engine->add_value_stats());
+}
+
+const ShardedEngine::DistRef& ShardedEngine::ref(stat4::DistId id) const {
+  if (id >= dist_map_.size()) {
+    throw stat4::UsageError("runtime: unknown distribution id");
+  }
+  return dist_map_[id];
+}
+
+stat4::Stat4Engine& ShardedEngine::engine_of(stat4::DistId id) {
+  return *shards_[ref(id).shard]->engine;
+}
+
+const stat4::Stat4Engine& ShardedEngine::engine_of(stat4::DistId id) const {
+  return *shards_[ref(id).shard]->engine;
+}
+
+std::size_t ShardedEngine::shard_of(stat4::DistId id) const {
+  return ref(id).shard;
+}
+
+void ShardedEngine::enable_spike_check(stat4::DistId id,
+                                       std::size_t min_history) {
+  engine_of(id).enable_spike_check(ref(id).local, min_history);
+}
+
+void ShardedEngine::enable_stall_check(stat4::DistId id,
+                                       std::size_t min_history) {
+  engine_of(id).enable_stall_check(ref(id).local, min_history);
+}
+
+void ShardedEngine::enable_value_outlier_check(stat4::DistId id,
+                                               stat4::Count min_n) {
+  engine_of(id).enable_value_outlier_check(ref(id).local, min_n);
+}
+
+void ShardedEngine::enable_imbalance_check(stat4::DistId id,
+                                           stat4::Count min_total) {
+  engine_of(id).enable_imbalance_check(ref(id).local, min_total);
+}
+
+void ShardedEngine::rearm(stat4::DistId id) {
+  engine_of(id).rearm(ref(id).local);
+}
+
+stat4::BindingId ShardedEngine::add_binding(const stat4::BindingEntry& entry) {
+  const DistRef& r = ref(entry.dist);
+  stat4::BindingEntry local = entry;
+  local.dist = r.local;
+  return shards_[r.shard]->engine->add_binding(local);
+}
+
+const stat4::FreqDist& ShardedEngine::freq(stat4::DistId id) const {
+  return engine_of(id).freq(ref(id).local);
+}
+stat4::FreqDist& ShardedEngine::freq(stat4::DistId id) {
+  return engine_of(id).freq(ref(id).local);
+}
+const stat4::SlidingFreqDist& ShardedEngine::sliding(stat4::DistId id) const {
+  return engine_of(id).sliding(ref(id).local);
+}
+const stat4::IntervalWindow& ShardedEngine::window(stat4::DistId id) const {
+  return engine_of(id).window(ref(id).local);
+}
+const stat4::RunningStats& ShardedEngine::values(stat4::DistId id) const {
+  return engine_of(id).values(ref(id).local);
+}
+
+// ------------------------------------------------------- synchronous path
+
+void ShardedEngine::process(const stat4::PacketFields& pkt) {
+  if (running_) {
+    throw stat4::UsageError(
+        "runtime: use submit(), not process(), while workers run");
+  }
+  for (auto& shard : shards_) shard->engine->process(pkt);
+}
+
+void ShardedEngine::advance_time(stat4::TimeNs now) {
+  if (running_) {
+    throw stat4::UsageError(
+        "runtime: use submit_advance() while workers run");
+  }
+  for (auto& shard : shards_) shard->engine->advance_time(now);
+}
+
+// ---------------------------------------------------------- threaded path
+
+void ShardedEngine::worker_loop(Shard& shard) {
+  Backoff backoff;
+  Op op;
+  while (true) {
+    bool did_work = false;
+    while (shard.ring->try_pop(op)) {
+      did_work = true;
+      if (op.advance_to >= 0) {
+        shard.engine->advance_time(op.advance_to);
+      } else {
+        shard.engine->process(op.pkt);
+      }
+      // Release so a flush() that observes the new count also observes all
+      // register state written while processing.
+      shard.processed.fetch_add(1, std::memory_order_release);
+    }
+    if (did_work) {
+      backoff.reset();
+      continue;
+    }
+    if (shard.ring->closed() && shard.ring->empty()) return;
+    backoff.pause();
+  }
+}
+
+void ShardedEngine::start() {
+  if (running_) throw stat4::UsageError("runtime: engine already running");
+  for (auto& shard : shards_) {
+    // Fresh ring per run: close() is sticky, so a stopped engine needs a
+    // new end-of-stream marker to be restartable.
+    shard->ring = std::make_unique<SpscRing<Op>>(queue_capacity_);
+    shard->accepted = 0;
+    shard->processed.store(0, std::memory_order_relaxed);
+  }
+  running_ = true;
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+void ShardedEngine::submit(const stat4::PacketFields& pkt) {
+  Op op;
+  op.pkt = pkt;
+  for (auto& shard : shards_) {
+    if (!shard->ring->try_push(op)) {
+      backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+      shard->ring->push_blocking(op);
+    }
+    ++shard->accepted;
+  }
+}
+
+void ShardedEngine::submit_advance(stat4::TimeNs now) {
+  Op op;
+  op.advance_to = now;
+  for (auto& shard : shards_) {
+    if (!shard->ring->try_push(op)) {
+      backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+      shard->ring->push_blocking(op);
+    }
+    ++shard->accepted;
+  }
+}
+
+void ShardedEngine::drain_alerts() {
+  std::vector<stat4::Alert> pending;
+  alert_channel_.drain(pending);
+  if (alert_sink_) {
+    for (const auto& a : pending) alert_sink_(a);
+  }
+}
+
+void ShardedEngine::flush() {
+  if (!running_) return;
+  Backoff backoff;
+  for (auto& shard : shards_) {
+    while (shard->processed.load(std::memory_order_acquire) <
+           shard->accepted) {
+      backoff.pause();
+    }
+    backoff.reset();
+  }
+  drain_alerts();
+}
+
+void ShardedEngine::stop() {
+  if (!running_) return;
+  flush();
+  for (auto& shard : shards_) shard->ring->close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  running_ = false;
+  drain_alerts();
+}
+
+}  // namespace runtime

@@ -1,0 +1,133 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The packet channel between a traffic source and a shard (or emulated
+// switch) worker thread.  The discipline mirrors a switch ingress queue:
+// exactly one producer (the wire) and one consumer (the pipeline), a fixed
+// capacity, and a hot path that never takes a lock — head and tail are
+// single-writer atomics with acquire/release pairing, so `try_push` and
+// `try_pop` are wait-free.  When the queue is full the *caller* decides
+// between dropping (drop-with-counter, like a switch under load; see
+// FleetRunner) and backpressure (spin until space; see ShardedEngine, which
+// must stay lossless to remain bit-identical to the single-threaded engine).
+//
+// `close()` is part of the shutdown protocol and must be called by the
+// producer thread (or after the producer has provably stopped): the consumer
+// drains until `closed() && empty()`, so an item pushed after close would
+// race with consumer exit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "stat4/types.hpp"
+
+namespace runtime {
+
+/// Progressive backoff for spin loops: spin, then yield, then micro-sleep.
+/// Keeps tests responsive even on single-core machines, where a pure spin
+/// would starve the thread it is waiting on until the scheduler preempts.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < 64) {
+      ++spins_;
+    } else if (spins_ < 256) {
+      ++spins_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  unsigned spins_ = 0;
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (index masking instead of
+  /// modulo).  One slot is sacrificed to distinguish full from empty, so the
+  /// usable capacity is at least `min_capacity`.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when the ring is full.
+  bool try_push(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (next == tail_cache_) return false;
+    }
+    slots_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: push or backpressure-spin until space frees up.
+  void push_blocking(T item) {
+    Backoff backoff;
+    while (!try_push(std::move(item))) backoff.pause();
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drain up to `max_batch` items into `out` (appended).
+  /// Batched delivery amortizes the atomic traffic per wakeup.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_batch) {
+    std::size_t n = 0;
+    T item;
+    while (n < max_batch && try_pop(item)) {
+      out.push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Producer-side end-of-stream marker (see the class comment for the
+  /// shutdown protocol).
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< producer-owned
+  alignas(64) std::size_t tail_cache_ = 0;        ///< producer's view of tail
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< consumer-owned
+  alignas(64) std::size_t head_cache_ = 0;        ///< consumer's view of head
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace runtime

@@ -1,0 +1,130 @@
+// Full-range property tests for the Section 2 approximate arithmetic.
+//
+// The spot checks in approx_math_test.cpp pin known values; this file sweeps
+// the whole small domain exhaustively (every 16-bit input) and samples the
+// full 32/64-bit range, asserting the Table 2 relative-error envelope holds
+// EVERYWHERE — not just at the points the paper tabulates:
+//
+//   approx_sqrt:   |approx - sqrt(y)| / sqrt(y)  <  0.45   for y in [1, 10)
+//                                                 <  0.23   for y in [10, 100)
+//                                                 <  0.0625 for y >= 100
+//   approx_square: |approx - y^2| / y^2          <= r^2 / y^2 < 0.25,
+//                  exact at powers of two.
+#include "stat4/approx_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace stat4 {
+namespace {
+
+/// The Table 2 envelope: worst-case relative error of approx_sqrt as a
+/// function of the input magnitude.
+double sqrt_error_bound(std::uint64_t y) {
+  if (y < 10) return 0.45;
+  if (y < 100) return 0.23;
+  return 0.0625;
+}
+
+void check_sqrt(std::uint64_t y) {
+  const double truth = std::sqrt(static_cast<double>(y));
+  const double approx = static_cast<double>(approx_sqrt(y));
+  const double rel = std::abs(approx - truth) / truth;
+  ASSERT_LT(rel, sqrt_error_bound(y))
+      << "y=" << y << " approx=" << approx << " truth=" << truth;
+}
+
+TEST(ApproxSqrtFullRange, Exhaustive16Bit) {
+  EXPECT_EQ(approx_sqrt(0), 0u);
+  for (std::uint64_t y = 1; y <= (std::uint64_t{1} << 16); ++y) {
+    check_sqrt(y);
+  }
+}
+
+TEST(ApproxSqrtFullRange, Random32Bit) {
+  std::mt19937_64 rng(0x32b17);
+  for (int i = 0; i < 200000; ++i) {
+    check_sqrt((rng() & 0xFFFFFFFFu) | 1);
+  }
+}
+
+TEST(ApproxSqrtFullRange, Random64Bit) {
+  // sqrt of a uint64 stays well inside double precision's exact range for
+  // the bound check (the approximation error dwarfs double rounding).
+  std::mt19937_64 rng(0x64b17);
+  for (int i = 0; i < 200000; ++i) {
+    check_sqrt(rng() | 1);
+  }
+}
+
+TEST(ApproxSqrtFullRange, EveryExponentBoundary) {
+  // The pseudo-float construction has its seams at powers of two: check
+  // each 2^e and its immediate neighbours across the full 64-bit range.
+  for (int e = 1; e < 64; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    check_sqrt(p - 1);
+    check_sqrt(p);
+    check_sqrt(p + 1);
+  }
+}
+
+TEST(ApproxSqrtFullRange, MonotoneOnExhaustiveRange) {
+  // A variance estimate must not decrease when its input grows — the
+  // engine's k-sigma thresholds rely on monotonicity of the pseudo-float.
+  std::uint64_t prev = approx_sqrt(1);
+  for (std::uint64_t y = 2; y <= (std::uint64_t{1} << 16); ++y) {
+    const std::uint64_t cur = approx_sqrt(y);
+    ASSERT_GE(cur, prev) << "y=" << y;
+    prev = cur;
+  }
+}
+
+// --------------------------------------------------------------- squaring
+
+void check_square(std::uint64_t y) {
+  const double truth = static_cast<double>(y) * static_cast<double>(y);
+  const double approx = static_cast<double>(approx_square(y));
+  const double rel = std::abs(approx - truth) / truth;
+  ASSERT_LT(rel, 0.25) << "y=" << y;
+  // The approximation keeps the top two terms of (2^e + r)^2 and drops
+  // only r^2, so it always under-estimates.
+  ASSERT_LE(approx, truth) << "y=" << y;
+}
+
+TEST(ApproxSquareFullRange, Exhaustive16Bit) {
+  EXPECT_EQ(approx_square(0), 0u);
+  for (std::uint64_t y = 1; y <= (std::uint64_t{1} << 16); ++y) {
+    check_square(y);
+  }
+}
+
+TEST(ApproxSquareFullRange, ExactAtPowersOfTwo) {
+  for (int e = 0; e < 32; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    EXPECT_EQ(approx_square(p), p * p) << "e=" << e;
+  }
+}
+
+TEST(ApproxSquareFullRange, Random32Bit) {
+  std::mt19937_64 rng(0x50a12e);
+  for (int i = 0; i < 200000; ++i) {
+    check_square((rng() & 0xFFFFFFFFu) | 1);
+  }
+}
+
+TEST(ApproxSquareFullRange, SaturatesAbove32Bit) {
+  // y^2 overflows uint64 once y has more than 32 bits; the implementation
+  // must saturate rather than wrap.
+  std::mt19937_64 rng(0x5a7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t y = rng() | (std::uint64_t{1} << 33);
+    const std::uint64_t sq = approx_square(y);
+    ASSERT_EQ(sq, ~std::uint64_t{0}) << "y=" << y;
+  }
+}
+
+}  // namespace
+}  // namespace stat4

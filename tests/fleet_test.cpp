@@ -104,6 +104,50 @@ TEST(FleetCorrelator, ChainedDigestsExtendTheWindow) {
 
 // --------------------------------------------- engine sliding distributions
 
+TEST(FleetCorrelator, AdvanceCompletesEventsWithoutALaterDigest) {
+  // Digests are rare by design, so "a later digest arrives" is not a
+  // completion signal the controller can rely on: an event at the end of a
+  // trace must complete once controller time passes, with no flush().
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(7, 10 * kMillisecond));
+  corr.ingest(2, digest(7, 12 * kMillisecond));
+  EXPECT_EQ(corr.open_events(), 1u);
+
+  // Inside the window: the event must stay open.
+  corr.advance(19 * kMillisecond);
+  EXPECT_EQ(corr.open_events(), 1u);
+  EXPECT_TRUE(events.empty());
+
+  // Past the window: the event completes — no later digest, no flush.
+  corr.advance(21 * kMillisecond);
+  EXPECT_EQ(corr.open_events(), 0u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].network_wide());
+  EXPECT_EQ(events[0].last_time, 12 * kMillisecond);
+}
+
+TEST(FleetCorrelator, AdvanceExpiresOnlyStaleEvents) {
+  FleetCorrelator corr(8 * kMillisecond);
+  std::vector<FleetEvent> events;
+  corr.set_event_sink([&](const FleetEvent& e) { events.push_back(e); });
+
+  corr.ingest(1, digest(1, 0));
+  corr.ingest(1, digest(2, 7 * kMillisecond));  // different kind, younger
+  EXPECT_EQ(corr.open_events(), 2u);
+
+  corr.advance(10 * kMillisecond);  // only the t=0 event is stale
+  EXPECT_EQ(corr.open_events(), 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].digest_id, 1u);
+
+  corr.flush();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].digest_id, 2u);
+}
+
 TEST(EngineSliding, BindingUpdatesSlidingDistribution) {
   stat4::Stat4Engine engine;
   const auto id = engine.add_sliding_freq_dist(16, 100);

@@ -1,0 +1,406 @@
+// Differential property test: ShardedEngine ≡ Stat4Engine.
+//
+// The fleet analogue of the paper's Figure 5 echo validation: identical
+// randomized packet traces are fed through the single-threaded reference
+// engine and through ShardedEngine at several shard counts — both in
+// synchronous mode and with worker threads running — and every
+// per-distribution statistic (counters, N/Xsum/Xsumsq, approximate sd,
+// percentile positions, interval history) must come out bit-identical, and
+// the alert multisets equal.  Sharding must be a pure parallelization, never
+// a semantic change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "runtime/sharded_engine.hpp"
+#include "stat4/stat4.hpp"
+
+namespace {
+
+using runtime::ShardedEngine;
+using stat4::Alert;
+using stat4::BindingEntry;
+using stat4::DistId;
+using stat4::kMillisecond;
+using stat4::PacketFields;
+using stat4::Stat4Engine;
+using stat4::TimeNs;
+using stat4::Value;
+
+enum class Kind { kFreq, kSliding, kWindow, kValues };
+
+struct DistSpec {
+  Kind kind = Kind::kFreq;
+  std::size_t domain = 64;
+  std::size_t window = 100;          // sliding window / interval count
+  TimeNs interval_len = kMillisecond;
+  unsigned k_sigma = 2;
+  bool percentile = false;
+  unsigned percentile_value = 50;
+};
+
+struct Scenario {
+  std::vector<DistSpec> dists;
+  std::vector<BindingEntry> bindings;
+  std::vector<PacketFields> packets;
+  std::vector<std::pair<std::size_t, TimeNs>> advances;  ///< (packet idx, t)
+  std::vector<std::size_t> rearms;  ///< packet idx at which all dists re-arm
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Scenario sc;
+
+  const std::size_t num_dists = 4 + rng() % 4;  // 4..7
+  for (std::size_t i = 0; i < num_dists; ++i) {
+    DistSpec d;
+    switch (rng() % 4) {
+      case 0:
+        d.kind = Kind::kFreq;
+        d.domain = 16u << (rng() % 3);  // 16/32/64
+        d.percentile = rng() % 2 == 0;
+        d.percentile_value = (rng() % 2 == 0) ? 50 : 90;
+        break;
+      case 1:
+        d.kind = Kind::kSliding;
+        d.domain = 16u << (rng() % 2);
+        d.window = 64 + rng() % 200;
+        break;
+      case 2:
+        d.kind = Kind::kWindow;
+        d.window = 10 + rng() % 30;
+        d.interval_len = static_cast<TimeNs>(1 + rng() % 4) * kMillisecond;
+        d.k_sigma = 2 + static_cast<unsigned>(rng() % 3);
+        break;
+      default:
+        d.kind = Kind::kValues;
+        break;
+    }
+    sc.dists.push_back(d);
+
+    // One or two bindings per distribution.
+    const std::size_t num_bindings = 1 + rng() % 2;
+    for (std::size_t b = 0; b < num_bindings; ++b) {
+      BindingEntry e;
+      e.dist = static_cast<DistId>(i);
+      if (rng() % 2 == 0) {
+        e.match.dst_prefix =
+            stat4::Prefix{0x0A000000u | (static_cast<std::uint32_t>(
+                                             1 + rng() % 4)
+                                         << 16),
+                          16};
+      }
+      if (rng() % 3 == 0) {
+        e.match.protocol = rng() % 2 == 0 ? std::uint8_t{6} : std::uint8_t{17};
+      }
+      switch (d.kind) {
+        case Kind::kFreq:
+        case Kind::kSliding:
+          e.kind = stat4::UpdateKind::kFrequencyObserve;
+          e.extractor.field = rng() % 2 == 0 ? stat4::Field::kDstIp
+                                             : stat4::Field::kSrcPort;
+          e.extractor.shift = rng() % 2 == 0 ? 0 : 8;
+          e.extractor.mask = d.domain - 1;  // keep values inside the domain
+          break;
+        case Kind::kWindow:
+          e.kind = rng() % 2 == 0 ? stat4::UpdateKind::kIntervalCount
+                                  : stat4::UpdateKind::kIntervalSum;
+          e.extractor.field = stat4::Field::kLength;
+          e.extractor.mask = 0x3FF;
+          break;
+        case Kind::kValues:
+          e.kind = stat4::UpdateKind::kValueSample;
+          e.extractor.field = stat4::Field::kLength;
+          break;
+      }
+      sc.bindings.push_back(e);
+    }
+  }
+
+  // Randomized trace: mostly steady traffic with occasional hot streaks (so
+  // the imbalance / spike checks actually fire alerts to compare).
+  const std::size_t num_packets = 20000;
+  TimeNs t = 0;
+  std::uint32_t hot_dst = 0x0A010000u | static_cast<std::uint32_t>(rng() % 64);
+  for (std::size_t i = 0; i < num_packets; ++i) {
+    PacketFields pkt;
+    t += static_cast<TimeNs>(rng() % 200) * 1000;  // 0..200 us gaps
+    pkt.timestamp = t;
+    const bool hot = (i / 1000) % 4 == 3 && rng() % 2 == 0;
+    pkt.dst_ip = hot ? hot_dst
+                     : (0x0A000000u |
+                        (static_cast<std::uint32_t>(1 + rng() % 4) << 16) |
+                        static_cast<std::uint32_t>(rng() % 4096));
+    pkt.src_ip = static_cast<std::uint32_t>(rng());
+    pkt.src_port = static_cast<std::uint16_t>(rng() % 0xFFFF);
+    pkt.dst_port = static_cast<std::uint16_t>(rng() % 0xFFFF);
+    pkt.protocol = rng() % 2 == 0 ? 6 : 17;
+    pkt.tcp_flags = pkt.protocol == 6 && rng() % 8 == 0 ? std::uint8_t{0x02}
+                                                        : std::uint8_t{0};
+    pkt.length = 64 + static_cast<std::uint32_t>(rng() % 1400);
+    sc.packets.push_back(pkt);
+
+    if (rng() % 4096 == 0) {
+      // Advance controller time past the current packet; keep the trace
+      // monotone by resuming packet timestamps from the advanced point.
+      t += static_cast<TimeNs>(rng() % 20) * kMillisecond;
+      sc.advances.emplace_back(i, t);
+    }
+    if (rng() % 8192 == 0) sc.rearms.push_back(i);
+  }
+  return sc;
+}
+
+/// Applies the scenario's configuration to any engine with the shared
+/// Stat4Engine-shaped surface.
+template <typename Engine>
+std::vector<DistId> configure(Engine& engine, const Scenario& sc) {
+  std::vector<DistId> ids;
+  for (const auto& d : sc.dists) {
+    DistId id = 0;
+    switch (d.kind) {
+      case Kind::kFreq:
+        id = engine.add_freq_dist(d.domain);
+        engine.enable_imbalance_check(id, 64);
+        if (d.percentile) {
+          engine.freq(id).attach_percentile(
+              stat4::Percentile{d.percentile_value});
+        }
+        break;
+      case Kind::kSliding:
+        id = engine.add_sliding_freq_dist(d.domain, d.window);
+        engine.enable_imbalance_check(id, 64);
+        break;
+      case Kind::kWindow:
+        id = engine.add_interval_window(d.window, d.interval_len, d.k_sigma);
+        engine.enable_spike_check(id, 4);
+        engine.enable_stall_check(id, 4);
+        break;
+      case Kind::kValues:
+        id = engine.add_value_stats();
+        engine.enable_value_outlier_check(id, 32);
+        break;
+    }
+    ids.push_back(id);
+  }
+  for (const auto& b : sc.bindings) engine.add_binding(b);
+  return ids;
+}
+
+/// Alert identity for multiset comparison.  seq is excluded on purpose: it
+/// numbers cross-shard arrival order, which threading legitimately permutes.
+using AlertKey = std::tuple<int, DistId, Value, bool, stat4::Accum,
+                            stat4::Accum, TimeNs>;
+
+AlertKey key_of(const Alert& a) {
+  return {static_cast<int>(a.kind), a.dist,          a.value,
+          a.verdict.is_outlier,     a.verdict.scaled_value,
+          a.verdict.threshold,      a.time};
+}
+
+struct RunResult {
+  std::vector<AlertKey> alerts;  ///< sorted
+};
+
+RunResult run_reference(Stat4Engine& engine, const Scenario& sc) {
+  RunResult r;
+  engine.set_alert_sink(
+      [&](const Alert& a) { r.alerts.push_back(key_of(a)); });
+  std::size_t adv = 0;
+  std::size_t rearm = 0;
+  for (std::size_t i = 0; i < sc.packets.size(); ++i) {
+    engine.process(sc.packets[i]);
+    while (adv < sc.advances.size() && sc.advances[adv].first == i) {
+      engine.advance_time(sc.advances[adv].second);
+      ++adv;
+    }
+    while (rearm < sc.rearms.size() && sc.rearms[rearm] == i) {
+      for (DistId d = 0; d < sc.dists.size(); ++d) engine.rearm(d);
+      ++rearm;
+    }
+  }
+  std::sort(r.alerts.begin(), r.alerts.end());
+  return r;
+}
+
+RunResult run_sharded(ShardedEngine& engine, const Scenario& sc,
+                      bool threaded) {
+  RunResult r;
+  engine.set_alert_sink(
+      [&](const Alert& a) { r.alerts.push_back(key_of(a)); });
+  if (threaded) engine.start();
+  std::size_t adv = 0;
+  std::size_t rearm = 0;
+  for (std::size_t i = 0; i < sc.packets.size(); ++i) {
+    if (threaded) {
+      engine.submit(sc.packets[i]);
+    } else {
+      engine.process(sc.packets[i]);
+    }
+    while (adv < sc.advances.size() && sc.advances[adv].first == i) {
+      if (threaded) {
+        engine.submit_advance(sc.advances[adv].second);
+      } else {
+        engine.advance_time(sc.advances[adv].second);
+      }
+      ++adv;
+    }
+    while (rearm < sc.rearms.size() && sc.rearms[rearm] == i) {
+      // Re-arming is a control-plane write: in threaded mode it needs the
+      // flush barrier first, exactly like a controller quiescing a switch.
+      if (threaded) engine.flush();
+      for (DistId d = 0; d < sc.dists.size(); ++d) engine.rearm(d);
+      ++rearm;
+    }
+  }
+  if (threaded) engine.stop();
+  std::sort(r.alerts.begin(), r.alerts.end());
+  return r;
+}
+
+void expect_same_stats(const stat4::RunningStats& a,
+                       const stat4::RunningStats& b, const char* what) {
+  EXPECT_EQ(a.n(), b.n()) << what;
+  EXPECT_EQ(a.xsum(), b.xsum()) << what;
+  EXPECT_EQ(a.xsumsq(), b.xsumsq()) << what;
+  EXPECT_EQ(a.variance_nx(), b.variance_nx()) << what;
+  EXPECT_EQ(a.stddev_nx(), b.stddev_nx()) << what;
+}
+
+void expect_equivalent(const Stat4Engine& ref, const ShardedEngine& sharded,
+                       const Scenario& sc) {
+  for (DistId id = 0; id < sc.dists.size(); ++id) {
+    SCOPED_TRACE(::testing::Message() << "dist " << id);
+    switch (sc.dists[id].kind) {
+      case Kind::kFreq: {
+        const auto& a = ref.freq(id);
+        const auto& b = sharded.freq(id);
+        EXPECT_EQ(a.frequencies(), b.frequencies());
+        EXPECT_EQ(a.total(), b.total());
+        EXPECT_EQ(a.distinct(), b.distinct());
+        expect_same_stats(a.stats(), b.stats(), "freq stats");
+        if (sc.dists[id].percentile) {
+          const auto& pa = a.percentile(0);
+          const auto& pb = b.percentile(0);
+          EXPECT_EQ(pa.position(), pb.position());
+          EXPECT_EQ(pa.low_count(), pb.low_count());
+          EXPECT_EQ(pa.high_count(), pb.high_count());
+        }
+        break;
+      }
+      case Kind::kSliding: {
+        const auto& a = ref.sliding(id);
+        const auto& b = sharded.sliding(id);
+        EXPECT_EQ(a.total(), b.total());
+        EXPECT_EQ(a.distinct(), b.distinct());
+        EXPECT_EQ(a.primed(), b.primed());
+        for (Value v = 0; v < sc.dists[id].domain; ++v) {
+          ASSERT_EQ(a.frequency(v), b.frequency(v)) << "value " << v;
+        }
+        expect_same_stats(a.stats(), b.stats(), "sliding stats");
+        break;
+      }
+      case Kind::kWindow: {
+        const auto& a = ref.window(id);
+        const auto& b = sharded.window(id);
+        EXPECT_EQ(a.history(), b.history());
+        EXPECT_EQ(a.completed(), b.completed());
+        EXPECT_EQ(a.current_count(), b.current_count());
+        expect_same_stats(a.stats(), b.stats(), "window stats");
+        break;
+      }
+      case Kind::kValues: {
+        expect_same_stats(ref.values(id), sharded.values(id), "value stats");
+        break;
+      }
+    }
+  }
+}
+
+class ShardedDifferential
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(ShardedDifferential, MatchesSingleThreadedEngine) {
+  const auto [seed, shards] = GetParam();
+  const Scenario sc = make_scenario(seed);
+
+  Stat4Engine reference;
+  configure(reference, sc);
+  const RunResult expected = run_reference(reference, sc);
+
+  for (const bool threaded : {false, true}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "shards=" << shards << " threaded=" << threaded);
+    ShardedEngine sharded(shards, stat4::OverflowPolicy::kThrow,
+                          /*queue_capacity=*/256);
+    configure(sharded, sc);
+    const RunResult got = run_sharded(sharded, sc, threaded);
+    expect_equivalent(reference, sharded, sc);
+    EXPECT_EQ(got.alerts, expected.alerts) << "alert multisets differ";
+    EXPECT_EQ(sharded.alerts_emitted(), reference.alerts_emitted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTraces, ShardedDifferential,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 2026u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{5})));
+
+TEST(ShardedEngine, RoundRobinPlacementAndTranslation) {
+  ShardedEngine engine(3);
+  const auto d0 = engine.add_freq_dist(16);
+  const auto d1 = engine.add_value_stats();
+  const auto d2 = engine.add_freq_dist(16);
+  const auto d3 = engine.add_value_stats();
+  EXPECT_EQ(engine.shard_of(d0), 0u);
+  EXPECT_EQ(engine.shard_of(d1), 1u);
+  EXPECT_EQ(engine.shard_of(d2), 2u);
+  EXPECT_EQ(engine.shard_of(d3), 0u);
+  EXPECT_EQ(engine.distribution_count(), 4u);
+  EXPECT_THROW((void)engine.shard_of(99), stat4::UsageError);
+}
+
+TEST(ShardedEngine, AlertsCarryGlobalDistIds) {
+  ShardedEngine engine(2);
+  (void)engine.add_value_stats();          // global 0, shard 0
+  const auto vid = engine.add_value_stats();  // global 1, shard 1 (local 0)
+  engine.enable_value_outlier_check(vid, 8);
+  stat4::BindingEntry b;
+  b.dist = vid;
+  b.kind = stat4::UpdateKind::kValueSample;
+  b.extractor.field = stat4::Field::kLength;
+  engine.add_binding(b);
+
+  std::vector<Alert> alerts;
+  engine.set_alert_sink([&](const Alert& a) { alerts.push_back(a); });
+  PacketFields pkt;
+  for (int i = 0; i < 32; ++i) {
+    pkt.timestamp = i;
+    pkt.length = 100;
+    engine.process(pkt);
+  }
+  pkt.timestamp = 33;
+  pkt.length = 100000;  // clear outlier
+  engine.process(pkt);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].dist, vid) << "local shard id must be translated back";
+}
+
+TEST(ShardedEngine, ProcessWhileRunningThrows) {
+  ShardedEngine engine(2);
+  (void)engine.add_freq_dist(8);
+  engine.start();
+  PacketFields pkt;
+  EXPECT_THROW(engine.process(pkt), stat4::UsageError);
+  EXPECT_THROW(engine.advance_time(1), stat4::UsageError);
+  EXPECT_THROW(engine.start(), stat4::UsageError);
+  engine.stop();
+  EXPECT_NO_THROW(engine.process(pkt));
+}
+
+}  // namespace

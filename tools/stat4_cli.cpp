@@ -1,12 +1,181 @@
 // Interactive / scripted runtime CLI over a Stat4 monitor switch — the
 // operational companion to bmv2's simple_switch_CLI.  Reads commands from
 // stdin (one per line), prints each result; `help` lists commands.
+//
+// With `--threads N` the CLI drives a FLEET of N identical monitor switches,
+// each on its own worker thread (runtime::FleetRunner).  Configuration and
+// query commands broadcast to every switch; injected / replayed packets are
+// routed across the fleet by destination-address hash, exercising the
+// threaded pipeline the way an ECMP fabric would spread flows over edge
+// switches.  Digests are printed as they reach the controller thread.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli/runtime_cli.hpp"
+#include "p4sim/craft.hpp"
+#include "p4sim/parser.hpp"
+#include "p4sim/trace.hpp"
+#include "runtime/runtime.hpp"
 
-int main() {
+namespace {
+
+struct Fleet {
+  explicit Fleet(std::size_t n) {
+    runtime::FleetRunner::Config cfg;
+    cfg.queue_capacity = 4096;
+    cfg.policy = runtime::FleetRunner::Policy::kBlock;  // CLI replay: lossless
+    runner = std::make_unique<runtime::FleetRunner>(cfg);
+    for (std::size_t i = 0; i < n; ++i) {
+      apps.push_back(std::make_unique<stat4p4::MonitorApp>());
+      shells.push_back(std::make_unique<cli::RuntimeCli>(*apps.back()));
+      runner->add_switch(*apps.back());
+    }
+    runner->set_digest_sink([](control::SwitchId sw,
+                               const p4sim::Digest& d) {
+      std::cout << "[sw " << sw << "] digest id=" << d.id
+                << " value=" << d.payload[1] << " t_us=" << d.time / 1000
+                << '\n';
+    });
+    runner->start();
+  }
+
+  /// Destination-hash routing, the way an ECMP fabric spreads flows.
+  [[nodiscard]] control::SwitchId route(const p4sim::Packet& pkt) const {
+    const auto parsed = p4sim::parse(pkt);
+    const std::uint32_t dst = parsed.ipv4 ? parsed.ipv4->dst : 0;
+    // Knuth multiplicative hash so adjacent subnets spread across switches.
+    return static_cast<control::SwitchId>((dst * 2654435761u) %
+                                          apps.size());
+  }
+
+  std::unique_ptr<runtime::FleetRunner> runner;
+  std::vector<std::unique_ptr<stat4p4::MonitorApp>> apps;
+  std::vector<std::unique_ptr<cli::RuntimeCli>> shells;
+};
+
+int run_fleet(std::size_t threads) {
+  Fleet fleet(threads);
+  std::cout << "stat4 runtime CLI — fleet mode, " << threads
+            << " switch threads; 'help' for commands\n";
+  std::string line;
+  bool done = false;
+  while (!done && std::getline(std::cin, line)) {
+    std::istringstream tokens(line);
+    std::string cmd;
+    tokens >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit") break;
+
+    if (cmd == "inject_udp") {
+      std::string src_text;
+      std::string dst_text;
+      std::uint64_t ts_us = 0;
+      std::uint32_t src = 0;
+      std::uint32_t dst = 0;
+      if (!(tokens >> src_text >> dst_text >> ts_us) ||
+          !cli::parse_ipv4_addr(src_text, &src) ||
+          !cli::parse_ipv4_addr(dst_text, &dst)) {
+        std::cout << "error: usage: inject_udp <src> <dst> <ts_us>\n";
+        continue;
+      }
+      p4sim::Packet pkt = p4sim::make_udp_packet(src, dst, 1000, 2000);
+      pkt.ingress_ts = static_cast<stat4::TimeNs>(ts_us) * 1000;
+      const auto sw = fleet.route(pkt);
+      fleet.runner->inject(sw, std::move(pkt));
+      fleet.runner->flush();
+      fleet.runner->poll_digests();
+      std::cout << "injected to switch " << sw << '\n';
+      continue;
+    }
+    if (cmd == "replay") {
+      std::string path;
+      if (!(tokens >> path)) {
+        std::cout << "error: usage: replay <trace-file>\n";
+        continue;
+      }
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cout << "error: cannot open '" << path << "'\n";
+        continue;
+      }
+      p4sim::TraceReader reader(in);
+      std::uint64_t packets = 0;
+      while (auto pkt = reader.next()) {
+        fleet.runner->inject(fleet.route(*pkt), std::move(*pkt));
+        ++packets;
+      }
+      fleet.runner->flush();
+      fleet.runner->poll_digests();
+      const auto totals = fleet.runner->totals();
+      std::cout << "replayed " << packets << " packets across " << threads
+                << " switches: " << totals.delivered << " delivered, "
+                << totals.digests << " digest(s) so far\n";
+      continue;
+    }
+    if (cmd == "counters") {
+      fleet.runner->flush();
+      const auto totals = fleet.runner->totals();
+      std::cout << "fleet packets=" << totals.delivered
+                << " digests=" << totals.digests << '\n';
+      for (std::size_t i = 0; i < fleet.shells.size(); ++i) {
+        std::cout << "[sw " << i << "] "
+                  << fleet.shells[i]->execute("counters") << '\n';
+      }
+      continue;
+    }
+
+    // Everything else is a control-plane command: broadcast to every
+    // switch, behind the flush barrier so it cannot race the workers.
+    fleet.runner->flush();
+    std::vector<std::string> outputs;
+    for (auto& shell : fleet.shells) {
+      outputs.push_back(shell->execute(line));
+      if (shell->done()) done = true;
+    }
+    // Identical switches give identical answers to configuration commands;
+    // print switch 0's answer once, and per-switch output only for the
+    // state-reading commands where the fleets' registers can differ.
+    const bool per_switch =
+        cmd == "register_read" || cmd == "stats" || cmd == "dump";
+    if (!per_switch) {
+      if (!outputs[0].empty()) std::cout << outputs[0] << '\n';
+    } else {
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        if (!outputs[i].empty()) {
+          std::cout << "[sw " << i << "] " << outputs[i] << '\n';
+        }
+      }
+    }
+    fleet.runner->poll_digests();
+  }
+  fleet.runner->stop();
+  const auto totals = fleet.runner->totals();
+  std::cout << "fleet shutdown: " << totals.sent << " injected, "
+            << totals.delivered << " delivered, " << totals.dropped
+            << " dropped, " << totals.digests << " digests\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: stat4_cli [--threads N]\n";
+      return 2;
+    }
+  }
+  if (threads > 1) return run_fleet(threads);
+
   stat4p4::MonitorApp app;
   cli::RuntimeCli shell(app);
   std::cout << "stat4 runtime CLI — 'help' for commands\n";
