@@ -2,11 +2,27 @@
 // the paper cannot use on a switch (Welford), plus per-packet cost of the
 // switch-side programs.  Also measures the lazy-vs-eager standard-deviation
 // trade-off of Section 3.
+//
+// Unlike the other bench harnesses this one has a custom main: alongside
+// the console table it always writes machine-readable
+// `BENCH_throughput.json` — every benchmark's timings plus a full
+// telemetry snapshot (the instrumented engine/runtime counters the
+// benchmarks just exercised) — so the repo accumulates a comparable perf
+// trajectory per PR.  Flags, consumed before google-benchmark sees them:
+//   --quick        CI smoke mode (min_time 0.01s)
+//   --json=FILE    write the JSON somewhere other than the default
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 #include "baseline/welford.hpp"
 #include "netsim/rng.hpp"
@@ -241,6 +257,101 @@ void BM_FleetRunnerFanOut(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetRunnerFanOut)->DenseRange(1, 4)->UseRealTime();
 
+// ------------------------------------------------ machine-readable output
+
+/// Console output as usual, but also keep every completed run so main()
+/// can serialize them next to the telemetry snapshot.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) runs_.push_back(run);
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<Run>& runs() const noexcept {
+    return runs_;
+  }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+std::string results_json(const std::vector<benchmark::BenchmarkReporter::Run>&
+                             runs,
+                         bool quick) {
+  std::string out = "{\"bench\":\"bench_throughput\",\"quick\":";
+  out += quick ? "true" : "false";
+  out += ",\"telemetry_enabled\":";
+  out += STAT4_TELEMETRY_ENABLED ? "true" : "false";
+  out += ",\"benchmarks\":[";
+  bool first = true;
+  for (const auto& run : runs) {
+    if (run.error_occurred) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + run.benchmark_name() + "\",\"iterations\":" +
+           std::to_string(run.iterations) + ",\"real_time_ns_per_iter\":";
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    append_double(out, run.real_accumulated_time / iters * 1e9);
+    out += ",\"cpu_time_ns_per_iter\":";
+    append_double(out, run.cpu_accumulated_time / iters * 1e9);
+    for (const auto& [name, counter] : run.counters) {
+      out += ",\"" + name + "\":";
+      append_double(out, counter.value);
+    }
+    out += '}';
+  }
+  out += "],\"telemetry\":";
+  out += telemetry::MetricsRegistry::global().snapshot().to_json();
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_throughput.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::string("--json=").size());
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  // Plain-seconds spelling: accepted by google-benchmark both before and
+  // after the 1.8 "0.01s" suffix syntax.
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (quick) bench_args.push_back(min_time.data());
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) {
+    std::cerr << "bench_throughput: cannot write " << json_path << '\n';
+    return 1;
+  }
+  json << results_json(reporter.runs(), quick) << '\n';
+  std::cerr << "wrote " << json_path << '\n';
+  return 0;
+}

@@ -2,19 +2,54 @@
 # Regenerates every result in EXPERIMENTS.md: builds, runs the full test
 # suite, every benchmark harness, and every example, teeing outputs into
 # results/.
-set -euo pipefail
+#
+# Every stage runs even if an earlier one fails; failures are collected and
+# the script exits non-zero if ANY stage failed (a bare `cmd | tee` would
+# otherwise let the pipeline mask benchmark crashes).
+#
+# With --json, benchmarks that support machine-readable output also write
+# results/BENCH_<name>.json, and all BENCH_*.json files are combined into
+# results/BENCH_all.json at the end.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+json_mode=0
+for arg in "$@"; do
+  case "$arg" in
+    --json) json_mode=1 ;;
+    *) echo "usage: $0 [--json]" >&2; exit 2 ;;
+  esac
+done
+
+failures=()
+
+# run <label> <cmd...>: run a stage, record its label on failure.
+run() {
+  local label=$1
+  shift
+  if ! "$@"; then
+    echo "FAILED: $label" >&2
+    failures+=("$label")
+    return 1
+  fi
+}
+
+run "configure" cmake -B build -G Ninja
+run "build" cmake --build build
 mkdir -p results
 
-ctest --test-dir build 2>&1 | tee results/tests.txt
+run "ctest" bash -c 'set -o pipefail; ctest --test-dir build 2>&1 | tee results/tests.txt'
 
 for b in build/bench/*; do
   name=$(basename "$b")
   echo "=== $name ==="
-  "$b" 2>&1 | tee "results/$name.txt"
+  extra=()
+  # bench_throughput emits a JSON report from its telemetry snapshot.
+  if [[ "$json_mode" == 1 && "$name" == "bench_throughput" ]]; then
+    extra+=("--json=results/BENCH_${name#bench_}.json")
+  fi
+  run "bench: $name" bash -c \
+    'set -o pipefail; "$@" 2>&1 | tee "results/'"$name"'.txt"' _ "$b" "${extra[@]}"
 done
 
 for e in quickstart "echo_validation 10000" "case_study_drilldown 2021" \
@@ -23,9 +58,38 @@ for e in quickstart "echo_validation 10000" "case_study_drilldown 2021" \
   set -- $e
   name=$1
   echo "=== example: $e ==="
-  "build/examples/$@" 2>&1 | tee "results/example_$name.txt"
+  run "example: $name" bash -c \
+    'set -o pipefail; "$@" 2>&1 | tee "results/example_'"$name"'.txt"' _ "build/examples/$@"
 done
 
-build/examples/emit_p4_source results/stat4_case_study.p4
-build/examples/emit_p4_source --echo results/stat4_echo.p4
+run "emit_p4_source" build/examples/emit_p4_source results/stat4_case_study.p4
+run "emit_p4_source --echo" \
+  build/examples/emit_p4_source --echo results/stat4_echo.p4
+
+# Combine the per-benchmark JSON reports (pure bash — no jq in the image).
+if [[ "$json_mode" == 1 ]]; then
+  combined=results/BENCH_all.json
+  {
+    printf '{'
+    first=1
+    for f in results/BENCH_*.json; do
+      [[ "$f" == "$combined" ]] && continue
+      [[ -e "$f" ]] || continue
+      key=$(basename "$f" .json)
+      key=${key#BENCH_}
+      [[ "$first" == 1 ]] || printf ','
+      first=0
+      printf '"%s":' "$key"
+      cat "$f"
+    done
+    printf '}\n'
+  } > "$combined"
+  echo "Combined benchmark JSON written to $combined"
+fi
+
+if ((${#failures[@]})); then
+  echo "=== ${#failures[@]} stage(s) FAILED ===" >&2
+  printf '  %s\n' "${failures[@]}" >&2
+  exit 1
+fi
 echo "All results written to results/."

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace control {
 
 void FleetCorrelator::ingest(SwitchId sw, const p4sim::Digest& digest) {
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Counter& t_digests =
+          telemetry::MetricsRegistry::global().counter(
+              "control.correlator.digests");
+      t_digests.add();)
   expire(digest.time);
 
   for (auto& event : open_) {
@@ -46,6 +53,18 @@ void FleetCorrelator::complete(std::size_t index) {
   const FleetEvent event = std::move(open_[index]);
   open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(index));
   ++emitted_;
+  // Event latency = switch-side spread between the first and last digest
+  // folded into the event: how long the anomaly took to be seen fleet-wide.
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Counter& t_events =
+          telemetry::MetricsRegistry::global().counter(
+              "control.correlator.events");
+      static telemetry::Histogram& t_span =
+          telemetry::MetricsRegistry::global().histogram(
+              "control.correlator.event_span_ns");
+      t_events.add();
+      t_span.record(static_cast<std::uint64_t>(
+          event.last_time - event.first_time));)
   if (sink_) sink_(event);
 }
 

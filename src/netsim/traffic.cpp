@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "p4sim/craft.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace netsim {
 
@@ -32,7 +33,20 @@ void PacketPump::launch(TimeNs start, TimeNs stop, TimeNs gap,
 void PacketPump::step(std::shared_ptr<FlowState> flow) {
   if (stopped_) return;
   if (flow->stop != 0 && sim_->now() >= flow->stop) return;
-  emit_(flow->factory(flow->seq++));
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Counter& t_generated =
+          telemetry::MetricsRegistry::global().counter(
+              "netsim.packets_generated");
+      static telemetry::Histogram& t_factory =
+          telemetry::MetricsRegistry::global().histogram(
+              "netsim.packet_factory_ns");
+      static telemetry::SampleGate t_gate;
+      t_generated.add();)
+  {
+    STAT4_TELEMETRY_ONLY(
+        telemetry::SampledSpan t_span(t_factory, t_gate, 64);)
+    emit_(flow->factory(flow->seq++));
+  }
   ++emitted_;
   TimeNs gap = flow->gap;
   if (flow->rng != nullptr) {

@@ -3,8 +3,44 @@
 #include <algorithm>
 
 #include "p4sim/switch.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace runtime {
+
+namespace {
+
+// Fleet-level metric handles, resolved once (aggregated over every
+// FleetRunner instance in the process).
+struct FleetMetrics {
+  telemetry::Counter& injected;
+  telemetry::Counter& delivered;
+  telemetry::Counter& dropped;
+  telemetry::Counter& digests;
+  telemetry::Histogram& ring_occupancy;
+  telemetry::Histogram& block_stall_ns;
+  telemetry::Histogram& digest_latency_ns;
+
+  static FleetMetrics& get() {
+    static FleetMetrics m{
+        telemetry::MetricsRegistry::global().counter(
+            "runtime.fleet.injected"),
+        telemetry::MetricsRegistry::global().counter(
+            "runtime.fleet.delivered"),
+        telemetry::MetricsRegistry::global().counter(
+            "runtime.fleet.dropped"),
+        telemetry::MetricsRegistry::global().counter(
+            "runtime.fleet.digests"),
+        telemetry::MetricsRegistry::global().histogram(
+            "runtime.fleet.ring_occupancy"),
+        telemetry::MetricsRegistry::global().histogram(
+            "runtime.fleet.block_stall_ns"),
+        telemetry::MetricsRegistry::global().histogram(
+            "runtime.fleet.digest_latency_ns")};
+    return m;
+  }
+};
+
+}  // namespace
 
 FleetRunner::~FleetRunner() {
   if (running_) stop();
@@ -22,6 +58,14 @@ control::SwitchId FleetRunner::add_switch(stat4p4::MonitorApp& app) {
 }
 
 void FleetRunner::worker_loop(control::SwitchId id, SwitchLane& lane) {
+  // The lane atomics (delivered, digests) are the accounting source of
+  // truth and are bumped per packet; the process-wide telemetry counters
+  // are a redundant aggregate, so they batch locally and flush at burst
+  // boundaries to keep extra shared-line RMWs off the per-packet path.
+  STAT4_TELEMETRY_ONLY(
+      auto& metrics = FleetMetrics::get();
+      std::uint64_t t_delivered = 0;
+      std::uint64_t t_digests = 0;)
   Backoff backoff;
   p4sim::Packet pkt;
   while (true) {
@@ -30,14 +74,26 @@ void FleetRunner::worker_loop(control::SwitchId id, SwitchLane& lane) {
       did_work = true;
       auto out = lane.app->sw().process(std::move(pkt));
       for (auto& digest : out.digests) {
-        digest_channel_.push({id, std::move(digest)});
+        TaggedDigest td{id, std::move(digest), 0};
+        // Emit timestamp feeds the emit-to-controller-dequeue latency
+        // histogram; the controller side stamps the dequeue.
+        STAT4_TELEMETRY_ONLY(td.emit_ns = telemetry::now_ns();
+                             ++t_digests;)
+        digest_channel_.push(std::move(td));
         lane.digests.fetch_add(1, std::memory_order_relaxed);
       }
       // Release-publish the processed count last, so a flush() observing it
       // also observes the register state and the queued digests.
       lane.delivered.fetch_add(1, std::memory_order_release);
+      STAT4_TELEMETRY_ONLY(++t_delivered;)
     }
     if (did_work) {
+      STAT4_TELEMETRY_ONLY(
+          metrics.delivered.add(t_delivered); t_delivered = 0;
+          if (t_digests != 0) {
+            metrics.digests.add(t_digests);
+            t_digests = 0;
+          })
       backoff.reset();
       continue;
     }
@@ -54,8 +110,8 @@ void FleetRunner::start() {
   stop_requested_.store(false, std::memory_order_relaxed);
   for (auto& lane : switches_) {
     lane->ring = std::make_unique<SpscRing<p4sim::Packet>>(cfg_.queue_capacity);
-    lane->sent = 0;
-    lane->dropped = 0;
+    lane->sent.store(0, std::memory_order_relaxed);
+    lane->dropped.store(0, std::memory_order_relaxed);
     lane->delivered.store(0, std::memory_order_relaxed);
     lane->digests.store(0, std::memory_order_relaxed);
   }
@@ -70,18 +126,39 @@ void FleetRunner::start() {
 }
 
 bool FleetRunner::inject(control::SwitchId sw, p4sim::Packet pkt) {
+  auto& metrics = FleetMetrics::get();
   SwitchLane& lane = *switches_.at(sw);
-  ++lane.sent;
+  // `sent` is released BEFORE the push/drop so any observer of a delivery
+  // or a drop also observes the send that caused it (see counters()).
+  lane.sent.fetch_add(1, std::memory_order_release);
+  metrics.injected.add();
+  // thread_local gate: producers may inject concurrently on different
+  // lanes, and a shared gate atomic would bounce between their caches.
+  STAT4_TELEMETRY_ONLY(
+      static thread_local telemetry::SampleGate t_occupancy_gate;
+      if (t_occupancy_gate.fire(64)) {
+        metrics.ring_occupancy.record(lane.ring->size());
+      })
   if (lane.ring->closed()) {
-    ++lane.dropped;
+    lane.dropped.fetch_add(1, std::memory_order_release);
+    metrics.dropped.add();
     return false;
   }
   if (cfg_.policy == Policy::kBlock) {
+    STAT4_TELEMETRY_ONLY(
+        // Time the stall only when the ring looks full — rare, and exactly
+        // the event worth tracing; the unstalled path stays clock-free.
+        if (lane.ring->size() >= lane.ring->capacity()) {
+          telemetry::SpanTimer t_span(metrics.block_stall_ns);
+          lane.ring->push_blocking(std::move(pkt));
+          return true;
+        })
     lane.ring->push_blocking(std::move(pkt));
     return true;
   }
   if (!lane.ring->try_push(std::move(pkt))) {
-    ++lane.dropped;
+    lane.dropped.fetch_add(1, std::memory_order_release);
+    metrics.dropped.add();
     return false;
   }
   return true;
@@ -97,15 +174,23 @@ std::size_t FleetRunner::poll_digests() {
   if (!digest_sink_) return 0;
   std::vector<TaggedDigest> pending;
   digest_channel_.drain(pending);
+  STAT4_TELEMETRY_ONLY(record_digest_latency(pending);)
   for (const auto& td : pending) digest_sink_(td.sw, td.digest);
   return pending.size();
 }
 
 void FleetRunner::flush() {
   if (!running_) return;
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Histogram& t_flush =
+          telemetry::MetricsRegistry::global().histogram(
+              "runtime.fleet.flush_ns");
+      telemetry::SpanTimer t_span(t_flush);)
   Backoff backoff;
   for (auto& lane : switches_) {
-    const std::uint64_t accepted = lane->sent - lane->dropped;
+    const std::uint64_t accepted =
+        lane->sent.load(std::memory_order_relaxed) -
+        lane->dropped.load(std::memory_order_relaxed);
     while (lane->delivered.load(std::memory_order_acquire) < accepted) {
       backoff.pause();
     }
@@ -126,6 +211,7 @@ void FleetRunner::stop() {
 void FleetRunner::drain_into(control::FleetCorrelator& correlator) {
   std::vector<TaggedDigest> pending;
   digest_channel_.drain(pending);
+  STAT4_TELEMETRY_ONLY(record_digest_latency(pending);)
   // Controller-side ordering: digests carry switch-side timestamps, and the
   // correlator's event-completion rule assumes it sees them in time order.
   std::stable_sort(pending.begin(), pending.end(),
@@ -138,13 +224,30 @@ void FleetRunner::drain_into(control::FleetCorrelator& correlator) {
   }
 }
 
+void FleetRunner::record_digest_latency(
+    const std::vector<TaggedDigest>& batch) {
+  if (batch.empty()) return;
+  auto& metrics = FleetMetrics::get();
+  const std::uint64_t now = telemetry::now_ns();
+  for (const auto& td : batch) {
+    metrics.digest_latency_ns.record(now - td.emit_ns);
+  }
+}
+
 FleetRunner::Counters FleetRunner::counters(control::SwitchId sw) const {
   const SwitchLane& lane = *switches_.at(sw);
   Counters c;
-  c.sent = lane.sent;
-  c.delivered = lane.delivered.load(std::memory_order_acquire);
-  c.dropped = lane.dropped;
+  // Read order matters for the live invariant: delivered and dropped are
+  // read BEFORE sent.  Every delivered packet's sent-increment
+  // happens-before its delivered-increment (send -> ring push-release ->
+  // pop-acquire -> delivered-release), and every drop's sent-increment
+  // precedes its dropped-release; acquiring those counts first therefore
+  // guarantees the later sent read covers all of them:
+  //   delivered + dropped <= sent   at every instant, from any thread.
   c.digests = lane.digests.load(std::memory_order_acquire);
+  c.delivered = lane.delivered.load(std::memory_order_acquire);
+  c.dropped = lane.dropped.load(std::memory_order_acquire);
+  c.sent = lane.sent.load(std::memory_order_acquire);
   return c;
 }
 

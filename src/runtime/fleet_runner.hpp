@@ -122,6 +122,11 @@ class FleetRunner {
   /// controller would see them in — into a correlator.  Does not flush().
   void drain_into(control::FleetCorrelator& correlator);
 
+  /// Live snapshot, safe from ANY thread while the fleet runs (the
+  /// telemetry Reporter polls this).  Each field is exact; the four reads
+  /// are not one atomic cut, but the read order guarantees the weak
+  /// invariant  delivered + dropped <= sent  at every instant, with
+  /// equality whenever the lane is quiescent (e.g. behind flush()).
   [[nodiscard]] Counters counters(control::SwitchId sw) const;
   [[nodiscard]] Counters totals() const;
 
@@ -130,8 +135,12 @@ class FleetRunner {
     stat4p4::MonitorApp* app = nullptr;
     std::unique_ptr<SpscRing<p4sim::Packet>> ring;
     std::thread worker;
-    std::uint64_t sent = 0;     ///< producer-owned
-    std::uint64_t dropped = 0;  ///< producer-owned
+    // sent/dropped have one writer (the lane's producer) but concurrent
+    // readers; release stores + acquire loads give counters() its ordering
+    // guarantee (sent is bumped before a packet is pushed or dropped, so a
+    // reader that sees the effect also sees the cause).
+    alignas(64) std::atomic<std::uint64_t> sent{0};
+    alignas(64) std::atomic<std::uint64_t> dropped{0};
     alignas(64) std::atomic<std::uint64_t> delivered{0};
     alignas(64) std::atomic<std::uint64_t> digests{0};
   };
@@ -139,9 +148,12 @@ class FleetRunner {
   struct TaggedDigest {
     control::SwitchId sw = 0;
     p4sim::Digest digest;
+    std::uint64_t emit_ns = 0;  ///< telemetry::now_ns() at worker emit
   };
 
   void worker_loop(control::SwitchId id, SwitchLane& lane);
+  /// Feeds the emit-to-dequeue histogram from a freshly drained batch.
+  static void record_digest_latency(const std::vector<TaggedDigest>& batch);
 
   Config cfg_{};
   std::vector<std::unique_ptr<SwitchLane>> switches_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace runtime {
 
 ShardedEngine::ShardedEngine(std::size_t shards, stat4::OverflowPolicy policy,
@@ -157,12 +159,24 @@ void ShardedEngine::advance_time(stat4::TimeNs now) {
 // ---------------------------------------------------------- threaded path
 
 void ShardedEngine::worker_loop(Shard& shard) {
+  // Ops and idle spins are batched in locals and flushed to the shared
+  // counters at burst boundaries (and every 4096 spins): a per-op atomic
+  // RMW from every worker measurably slows the pipeline it is observing.
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Counter& t_ops =
+          telemetry::MetricsRegistry::global().counter("runtime.shard.ops");
+      static telemetry::Counter& t_idle_spins =
+          telemetry::MetricsRegistry::global().counter(
+              "runtime.shard.idle_spins");
+      std::uint64_t t_local_ops = 0;
+      std::uint64_t t_local_spins = 0;)
   Backoff backoff;
   Op op;
   while (true) {
     bool did_work = false;
     while (shard.ring->try_pop(op)) {
       did_work = true;
+      STAT4_TELEMETRY_ONLY(++t_local_ops;)
       if (op.advance_to >= 0) {
         shard.engine->advance_time(op.advance_to);
       } else {
@@ -173,10 +187,25 @@ void ShardedEngine::worker_loop(Shard& shard) {
       shard.processed.fetch_add(1, std::memory_order_release);
     }
     if (did_work) {
+      STAT4_TELEMETRY_ONLY(
+          t_ops.add(t_local_ops); t_local_ops = 0;
+          if (t_local_spins != 0) {
+            t_idle_spins.add(t_local_spins);
+            t_local_spins = 0;
+          })
       backoff.reset();
       continue;
     }
-    if (shard.ring->closed() && shard.ring->empty()) return;
+    if (shard.ring->closed() && shard.ring->empty()) {
+      STAT4_TELEMETRY_ONLY(
+          if (t_local_spins != 0) t_idle_spins.add(t_local_spins);)
+      return;
+    }
+    STAT4_TELEMETRY_ONLY(
+        if (++t_local_spins == 4096) {
+          t_idle_spins.add(t_local_spins);
+          t_local_spins = 0;
+        })
     backoff.pause();
   }
 }
@@ -196,28 +225,45 @@ void ShardedEngine::start() {
   }
 }
 
-void ShardedEngine::submit(const stat4::PacketFields& pkt) {
-  Op op;
-  op.pkt = pkt;
+void ShardedEngine::enqueue(const Op& op) {
+  // Queue depth is sampled 1-in-64 submits (then read for every shard, so
+  // imbalance between shards is visible); the sampling tick is a plain
+  // member — enqueue is single-producer by contract — so the unsampled
+  // path adds no atomics.  Backpressure stalls are timed in full: they are
+  // rare and exactly the events worth tracing.
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Counter& t_waits =
+          telemetry::MetricsRegistry::global().counter(
+              "runtime.shard.backpressure_waits");
+      static telemetry::Histogram& t_depth =
+          telemetry::MetricsRegistry::global().histogram(
+              "runtime.shard.queue_depth");
+      static telemetry::Histogram& t_stall =
+          telemetry::MetricsRegistry::global().histogram(
+              "runtime.shard.backpressure_stall_ns");
+      const bool t_sample = (t_enqueue_tick_++ & 63) == 0;)
   for (auto& shard : shards_) {
+    STAT4_TELEMETRY_ONLY(if (t_sample) t_depth.record(shard->ring->size());)
     if (!shard->ring->try_push(op)) {
       backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+      STAT4_TELEMETRY_ONLY(t_waits.add();
+                           telemetry::SpanTimer t_span(t_stall);)
       shard->ring->push_blocking(op);
     }
     ++shard->accepted;
   }
 }
 
+void ShardedEngine::submit(const stat4::PacketFields& pkt) {
+  Op op;
+  op.pkt = pkt;
+  enqueue(op);
+}
+
 void ShardedEngine::submit_advance(stat4::TimeNs now) {
   Op op;
   op.advance_to = now;
-  for (auto& shard : shards_) {
-    if (!shard->ring->try_push(op)) {
-      backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
-      shard->ring->push_blocking(op);
-    }
-    ++shard->accepted;
-  }
+  enqueue(op);
 }
 
 void ShardedEngine::drain_alerts() {
@@ -230,6 +276,11 @@ void ShardedEngine::drain_alerts() {
 
 void ShardedEngine::flush() {
   if (!running_) return;
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Histogram& t_flush =
+          telemetry::MetricsRegistry::global().histogram(
+              "runtime.shard.flush_ns");
+      telemetry::SpanTimer t_span(t_flush);)
   Backoff backoff;
   for (auto& shard : shards_) {
     while (shard->processed.load(std::memory_order_acquire) <

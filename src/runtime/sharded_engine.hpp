@@ -149,6 +149,7 @@ class ShardedEngine {
   const stat4::Stat4Engine& engine_of(stat4::DistId id) const;
   [[nodiscard]] const DistRef& ref(stat4::DistId id) const;
   stat4::DistId register_dist(std::size_t shard, stat4::DistId local);
+  void enqueue(const Op& op);
   void worker_loop(Shard& shard);
   void drain_alerts();
 
@@ -161,6 +162,9 @@ class ShardedEngine {
   std::size_t queue_capacity_;
   bool running_ = false;
   std::atomic<std::uint64_t> backpressure_waits_{0};
+  // Telemetry sampling tick for enqueue() (plain: single producer thread
+  // by contract; dead in telemetry-off builds).
+  std::uint32_t t_enqueue_tick_ = 0;
 };
 
 }  // namespace runtime

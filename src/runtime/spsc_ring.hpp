@@ -118,6 +118,15 @@ class SpscRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy for telemetry: the two loads are not a
+  /// consistent pair under concurrency, but each is exact, so the result
+  /// is always within one in-flight item of a true past occupancy.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return (h - t) & mask_;
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
 
  private:

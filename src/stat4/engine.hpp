@@ -143,6 +143,11 @@ class Stat4Engine {
   const DistSlot& slot(DistId id) const;
 
   OverflowPolicy policy_;
+  // Telemetry packet-batch tick (see process() in engine.cpp).  A plain
+  // member: the engine is single-threaded by contract, and batching keeps
+  // atomics off the per-packet path.  One dead uint32 in telemetry-off
+  // builds beats an #ifdef in the header.
+  std::uint32_t t_tick_ = 0;
   std::vector<DistSlot> dists_;
   std::vector<std::optional<BindingEntry>> bindings_;
   std::function<void(const Alert&)> alert_sink_;

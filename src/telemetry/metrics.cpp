@@ -1,0 +1,71 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#if STAT4_TELEMETRY_ENABLED
+
+namespace telemetry {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+template <typename T>
+T& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
+                  std::string_view name) {
+  for (auto& [n, metric] : v) {
+    if (n == name) return *metric;
+  }
+  v.emplace_back(std::string(name), std::make_unique<T>());
+  return *v.back().second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(histograms_, name);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      snap.counters.push_back({name, c->value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.push_back({name, g->value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.push_back({name, h->snapshot()});
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+}  // namespace telemetry
+
+#endif  // STAT4_TELEMETRY_ENABLED

@@ -1,0 +1,251 @@
+// Lock-free metrics: striped Counter/Gauge, log-bucket Histogram, and the
+// MetricsRegistry that owns them — the "monitor the monitor" layer.
+//
+// Design rules, in the paper's spirit of leaving the monitoring on:
+//
+//  * The hot path is wait-free and float-free: a Counter::add is one
+//    relaxed fetch_add on a cache-line-private stripe; a Histogram::record
+//    is a bit_width (one instruction) plus three relaxed RMWs on the
+//    recording thread's stripe.  No locks, no allocation, no clock reads
+//    (spans read the clock — that is what makes them spans — but only when
+//    their SampleGate fires; see span.hpp).
+//  * Striping: each metric keeps kStripes cache-line-aligned cells and a
+//    thread writes only the cell its thread-slot hashes to, so two worker
+//    threads bumping the same counter never bounce a cache line between
+//    cores (kStripes is a power of two >= typical core counts).
+//  * Reading is the cold path: MetricsRegistry::snapshot() sums the
+//    stripes under the registration mutex and returns plain data
+//    (snapshot.hpp) for the exporters.
+//
+// Kill-switch: building with -DSTAT4_TELEMETRY=OFF defines
+// STAT4_TELEMETRY_ENABLED=0, the STAT4_TELEMETRY_ONLY(...) macro erases
+// every instrumentation site at preprocessing time, and this header only
+// provides inert stubs — identical API, empty bodies — so code that *reads*
+// telemetry (the CLI reporter, the bench harness) still compiles and sees
+// an empty registry.  tests/telemetry_differential_test.cpp pins down that
+// both modes produce bit-identical engine results.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/snapshot.hpp"
+
+#if !defined(STAT4_TELEMETRY_ENABLED)
+#define STAT4_TELEMETRY_ENABLED 1
+#endif
+
+#if STAT4_TELEMETRY_ENABLED
+// Splices instrumentation statements into the enclosing scope; compiles to
+// *nothing at all* when telemetry is off.
+#define STAT4_TELEMETRY_ONLY(...) __VA_ARGS__
+#else
+#define STAT4_TELEMETRY_ONLY(...)
+#endif
+
+namespace telemetry {
+
+#if STAT4_TELEMETRY_ENABLED
+
+/// Number of per-metric stripes (power of two).
+inline constexpr std::size_t kStripes = 16;
+
+/// The stripe this thread writes to.  Threads get consecutive slots on
+/// first use, so up to kStripes concurrent writers never share a stripe.
+inline std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return slot;
+}
+
+struct alignas(64) Stripe {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  Stripe cells_[kStripes];
+};
+
+/// Up/down counter (current occupancy, in-flight work).  Stripes hold
+/// signed deltas; the value is their sum, so inc on one thread and dec on
+/// another still net to the true level.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t n) noexcept {
+    cells_[stripe_index()].v.fetch_add(static_cast<std::uint64_t>(n),
+                                       std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  void dec() noexcept { add(-1); }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return static_cast<std::int64_t>(total);
+  }
+
+ private:
+  Stripe cells_[kStripes];
+};
+
+/// Concurrent log2-bucket histogram; see snapshot.hpp for the bucket
+/// layout and merge/quantile semantics it snapshots into.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) noexcept {
+    Lane& lane = lanes_[stripe_index()];
+    lane.buckets[HistogramData::bucket_of(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    lane.sum.fetch_add(v, std::memory_order_relaxed);
+    // Racy max is fine: stripe-local single-writer in the common case, and
+    // the CAS loop keeps it exact even when thread slots collide.
+    std::uint64_t seen = lane.max.load(std::memory_order_relaxed);
+    while (v > seen && !lane.max.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merge all stripes into plain data (cold path).
+  [[nodiscard]] HistogramData snapshot() const noexcept {
+    HistogramData data;
+    for (const auto& lane : lanes_) {
+      for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) {
+        const std::uint64_t n =
+            lane.buckets[b].load(std::memory_order_relaxed);
+        data.buckets[b] += n;
+        data.count += n;
+      }
+      data.sum += lane.sum.load(std::memory_order_relaxed);
+      const std::uint64_t m = lane.max.load(std::memory_order_relaxed);
+      if (m > data.max) data.max = m;
+    }
+    return data;
+  }
+
+ private:
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> buckets[HistogramData::kBuckets]{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  Lane lanes_[kStripes];
+};
+
+/// Owns every metric; hands out stable references.  Registration (cold)
+/// takes a mutex; the references returned are valid for the registry's
+/// lifetime, so instrumentation sites resolve their metric once (a static
+/// local) and never touch the lock again.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every STAT4_TELEMETRY_ONLY site records to.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Sum all stripes into plain data, sorted by name.  Safe to call at any
+  /// time from any thread; concurrent writers may land increments between
+  /// two reads, never torn values.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  template <typename T>
+  using Named = std::pair<std::string, std::unique_ptr<T>>;
+
+  mutable std::mutex mu_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+#else  // !STAT4_TELEMETRY_ENABLED -------------------------------------------
+
+// Inert stand-ins so telemetry *consumers* (reporter wiring, bench output)
+// compile unchanged.  Instrumentation sites use STAT4_TELEMETRY_ONLY and
+// vanish entirely, so none of these ever run on a hot path.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void add(std::int64_t) noexcept {}
+  void inc() noexcept {}
+  void dec() noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t) noexcept {}
+  [[nodiscard]] HistogramData snapshot() const noexcept { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& counter(std::string_view) {
+    static Counter c;
+    return c;
+  }
+  Gauge& gauge(std::string_view) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& histogram(std::string_view) {
+    static Histogram h;
+    return h;
+  }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+};
+
+#endif  // STAT4_TELEMETRY_ENABLED
+
+}  // namespace telemetry

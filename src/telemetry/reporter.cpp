@@ -1,0 +1,66 @@
+#include "telemetry/reporter.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+#include "telemetry/span.hpp"
+
+namespace telemetry {
+
+Reporter::Reporter(MetricsRegistry& registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Reporter::~Reporter() { stop(); }
+
+void Reporter::loop() {
+  STAT4_TELEMETRY_ONLY(
+      static Histogram& t_tick =
+          MetricsRegistry::global().histogram("telemetry.report_tick_ns");)
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    {
+      STAT4_TELEMETRY_ONLY(SpanTimer t_span(t_tick);)
+      if (options_.sink) options_.sink(registry_.snapshot());
+    }
+    lock.lock();
+    ++reports_;
+  }
+}
+
+void Reporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final report, after the thread is gone: short runs still publish.
+  if (options_.sink) options_.sink(registry_.snapshot());
+  ++reports_;
+}
+
+bool write_snapshot(const Snapshot& snapshot, const std::string& path) {
+  if (path.empty()) {
+    std::cerr << snapshot.to_json() << '\n';
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  out << (prometheus ? snapshot.to_prometheus() : snapshot.to_json());
+  if (!prometheus) out << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace telemetry

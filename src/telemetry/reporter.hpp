@@ -1,0 +1,70 @@
+// Background Reporter: a thread that periodically snapshots a
+// MetricsRegistry and hands the result to a sink — the Figure 1c idea
+// applied to our own pipeline, where the monitor publishes its state on a
+// cadence instead of being polled post-mortem.
+//
+// The reporter thread sleeps on a condition variable, so stop() (or
+// destruction) interrupts a long interval immediately; a final snapshot is
+// always emitted on shutdown, so short-lived runs still report.  The sink
+// runs on the reporter thread: registry snapshots are thread-safe, but a
+// sink that touches other shared state must synchronize it.
+//
+// Compiled in both telemetry modes — with the kill-switch off, snapshots
+// are simply empty — so wiring (stat4_cli --metrics) never needs #ifs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace telemetry {
+
+class Reporter {
+ public:
+  using Sink = std::function<void(const Snapshot&)>;
+
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    Sink sink;  ///< required
+  };
+
+  /// Starts the reporter thread immediately.
+  Reporter(MetricsRegistry& registry, Options options);
+  ~Reporter();
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// Interrupts the current sleep, emits one final snapshot, joins the
+  /// thread.  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint64_t reports_emitted() const noexcept {
+    return reports_;
+  }
+
+ private:
+  void loop();
+
+  MetricsRegistry& registry_;
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::uint64_t reports_ = 0;  ///< written by the reporter thread and, for
+                               ///< the final report, by stop() after join
+  std::thread thread_;
+};
+
+/// Write a snapshot to `path`, choosing the format from the extension:
+/// ".prom" emits Prometheus text, anything else JSON.  An empty path
+/// writes JSON to stderr.  Returns false when the file cannot be opened.
+bool write_snapshot(const Snapshot& snapshot, const std::string& path);
+
+}  // namespace telemetry

@@ -1,0 +1,170 @@
+#include "telemetry/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace telemetry {
+
+std::size_t HistogramData::bucket_of(std::uint64_t v) noexcept {
+  // bit_width(v) == msb_index(v) + 1 for v != 0, and 0 for v == 0 — exactly
+  // the bucket layout documented in the header.
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t HistogramData::bucket_lower(std::size_t b) noexcept {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t HistogramData::bucket_upper(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void HistogramData::record_value(std::uint64_t v) noexcept {
+  ++buckets[bucket_of(v)];
+  ++count;
+  sum += v;
+  if (v > max) max = v;
+}
+
+void HistogramData::merge(const HistogramData& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+std::uint64_t HistogramData::quantile(unsigned pct) const noexcept {
+  if (count == 0) return 0;
+  if (pct > 100) pct = 100;
+  // Nearest-rank, 0-indexed.  (count-1)*pct cannot overflow in practice
+  // (counts are event counts), but guard by dividing first when huge.
+  const std::uint64_t rank =
+      count - 1 <= (~std::uint64_t{0}) / 100
+          ? (count - 1) * pct / 100
+          : (count - 1) / 100 * pct;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    cum += buckets[b];
+    if (cum > rank) {
+      const std::uint64_t in_bucket = buckets[b];
+      const std::uint64_t pos = rank - (cum - in_bucket);
+      const std::uint64_t lo = bucket_lower(b);
+      const std::uint64_t hi = b == 64 ? max : bucket_upper(b);
+      // Integer interpolation: step*pos <= hi - lo, so no overflow.  The
+      // result stays inside the bucket — the <= 1-bucket error bound.
+      const std::uint64_t step = (hi - lo) / in_bucket;
+      return lo + step * pos;
+    }
+  }
+  return max;  // unreachable when the bucket counts match `count`
+}
+
+namespace {
+
+// Metric names are library-chosen dotted identifiers, but escape anyway so
+// a hostile name cannot corrupt the document.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, c.name);
+    out += ':';
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, g.name);
+    out += ':';
+    out += std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, h.name);
+    out += ":{\"count\":" + std::to_string(h.data.count) +
+           ",\"sum\":" + std::to_string(h.data.sum) +
+           ",\"max\":" + std::to_string(h.data.max) +
+           ",\"p50\":" + std::to_string(h.data.p50()) +
+           ",\"p90\":" + std::to_string(h.data.p90()) +
+           ",\"p99\":" + std::to_string(h.data.p99()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& c : counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) {
+      if (h.data.buckets[b] == 0) continue;
+      cum += h.data.buckets[b];
+      out += name + "_bucket{le=\"" +
+             std::to_string(HistogramData::bucket_upper(b)) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.data.count) +
+           "\n";
+    out += name + "_sum " + std::to_string(h.data.sum) + "\n";
+    out += name + "_count " + std::to_string(h.data.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace telemetry

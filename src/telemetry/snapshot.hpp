@@ -1,0 +1,98 @@
+// Telemetry snapshots: plain-data views of the live metrics, plus the
+// exporters that turn them into JSON or Prometheus text.
+//
+// Everything in this header is inert data — no atomics, no threads, no
+// dependence on the STAT4_TELEMETRY kill-switch — so the property tests for
+// histogram merging and quantile bounds run identically in both build
+// modes, and a Snapshot can be built by hand (the bench harness does this
+// when combining google-benchmark results with registry state).
+//
+// HistogramData is the mergeable form of telemetry::Histogram: power-of-two
+// ("log2") buckets, so bucket b >= 1 covers [2^(b-1), 2^b - 1] and bucket 0
+// holds exactly the value 0.  Merging is element-wise addition — two
+// histograms recorded independently (per thread, per shard, per switch)
+// merge into exactly the histogram a single recorder would have produced.
+// Quantiles are integer-only, in the same spirit as the paper's shift-based
+// arithmetic: nearest-rank bucket walk plus a linear in-bucket
+// interpolation done with one 64-bit divide — never off by more than the
+// width of the bucket containing the rank (tests/telemetry_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace telemetry {
+
+struct HistogramData {
+  /// Bucket 0 for the value 0, buckets 1..64 for values with MSB at
+  /// position b-1: 65 buckets cover the full uint64 range.
+  static constexpr std::size_t kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept;
+  /// Smallest value landing in bucket `b` (0 for b == 0, else 2^(b-1)).
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t b) noexcept;
+  /// Largest value landing in bucket `b` (0 for b == 0, else 2^b - 1).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) noexcept;
+
+  /// Non-atomic single-recorder insert (tests and offline aggregation; the
+  /// concurrent path is telemetry::Histogram::record).
+  void record_value(std::uint64_t v) noexcept;
+
+  /// Element-wise addition: afterwards *this describes the union of both
+  /// recorded populations.
+  void merge(const HistogramData& other) noexcept;
+
+  /// Integer-only nearest-rank quantile for pct in [0, 100]: locate the
+  /// bucket holding rank floor((count-1) * pct / 100) and interpolate
+  /// linearly inside it.  Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t quantile(unsigned pct) const noexcept;
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(50); }
+  [[nodiscard]] std::uint64_t p90() const noexcept { return quantile(90); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(99); }
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  HistogramData data;
+};
+
+/// One consistent-enough view of a MetricsRegistry (counters are summed
+/// over their stripes with relaxed loads: totals may lag a concurrent
+/// writer by a few increments but never tear).
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, max, p50, p90, p99}}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (metric names have '.' mapped to
+  /// '_'; histograms expand to cumulative _bucket{le="..."} series).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+}  // namespace telemetry

@@ -1,0 +1,109 @@
+// Trace spans: RAII timers that record elapsed nanoseconds into a
+// Histogram.
+//
+// Span naming convention (docs/OBSERVABILITY.md): histogram names end in
+// `_ns` and read `<layer>.<component>.<operation>_ns`, e.g.
+// `stat4.engine.process_ns` or `runtime.fleet.digest_latency_ns`.
+//
+// A clock read costs ~20ns — more than a whole FreqDist::observe — so the
+// per-packet paths never time every event: SampledSpan gates the clock
+// behind a power-of-two sampling counter (one relaxed fetch_add to decide,
+// clock reads only on the 1-in-N hit), which keeps the sampled latency
+// distribution unbiased for steady workloads while making the common case
+// a single increment.  One-shot operations (flush barriers, report ticks)
+// use the unsampled SpanTimer.
+//
+// All of this is meant to appear inside STAT4_TELEMETRY_ONLY(...) blocks,
+// so a telemetry-off build contains no trace of it; the stubs below only
+// exist so a stray un-macroed use still compiles to nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/metrics.hpp"
+
+namespace telemetry {
+
+/// Monotonic wall clock in integer nanoseconds.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if STAT4_TELEMETRY_ENABLED
+
+/// Times the enclosing scope unconditionally.
+class SpanTimer {
+ public:
+  explicit SpanTimer(Histogram& h) noexcept : h_(&h), start_(now_ns()) {}
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+  ~SpanTimer() {
+    if (h_ != nullptr) h_->record(now_ns() - start_);
+  }
+
+  /// Abandon the measurement (error paths that would skew the histogram).
+  void dismiss() noexcept { h_ = nullptr; }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+/// Per-callsite sampling state for SampledSpan; declare one `static`
+/// SampleGate next to the histogram lookup.
+class SampleGate {
+ public:
+  /// True on every `period`-th call (period must be a power of two).
+  [[nodiscard]] bool fire(std::uint32_t period) noexcept {
+    return (n_.fetch_add(1, std::memory_order_relaxed) & (period - 1)) == 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> n_{0};
+};
+
+/// Times the enclosing scope on 1 in `period` passes; otherwise the
+/// constructor is a single relaxed increment and the destructor a null
+/// check.
+class SampledSpan {
+ public:
+  SampledSpan(Histogram& h, SampleGate& gate, std::uint32_t period) noexcept
+      : h_(gate.fire(period) ? &h : nullptr),
+        start_(h_ != nullptr ? now_ns() : 0) {}
+  SampledSpan(const SampledSpan&) = delete;
+  SampledSpan& operator=(const SampledSpan&) = delete;
+  ~SampledSpan() {
+    if (h_ != nullptr) h_->record(now_ns() - start_);
+  }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+#else  // !STAT4_TELEMETRY_ENABLED
+
+class SpanTimer {
+ public:
+  explicit SpanTimer(Histogram&) noexcept {}
+  void dismiss() noexcept {}
+};
+
+class SampleGate {
+ public:
+  [[nodiscard]] bool fire(std::uint32_t) noexcept { return false; }
+};
+
+class SampledSpan {
+ public:
+  SampledSpan(Histogram&, SampleGate&, std::uint32_t) noexcept {}
+};
+
+#endif  // STAT4_TELEMETRY_ENABLED
+
+}  // namespace telemetry

@@ -1,0 +1,7 @@
+// Umbrella header for the telemetry subsystem (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include "telemetry/metrics.hpp"   // IWYU pragma: export
+#include "telemetry/reporter.hpp"  // IWYU pragma: export
+#include "telemetry/snapshot.hpp"  // IWYU pragma: export
+#include "telemetry/span.hpp"      // IWYU pragma: export

@@ -1,0 +1,221 @@
+// Telemetry bit-neutrality: instrumentation must OBSERVE the pipeline, never
+// perturb it.  A deterministic Stat4Engine workload is fingerprinted (FNV-1a
+// over every alert plus the final distribution state) and must be identical
+//   * with and without a live Reporter polling the registry concurrently,
+//   * in telemetry-ON and telemetry-OFF builds (both assert the same golden
+//     constant — CI builds both modes, so a divergence fails one of them),
+//   * through the threaded ShardedEngine under Reporter polling (alert
+//     multiset modulo seq, which reflects cross-shard arrival order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sharded_engine.hpp"
+#include "stat4/engine.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+constexpr std::uint32_t ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+// ------------------------------------------------------------ fingerprint
+
+struct Fingerprint {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+  }
+};
+
+std::uint64_t alert_key(const stat4::Alert& a) {
+  // seq is excluded: under sharding it reflects cross-shard arrival order.
+  return (static_cast<std::uint64_t>(a.kind) << 56) ^
+         (static_cast<std::uint64_t>(a.dist) << 48) ^
+         (static_cast<std::uint64_t>(a.value) << 20) ^
+         static_cast<std::uint64_t>(a.time);
+}
+
+// ------------------------------------------------------- the workload
+
+constexpr std::size_t kDomain = 256;
+constexpr std::size_t kSteady = 6000;   // uniform phase: 10 pkts / interval
+constexpr std::size_t kBurst = 2000;    // hot-key burst: 50 pkts / interval
+
+struct Setup {
+  stat4::DistId freq = 0;
+  stat4::DistId window = 0;
+};
+
+template <typename Engine>
+Setup configure(Engine& e) {
+  Setup s;
+  s.freq = e.add_freq_dist(kDomain);
+  e.enable_imbalance_check(s.freq, /*min_total=*/256);
+  s.window = e.add_interval_window(/*num_intervals=*/16,
+                                   /*interval_len=*/1000, /*k_sigma=*/2);
+  e.enable_spike_check(s.window, /*min_history=*/8);
+
+  stat4::BindingEntry freq_b;
+  freq_b.extractor = {stat4::Field::kDstIp, 0, 0xFF};
+  freq_b.dist = s.freq;
+  freq_b.kind = stat4::UpdateKind::kFrequencyObserve;
+  e.add_binding(freq_b);
+
+  stat4::BindingEntry win_b;
+  win_b.dist = s.window;
+  win_b.kind = stat4::UpdateKind::kIntervalCount;
+  e.add_binding(win_b);
+  return s;
+}
+
+stat4::PacketFields packet_at(std::size_t i) {
+  stat4::PacketFields p;
+  p.length = 100;
+  p.protocol = 17;
+  if (i < kSteady) {
+    // Uniform traffic, 100 ns apart: 10 packets per 1000 ns interval.
+    p.dst_ip = ip(10, 0, 0, static_cast<unsigned>(i % 64));
+    p.timestamp = static_cast<stat4::TimeNs>(i) * 100;
+  } else {
+    // Hot-key burst, 20 ns apart: 50 packets per interval, one dst — trips
+    // both the spike check and the frequency-imbalance check.
+    p.dst_ip = ip(10, 0, 0, 7);
+    p.timestamp = static_cast<stat4::TimeNs>(kSteady) * 100 +
+                  static_cast<stat4::TimeNs>(i - kSteady) * 20;
+  }
+  return p;
+}
+
+constexpr stat4::TimeNs kEndTime =
+    static_cast<stat4::TimeNs>(kSteady) * 100 +
+    static_cast<stat4::TimeNs>(kBurst) * 20 + 5000;
+
+/// Runs the workload on a plain Stat4Engine, returns the fingerprint.
+std::uint64_t run_sequential() {
+  stat4::Stat4Engine e;
+  const Setup s = configure(e);
+  std::vector<std::uint64_t> alerts;
+  e.set_alert_sink(
+      [&alerts](const stat4::Alert& a) { alerts.push_back(alert_key(a)); });
+  for (std::size_t i = 0; i < kSteady + kBurst; ++i) e.process(packet_at(i));
+  e.advance_time(kEndTime);
+
+  std::sort(alerts.begin(), alerts.end());
+  Fingerprint fp;
+  fp.mix(alerts.size());
+  for (const auto k : alerts) fp.mix(k);
+  fp.mix(e.freq(s.freq).total());
+  for (std::size_t v = 0; v < kDomain; ++v) {
+    fp.mix(e.freq(s.freq).frequency(static_cast<stat4::Value>(v)));
+  }
+  fp.mix(e.alerts_emitted());
+  return fp.h;
+}
+
+/// Same workload through the threaded ShardedEngine.
+std::uint64_t run_sharded(std::size_t shards) {
+  runtime::ShardedEngine e(shards);
+  const Setup s = configure(e);
+  std::vector<std::uint64_t> alerts;
+  e.set_alert_sink(
+      [&alerts](const stat4::Alert& a) { alerts.push_back(alert_key(a)); });
+  e.start();
+  for (std::size_t i = 0; i < kSteady + kBurst; ++i) e.submit(packet_at(i));
+  e.submit_advance(kEndTime);
+  e.stop();
+
+  std::sort(alerts.begin(), alerts.end());
+  Fingerprint fp;
+  fp.mix(alerts.size());
+  for (const auto k : alerts) fp.mix(k);
+  fp.mix(e.freq(s.freq).total());
+  for (std::size_t v = 0; v < kDomain; ++v) {
+    fp.mix(e.freq(s.freq).frequency(static_cast<stat4::Value>(v)));
+  }
+  fp.mix(e.alerts_emitted());
+  return fp.h;
+}
+
+/// The workload's fingerprint, independent of build mode, reporter, and
+/// sharding.  If this changes, either the engine semantics changed (update
+/// the constant in the same PR) or telemetry leaked into the data path
+/// (fix the leak).  Asserted in BOTH -DSTAT4_TELEMETRY=ON and =OFF builds.
+constexpr std::uint64_t kGoldenFingerprint = 0xb0f25db8820e842bull;
+
+// ------------------------------------------------------------------ tests
+
+TEST(TelemetryDifferential, WorkloadMatchesGoldenFingerprint) {
+  const std::uint64_t got = run_sequential();
+  EXPECT_EQ(got, kGoldenFingerprint)
+      << "fingerprint 0x" << std::hex << got
+      << " — engine semantics changed or telemetry perturbed the data path";
+
+  // Guard against a vacuous differential: the workload must actually trip
+  // checks, or the fingerprint would only cover distribution counts.
+  stat4::Stat4Engine e;
+  configure(e);
+  for (std::size_t i = 0; i < kSteady + kBurst; ++i) e.process(packet_at(i));
+  e.advance_time(kEndTime);
+  EXPECT_GE(e.alerts_emitted(), 2u)
+      << "burst must raise both spike and imbalance alerts";
+}
+
+TEST(TelemetryDifferential, LiveReporterDoesNotPerturbResults) {
+  const std::uint64_t quiet = run_sequential();
+
+  // Re-run with a Reporter aggressively polling the global registry (the
+  // same registry the instrumentation writes to) from another thread.
+  std::uint64_t polled = 0;
+  std::uint64_t reports = 0;
+  {
+    telemetry::Reporter::Options options;
+    options.interval = std::chrono::milliseconds(1);
+    options.sink = [&reports](const telemetry::Snapshot&) { ++reports; };
+    telemetry::Reporter reporter(telemetry::MetricsRegistry::global(),
+                                 std::move(options));
+    polled = run_sequential();
+    reporter.stop();
+    reports = reporter.reports_emitted();
+  }
+  EXPECT_EQ(polled, quiet);
+  EXPECT_EQ(polled, kGoldenFingerprint);
+  EXPECT_GE(reports, 1u) << "reporter must have actually been running";
+}
+
+TEST(TelemetryDifferential, ShardedRunUnderPollingMatchesSequential) {
+  telemetry::Reporter::Options options;
+  options.interval = std::chrono::milliseconds(1);
+  options.sink = [](const telemetry::Snapshot&) {};
+  telemetry::Reporter reporter(telemetry::MetricsRegistry::global(),
+                               std::move(options));
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    EXPECT_EQ(run_sharded(shards), kGoldenFingerprint)
+        << shards << " shards";
+  }
+  reporter.stop();
+}
+
+#if STAT4_TELEMETRY_ENABLED
+TEST(TelemetryDifferential, InstrumentationActuallyCountsWhenEnabled) {
+  auto& packets =
+      telemetry::MetricsRegistry::global().counter("stat4.engine.packets");
+  const std::uint64_t before = packets.value();
+  (void)run_sequential();
+  EXPECT_GE(packets.value() - before, kSteady + kBurst);
+}
+#else
+TEST(TelemetryDifferential, KillSwitchOffKeepsRegistryEmpty) {
+  (void)run_sequential();
+  EXPECT_TRUE(telemetry::MetricsRegistry::global().snapshot().empty());
+}
+#endif
+
+}  // namespace

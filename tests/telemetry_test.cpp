@@ -1,0 +1,294 @@
+// Telemetry subsystem tests.
+//
+// Two halves:
+//  * HistogramData properties (always compiled, kill-switch-independent):
+//    random populations split arbitrarily and merged must equal the
+//    whole-population histogram bucket-for-bucket, and integer quantiles
+//    must never leave the bucket containing the true nearest-rank value
+//    (the "error <= 1 bucket" contract).
+//  * Concurrent registry stress (telemetry-on builds): many threads
+//    hammering shared counters/gauges/histograms while the main thread
+//    snapshots — exact totals at the end, no torn reads.  Run under TSan
+//    (see .github/workflows/ci.yml); this is what keeps the "lock-free and
+//    safe to leave on" claim honest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using telemetry::HistogramData;
+
+// ----------------------------------------------------- histogram buckets
+
+TEST(HistogramData, BucketLayoutCoversUint64) {
+  EXPECT_EQ(HistogramData::bucket_of(0), 0u);
+  EXPECT_EQ(HistogramData::bucket_of(1), 1u);
+  EXPECT_EQ(HistogramData::bucket_of(2), 2u);
+  EXPECT_EQ(HistogramData::bucket_of(3), 2u);
+  EXPECT_EQ(HistogramData::bucket_of(4), 3u);
+  EXPECT_EQ(HistogramData::bucket_of(~std::uint64_t{0}), 64u);
+  for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) {
+    EXPECT_EQ(HistogramData::bucket_of(HistogramData::bucket_lower(b)), b);
+    EXPECT_EQ(HistogramData::bucket_of(HistogramData::bucket_upper(b)), b);
+  }
+  // Boundaries are adjacent: upper(b) + 1 == lower(b+1).
+  for (std::size_t b = 0; b + 1 < HistogramData::kBuckets; ++b) {
+    EXPECT_EQ(HistogramData::bucket_upper(b) + 1,
+              HistogramData::bucket_lower(b + 1));
+  }
+}
+
+// ------------------------------------------------ merge / quantile props
+
+std::vector<std::uint64_t> random_population(std::mt19937_64& rng,
+                                             std::size_t n) {
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix magnitudes: raw 64-bit, small, and mid-range values, plus zeros.
+    switch (rng() % 4) {
+      case 0: v.push_back(rng()); break;
+      case 1: v.push_back(rng() % 16); break;
+      case 2: v.push_back(rng() % 100000); break;
+      default: v.push_back(0); break;
+    }
+  }
+  return v;
+}
+
+TEST(HistogramData, RandomSplitsMergeToWholePopulationExactly) {
+  std::mt19937_64 rng(2021);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng() % 2000;
+    const auto values = random_population(rng, n);
+
+    HistogramData whole;
+    for (const auto v : values) whole.record_value(v);
+
+    // Split into 1..8 random parts, build independent histograms, merge.
+    const std::size_t parts = 1 + rng() % 8;
+    std::vector<HistogramData> shards(parts);
+    for (const auto v : values) shards[rng() % parts].record_value(v);
+    HistogramData merged;
+    for (const auto& shard : shards) merged.merge(shard);
+
+    ASSERT_EQ(merged.count, whole.count);
+    ASSERT_EQ(merged.sum, whole.sum);
+    ASSERT_EQ(merged.max, whole.max);
+    for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) {
+      ASSERT_EQ(merged.buckets[b], whole.buckets[b]) << "bucket " << b;
+    }
+  }
+}
+
+TEST(HistogramData, QuantileErrorAtMostOneBucket) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng() % 3000;
+    auto values = random_population(rng, n);
+
+    HistogramData h;
+    for (const auto v : values) h.record_value(v);
+    std::sort(values.begin(), values.end());
+
+    for (const unsigned pct : {0u, 10u, 50u, 90u, 99u, 100u}) {
+      const std::uint64_t exact =
+          values[(values.size() - 1) * pct / 100];  // nearest rank
+      const std::uint64_t approx = h.quantile(pct);
+      const auto exact_b =
+          static_cast<std::int64_t>(HistogramData::bucket_of(exact));
+      const auto approx_b =
+          static_cast<std::int64_t>(HistogramData::bucket_of(approx));
+      EXPECT_LE(std::abs(exact_b - approx_b), 1)
+          << "pct=" << pct << " exact=" << exact << " approx=" << approx;
+    }
+  }
+}
+
+TEST(HistogramData, QuantilesOnEmptyAndSingleton) {
+  HistogramData h;
+  EXPECT_EQ(h.quantile(50), 0u);
+  h.record_value(106);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(HistogramData::bucket_of(h.quantile(0)),
+            HistogramData::bucket_of(106));
+  EXPECT_EQ(HistogramData::bucket_of(h.quantile(100)),
+            HistogramData::bucket_of(106));
+}
+
+// ------------------------------------------------------------- exporters
+
+TEST(Snapshot, JsonAndPrometheusFormats) {
+  telemetry::Snapshot snap;
+  snap.counters.push_back({"stat4.engine.packets", 12345});
+  snap.gauges.push_back({"runtime.inflight", -2});
+  telemetry::HistogramSample hs;
+  hs.name = "runtime.fleet.digest_latency_ns";
+  for (std::uint64_t v : {100u, 200u, 400u, 800u}) hs.data.record_value(v);
+  snap.histograms.push_back(hs);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"stat4.engine.packets\":12345"), std::string::npos);
+  EXPECT_NE(json.find("\"runtime.inflight\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE stat4_engine_packets counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("stat4_engine_packets 12345"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE runtime_fleet_digest_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("runtime_fleet_digest_latency_ns_count 4"),
+            std::string::npos);
+  EXPECT_NE(prom.find("_bucket{le=\"+Inf\"} 4"), std::string::npos);
+}
+
+#if STAT4_TELEMETRY_ENABLED
+
+// ------------------------------------------------- live metric semantics
+
+TEST(Metrics, CounterGaugeHistogramSingleThread) {
+  telemetry::MetricsRegistry registry;
+  auto& c = registry.counter("c");
+  auto& g = registry.gauge("g");
+  auto& h = registry.histogram("h");
+  // Same name, same metric: instrumentation sites may resolve repeatedly.
+  EXPECT_EQ(&c, &registry.counter("c"));
+  EXPECT_EQ(&h, &registry.histogram("h"));
+
+  c.add();
+  c.add(41);
+  g.inc();
+  g.add(-5);
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(g.value(), -4);
+  const auto data = h.snapshot();
+  EXPECT_EQ(data.count, 100u);
+  EXPECT_EQ(data.sum, 4950u);
+  EXPECT_EQ(data.max, 99u);
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].data.count, 100u);
+}
+
+TEST(Metrics, ConcurrentRegistryStressExactTotals) {
+  telemetry::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 100000;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      // Resolve through the registry from every thread: registration and
+      // lookup must be safe concurrently with recording and snapshots.
+      auto& c = registry.counter("stress.counter");
+      auto& g = registry.gauge("stress.gauge");
+      auto& h = registry.histogram("stress.histogram");
+      std::uint64_t x = static_cast<std::uint64_t>(t) * 7919 + 1;
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        c.add();
+        g.add((i & 1) == 0 ? 3 : -3);
+        h.record(x);
+        x = x * 2862933555777941757ull + 3037000493ull;
+      }
+    });
+  }
+  // Concurrent snapshots while the workers run: values must be readable
+  // mid-flight (monotonically growing counter, untorn histogram counts).
+  std::uint64_t last_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = registry.snapshot();
+    for (const auto& c : snap.counters) {
+      ASSERT_GE(c.value, last_count);
+      last_count = c.value;
+    }
+  }
+  for (auto& w : workers) w.join();
+
+  constexpr std::uint64_t kTotal = kThreads * kOpsPerThread;
+  EXPECT_EQ(registry.counter("stress.counter").value(), kTotal);
+  EXPECT_EQ(registry.gauge("stress.gauge").value(), 0);
+  const auto data = registry.histogram("stress.histogram").snapshot();
+  EXPECT_EQ(data.count, kTotal);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : data.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(Reporter, PeriodicReportsAndFinalSnapshotOnStop) {
+  telemetry::MetricsRegistry registry;
+  registry.counter("r.ticks").add(7);
+
+  std::atomic<std::uint64_t> reports{0};
+  std::atomic<std::uint64_t> last_value{0};
+  telemetry::Reporter::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  options.sink = [&](const telemetry::Snapshot& snap) {
+    reports.fetch_add(1);
+    for (const auto& c : snap.counters) last_value.store(c.value);
+  };
+  {
+    telemetry::Reporter reporter(registry, std::move(options));
+    // Wait for at least one periodic report (generous bound, CI-safe).
+    for (int i = 0; i < 1000 && reports.load() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    reporter.stop();
+    const std::uint64_t after_stop = reports.load();
+    EXPECT_GE(after_stop, 1u) << "final snapshot must fire on stop";
+    reporter.stop();  // idempotent
+    EXPECT_EQ(reports.load(), after_stop);
+  }
+  EXPECT_EQ(last_value.load(), 7u);
+}
+
+TEST(Spans, SampledSpanRecordsOneInPeriod) {
+  telemetry::MetricsRegistry registry;
+  auto& h = registry.histogram("span.sampled_ns");
+  telemetry::SampleGate gate;
+  constexpr std::uint32_t kPeriod = 16;
+  constexpr std::uint64_t kCalls = 1600;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    telemetry::SampledSpan span(h, gate, kPeriod);
+  }
+  EXPECT_EQ(h.snapshot().count, kCalls / kPeriod);
+
+  auto& h2 = registry.histogram("span.full_ns");
+  {
+    telemetry::SpanTimer span(h2);
+  }
+  {
+    telemetry::SpanTimer span(h2);
+    span.dismiss();
+  }
+  EXPECT_EQ(h2.snapshot().count, 1u) << "dismissed span must not record";
+}
+
+#else  // !STAT4_TELEMETRY_ENABLED
+
+TEST(Metrics, KillSwitchOffYieldsEmptySnapshots) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.counter("off.counter").add(1000);
+  registry.histogram("off.histogram").record(12345);
+  const auto snap = registry.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+#endif  // STAT4_TELEMETRY_ENABLED
+
+}  // namespace

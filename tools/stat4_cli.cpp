@@ -8,6 +8,13 @@
 // routed across the fleet by destination-address hash, exercising the
 // threaded pipeline the way an ECMP fabric would spread flows over edge
 // switches.  Digests are printed as they reach the controller thread.
+//
+// `--metrics[=FILE]` turns on the telemetry reporter: the process-wide
+// metrics registry (packet counts, ring occupancy, digest latency, ...) is
+// snapshotted every `--metrics-interval-ms` (default 1000) and written to
+// FILE — JSON, or Prometheus text when FILE ends in `.prom`; with no FILE,
+// JSON lines go to stderr.  A final snapshot is always written at exit.
+// In a build with -DSTAT4_TELEMETRY=OFF the snapshots are empty.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -21,8 +28,23 @@
 #include "p4sim/parser.hpp"
 #include "p4sim/trace.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
+
+/// Reporter wiring shared by single-switch and fleet mode.
+std::unique_ptr<telemetry::Reporter> start_metrics_reporter(
+    const std::string& path, std::uint64_t interval_ms) {
+  telemetry::Reporter::Options options;
+  options.interval = std::chrono::milliseconds(interval_ms);
+  options.sink = [path](const telemetry::Snapshot& snapshot) {
+    if (!telemetry::write_snapshot(snapshot, path)) {
+      std::cerr << "stat4_cli: cannot write metrics to '" << path << "'\n";
+    }
+  };
+  return std::make_unique<telemetry::Reporter>(
+      telemetry::MetricsRegistry::global(), std::move(options));
+}
 
 struct Fleet {
   explicit Fleet(std::size_t n) {
@@ -165,15 +187,41 @@ int run_fleet(std::size_t threads) {
 
 int main(int argc, char** argv) {
   std::size_t threads = 1;
+  bool metrics = false;
+  std::string metrics_path;
+  std::uint64_t metrics_interval_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics = true;
+      metrics_path = arg.substr(std::string("--metrics=").size());
+    } else if (arg == "--metrics-interval-ms" && i + 1 < argc) {
+      metrics = true;
+      metrics_interval_ms = std::strtoull(argv[++i], nullptr, 10);
+      if (metrics_interval_ms == 0) metrics_interval_ms = 1;
     } else {
-      std::cerr << "usage: stat4_cli [--threads N]\n";
+      std::cerr << "usage: stat4_cli [--threads N] [--metrics[=FILE]] "
+                   "[--metrics-interval-ms N]\n";
       return 2;
     }
   }
+
+  std::unique_ptr<telemetry::Reporter> reporter;
+  if (metrics) {
+    reporter = start_metrics_reporter(metrics_path, metrics_interval_ms);
+    std::cerr << "metrics: reporting every " << metrics_interval_ms
+              << " ms to "
+              << (metrics_path.empty() ? std::string("stderr")
+                                       : metrics_path)
+              << '\n';
+  }
+  // The reporter outlives the fleet/shell scope below; its destructor
+  // (stop()) writes the final snapshot after the workers are joined.
+
   if (threads > 1) return run_fleet(threads);
 
   stat4p4::MonitorApp app;
