@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Repo lint entry point: clang-tidy over the C++ sources (when available)
+# plus the stat4_lint static verifier over every shipped example program.
+# This is what the CI static-analysis job runs; exits non-zero if either
+# stage reports an error.
+#
+# Usage: scripts/lint.sh [--build-dir DIR] [--changed-only] [files...]
+#   --build-dir DIR   build tree holding compile_commands.json and the
+#                     stat4_lint binary (default: build)
+#   --changed-only    clang-tidy only files changed vs origin/main (or HEAD~1)
+#   files...          explicit file list for clang-tidy (overrides discovery)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=build
+changed_only=0
+explicit_files=()
+while (($#)); do
+  case "$1" in
+    --build-dir) build_dir=$2; shift 2 ;;
+    --changed-only) changed_only=1; shift ;;
+    --help|-h)
+      grep '^# ' "$0" | sed 's/^# //'
+      exit 0 ;;
+    *) explicit_files+=("$1"); shift ;;
+  esac
+done
+
+failures=()
+
+# ---- stage 1: clang-tidy (skipped with a notice when not installed) --------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "lint.sh: $build_dir/compile_commands.json missing — configure first:" >&2
+    echo "  cmake -B $build_dir -S ." >&2
+    failures+=("clang-tidy: no compile_commands.json")
+  else
+    files=()
+    if ((${#explicit_files[@]})); then
+      files=("${explicit_files[@]}")
+    elif [[ "$changed_only" == 1 ]]; then
+      base=$(git merge-base HEAD origin/main 2>/dev/null || echo HEAD~1)
+      while IFS= read -r f; do
+        [[ "$f" == *.cpp || "$f" == *.hpp ]] && [[ -f "$f" ]] && files+=("$f")
+      done < <(git diff --name-only "$base" -- 'src/*' 'tools/*')
+    else
+      while IFS= read -r f; do
+        files+=("$f")
+      done < <(find src tools -name '*.cpp' | sort)
+    fi
+    if ((${#files[@]})); then
+      echo "=== clang-tidy over ${#files[@]} file(s) ==="
+      if ! clang-tidy -p "$build_dir" --quiet "${files[@]}"; then
+        failures+=("clang-tidy")
+      fi
+    else
+      echo "=== clang-tidy: no files to check ==="
+    fi
+  fi
+else
+  echo "=== clang-tidy not installed; skipping (CI runs it) ==="
+fi
+
+# ---- stage 2: stat4_lint static verifier over all example programs ---------
+lint_bin="$build_dir/tools/stat4_lint"
+if [[ ! -x "$lint_bin" ]]; then
+  echo "lint.sh: $lint_bin missing — build it first:" >&2
+  echo "  cmake --build $build_dir --target stat4_lint" >&2
+  failures+=("stat4_lint: binary not built")
+else
+  echo "=== stat4_lint --app=all ==="
+  if ! "$lint_bin" --app=all --min-severity=warning; then
+    failures+=("stat4_lint")
+  fi
+fi
+
+if ((${#failures[@]})); then
+  echo "=== lint FAILED: ${failures[*]} ===" >&2
+  exit 1
+fi
+echo "=== lint clean ==="

@@ -40,6 +40,11 @@ mkdir -p results
 
 run "ctest" bash -c 'set -o pipefail; ctest --test-dir build 2>&1 | tee results/tests.txt'
 
+# Static-analysis gate: clang-tidy (when installed) + the stat4_lint
+# verifier over every shipped example program; its exit code is collected
+# like any other stage so a lint error fails the whole run.
+run "lint" bash -c 'set -o pipefail; scripts/lint.sh 2>&1 | tee results/lint.txt'
+
 for b in build/bench/*; do
   name=$(basename "$b")
   echo "=== $name ==="

@@ -1,0 +1,132 @@
+#include "analysis/catalog.hpp"
+
+#include <stdexcept>
+
+#include "p4sim/craft.hpp"
+#include "stat4/types.hpp"
+#include "stat4p4/apps.hpp"
+
+namespace analysis {
+
+namespace {
+
+using stat4p4::FreqBindingSpec;
+using stat4p4::MonitorApp;
+
+FreqBindingSpec per24_binding() {
+  FreqBindingSpec spec;
+  spec.dst_prefix = p4sim::ipv4(10, 0, 0, 0);
+  spec.dst_prefix_len = 8;
+  spec.dist = 1;
+  spec.shift = 8;
+  return spec;
+}
+
+/// The Section 4 case study, exactly as examples/emit_p4_source.cpp emits
+/// it: forwarding, an 8 ms x 100-interval rate monitor, and a per-/24
+/// frequency binding.
+void configure_case_study(MonitorApp& app) {
+  app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+  app.install_rate_monitor(
+      p4sim::ipv4(10, 0, 0, 0), 8, 0,
+      8 * static_cast<std::uint64_t>(stat4::kMillisecond), 100, 8);
+  app.install_freq_binding(per24_binding());
+}
+
+/// The Table 1 SYN-flood binding: ternary match on the TCP SYN bit,
+/// frequencies keyed by the low destination-address byte.
+FreqBindingSpec syn_flood_binding() {
+  FreqBindingSpec spec;
+  spec.protocol = 6;  // TCP
+  spec.flag_mask = 0x02;
+  spec.flag_value = 0x02;  // SYN set
+  spec.priority = 10;
+  spec.dist = 1;
+  spec.mask = 0xFF;
+  return spec;
+}
+
+template <typename App>
+std::shared_ptr<const p4sim::P4Switch> hold(std::shared_ptr<App> app) {
+  const p4sim::P4Switch* sw = &app->sw();
+  return {std::move(app), sw};
+}
+
+}  // namespace
+
+const std::vector<ExampleApp>& example_apps() {
+  static const std::vector<ExampleApp> apps = {
+      {"echo", "Figure 5 validation program: echo frames annotated with "
+               "N/Xsum/Xsumsq/var/sd"},
+      {"case_study", "Section 4 case study: forwarding + rate monitor + "
+                     "per-/24 frequency binding"},
+      {"case_study_nomul", "case study built for a no-multiplier target "
+                           "(shift-based squaring)"},
+      {"syn_flood", "Table 1 SYN flood: ternary TCP-flag frequency binding"},
+      {"sparse", "hash-table tracker over whole /32 source addresses"},
+      {"entropy", "entropy binding: alert on frequency concentration"},
+      {"value", "value-sample binding over packet lengths"},
+      {"mitigation", "in-switch drop of the captured hot value"},
+      {"reroute", "in-switch rerouting of a surge to a backup port"},
+  };
+  return apps;
+}
+
+std::shared_ptr<const p4sim::P4Switch> build_example(const std::string& name) {
+  if (name == "echo") {
+    return hold(std::make_shared<stat4p4::EchoApp>());
+  }
+  if (name == "case_study") {
+    auto app = std::make_shared<MonitorApp>();
+    configure_case_study(*app);
+    return hold(std::move(app));
+  }
+  if (name == "case_study_nomul") {
+    auto app = std::make_shared<MonitorApp>(
+        stat4p4::Stat4Config{4, 256, 2}, p4sim::AluProfile::hardware_no_mul());
+    configure_case_study(*app);
+    return hold(std::move(app));
+  }
+  if (name == "syn_flood") {
+    auto app = std::make_shared<MonitorApp>();
+    app->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+    app->install_freq_binding(syn_flood_binding());
+    return hold(std::move(app));
+  }
+  if (name == "sparse") {
+    auto app = std::make_shared<MonitorApp>();
+    FreqBindingSpec spec = per24_binding();
+    spec.shift = 0;
+    spec.mask = ~std::uint64_t{0};  // whole address into the hash tracker
+    app->install_sparse_binding(spec);
+    return hold(std::move(app));
+  }
+  if (name == "entropy") {
+    auto app = std::make_shared<MonitorApp>();
+    app->install_entropy_binding(per24_binding(), 2u << 8);
+    return hold(std::move(app));
+  }
+  if (name == "value") {
+    auto app = std::make_shared<MonitorApp>();
+    FreqBindingSpec spec = per24_binding();
+    spec.median = false;
+    app->install_value_binding(spec);
+    return hold(std::move(app));
+  }
+  if (name == "mitigation") {
+    auto app = std::make_shared<MonitorApp>();
+    app->install_freq_binding(per24_binding());
+    app->install_mitigation(per24_binding());
+    return hold(std::move(app));
+  }
+  if (name == "reroute") {
+    auto app = std::make_shared<MonitorApp>();
+    app->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+    app->install_freq_binding(per24_binding());
+    app->install_reroute(per24_binding(), 7);
+    return hold(std::move(app));
+  }
+  throw std::invalid_argument("analysis: unknown example app '" + name + "'");
+}
+
+}  // namespace analysis

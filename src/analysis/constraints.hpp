@@ -1,0 +1,42 @@
+// Target-profile constraint lint.
+//
+// Two layers:
+//
+//   IR lint (run_constraint_pass) — checks each program against what the
+//   TargetProfile's ALU and pipeline can express: multiplication on
+//   shift-only targets (S4-TGT-001 — the paper's "some hardware switches do
+//   not support the squaring of values unknown at compile time"),
+//   instruction/chain/temps budgets (S4-TGT-002/003/006), variable shift
+//   amounts on lookup-table shifters (S4-TGT-004), and — switch level —
+//   the register memory budget (S4-TGT-005).
+//
+//   Source lint (lint_p4_source) — scans the p4gen emission for constructs
+//   no P4 target accepts regardless of profile: division/modulo
+//   (S4-SRC-001), floating point (S4-SRC-002), loops (S4-SRC-003).  These
+//   cannot arise from the IR (it has no such opcodes) but guard the emitter
+//   itself and any hand-edited output.
+#pragma once
+
+#include <string>
+
+#include "analysis/verifier.hpp"
+#include "p4sim/action.hpp"
+#include "p4sim/register_file.hpp"
+
+namespace analysis {
+
+/// IR-level profile lint of one program.
+void run_constraint_pass(const p4sim::Program& program,
+                         const TargetProfile& profile, AnalysisResult& result);
+
+/// Switch-level resource lint (register memory vs the profile's budget).
+void run_resource_lint(const p4sim::RegisterFile& regs,
+                       const std::string& pipeline_name,
+                       const TargetProfile& profile, AnalysisResult& result);
+
+/// Lints a P4_16 translation unit (comment-aware token scan).  `name`
+/// labels the diagnostics; instruction locations are 1-based line numbers.
+void lint_p4_source(const std::string& source, const std::string& name,
+                    AnalysisResult& result);
+
+}  // namespace analysis

@@ -1,0 +1,83 @@
+// Shared diagnostics engine for the Stat4 static verifier.
+//
+// Every analysis pass (overflow, hazards, target constraints, source lint)
+// reports through this layer: a diagnostic carries a STABLE rule id (the
+// contract CI and golden tests key on), a severity, a human message, and an
+// IR location (program name + instruction index + the object concerned, e.g.
+// a register array name).  The engine renders reports as text (compiler
+// style, one line per finding) and as JSON (for CI tooling); the rule
+// catalogue documents every id the verifier can emit and backs
+// `stat4_lint --list-rules` and docs/ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity s) noexcept;
+
+/// Where a finding anchors.  instruction < 0 means "whole program" (or whole
+/// switch when program is empty).
+struct SourceLoc {
+  std::string program;
+  int instruction = -1;
+  std::string object;  ///< register / field / rule-specific object name
+};
+
+struct Diagnostic {
+  std::string rule;  ///< stable id, e.g. "S4-OVF-001"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceLoc loc;
+};
+
+/// One catalogue entry per rule id the verifier can emit.
+struct RuleInfo {
+  const char* id;
+  Severity default_severity;
+  const char* summary;
+};
+
+/// The full rule catalogue (stable ids, documented in docs/ANALYSIS.md).
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+/// Collects diagnostics across passes; severity-ordered rendering.
+class DiagnosticEngine {
+ public:
+  void report(std::string rule, Severity severity, std::string message,
+              SourceLoc loc = {});
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept {
+    return count(Severity::kError) != 0;
+  }
+
+  /// Stable ordering: severity (errors first), then program, instruction,
+  /// rule id — so text and JSON output are deterministic golden-testable.
+  void sort();
+
+  /// Compiler-style text report; diagnostics below `min` are summarized but
+  /// not listed.  Returns the number of lines printed.
+  std::size_t render_text(std::ostream& os,
+                          Severity min = Severity::kNote) const;
+
+  /// JSON report: {"diagnostics":[...],"counts":{...}} (schema in
+  /// docs/ANALYSIS.md).  Always includes every severity.
+  void render_json(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// JSON string escaping shared by the renderers.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace analysis

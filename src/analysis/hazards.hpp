@@ -1,0 +1,43 @@
+// Register access-conflict analysis (extends p4sim/dependency.cpp).
+//
+// A hardware pipeline gives each register array one stateful ALU: a packet
+// gets ONE indexed read-modify-write per array, from ONE stage.  bmv2 is
+// permissive, so on the default profile these findings are portability
+// warnings/notes; the `strict` profile escalates them to errors:
+//
+//   S4-HAZ-001  one program addresses the same array through more than one
+//               distinct index expression (value-numbered: two loads of the
+//               same fields/params/constants compare equal, anything
+//               data-dependent on a register read is unique);
+//   S4-HAZ-002  a program touches an array again after writing it — the
+//               second access observes the first write only on targets that
+//               allow multiple accesses per packet;
+//   S4-HAZ-003  two different pipeline stages share an array (cross-stage
+//               access), which stage-pinned register files cannot express.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "p4sim/action.hpp"
+#include "p4sim/register_file.hpp"
+
+namespace analysis {
+
+/// One program occurrence in the analyzed pipeline.  `stage` orders the
+/// cross-stage check; program-level entry points pass a single element.
+struct HazardScope {
+  const p4sim::Program* program = nullptr;
+  std::size_t stage = 0;
+};
+
+/// Runs all three checks over `scopes`; `pipeline_name` labels switch-level
+/// (stage-spanning) findings.
+void run_hazard_pass(const std::vector<HazardScope>& scopes,
+                     const p4sim::RegisterFile& regs,
+                     const std::string& pipeline_name,
+                     const TargetProfile& profile, AnalysisResult& result);
+
+}  // namespace analysis

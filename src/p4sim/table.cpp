@@ -51,6 +51,15 @@ void MatchActionTable::remove(EntryHandle handle) {
   throw std::out_of_range("p4sim: unknown entry handle in table " + name_);
 }
 
+std::vector<const TableEntry*> MatchActionTable::live_entries() const {
+  std::vector<const TableEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& s : entries_) {
+    if (s.live) out.push_back(&s.entry);
+  }
+  return out;
+}
+
 void MatchActionTable::set_default_action(ActionId action,
                                           std::vector<Word> action_data) {
   default_action_ = action;

@@ -79,6 +79,17 @@ class MatchActionTable {
     return max_entries_;
   }
 
+  // Introspection for the static verifier (src/analysis/): which actions a
+  // table can dispatch to and with what action data.
+  /// Every live entry, in insertion order.
+  [[nodiscard]] std::vector<const TableEntry*> live_entries() const;
+  [[nodiscard]] ActionId default_action() const noexcept {
+    return default_action_;
+  }
+  [[nodiscard]] const std::vector<Word>& default_action_data() const noexcept {
+    return default_data_;
+  }
+
  private:
   struct Stored {
     TableEntry entry;

@@ -1,0 +1,122 @@
+// Boundary-input regression tests for the shift/square approximations.
+//
+// These pin the behaviour audited for undefined behaviour: every shift count
+// inside approx_sqrt / approx_square / approx_log2 / exact_isqrt is bounded
+// by construction (e <= 63; approx_square saturates at e >= 32; mantissa
+// shifts are guarded), and the Newton iteration cannot divide by zero or
+// wrap.  CI's UBSan job executes these paths, so a regression that
+// introduces a shift >= bit-width or signed overflow fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "stat4/approx_math.hpp"
+
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kTop = std::uint64_t{1} << 63;  // MSB at 63
+
+TEST(ApproxMathBoundary, MsbIndexAtExtremes) {
+  EXPECT_EQ(stat4::msb_index(kTop), 63);
+  EXPECT_EQ(stat4::msb_index(kMax), 63);
+  EXPECT_EQ(stat4::msb_index(kTop - 1), 62);
+  // Documented total-function convention for the y == 0 precondition.
+  EXPECT_EQ(stat4::msb_index(0), 0);
+  EXPECT_EQ(stat4::msb_index_if_ladder(kMax), 63);
+  EXPECT_EQ(stat4::msb_index_if_ladder(kTop), 63);
+}
+
+TEST(ApproxMathBoundary, SqrtAtUint64Extremes) {
+  // e = 63 exercises the widest exponent/mantissa split: shifts reach
+  // e - e' = 32 and 1 << (e - 1) = 1 << 62 — all < 64, no UB.
+  // 2^63: odd exponent — the parity bit re-enters the mantissa, giving
+  // 2^31 + 2^30 (~2^31.58, vs true 2^31.5).
+  EXPECT_EQ(stat4::approx_sqrt(kTop),
+            (std::uint64_t{1} << 31) | (std::uint64_t{1} << 30));
+  const std::uint64_t s_max = stat4::approx_sqrt(kMax);
+  EXPECT_GE(s_max, std::uint64_t{1} << 31);
+  EXPECT_LT(s_max, std::uint64_t{1} << 33);
+  const std::uint64_t s62 = stat4::approx_sqrt(std::uint64_t{1} << 62);
+  EXPECT_EQ(s62, std::uint64_t{1} << 31);  // exact at even powers
+  EXPECT_EQ(stat4::approx_sqrt((std::uint64_t{1} << 62) - 1),
+            stat4::approx_sqrt((std::uint64_t{1} << 62) - 1));
+}
+
+TEST(ApproxMathBoundary, SqrtNearPowerOfTwoSeams) {
+  for (int e = 1; e <= 63; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    // Evaluate at 2^e - 1, 2^e, 2^e + 1: the exponent changes across the
+    // seam and every shift stays in range.
+    const std::uint64_t below = stat4::approx_sqrt(p - 1);
+    const std::uint64_t at = stat4::approx_sqrt(p);
+    const std::uint64_t above = stat4::approx_sqrt(p + 1);
+    EXPECT_LE(below, at) << "e=" << e;
+    EXPECT_LE(at, above + 1) << "e=" << e;
+    EXPECT_GT(at, 0u);
+  }
+}
+
+TEST(ApproxMathBoundary, SquareSaturatesExactlyAtThe32BitSeam) {
+  // msb >= 32 would need 2^(2e) >= 2^64: the implementation saturates
+  // instead of shifting by >= 64 (which would be UB).
+  const std::uint64_t seam = std::uint64_t{1} << 32;
+  EXPECT_EQ(stat4::approx_square(seam), kMax);
+  EXPECT_EQ(stat4::approx_square(seam - 1),
+            stat4::approx_square(seam - 1));  // evaluates without UB
+  EXPECT_LT(stat4::approx_square(seam - 1), kMax);
+  EXPECT_EQ(stat4::approx_square(kMax), kMax);
+  EXPECT_EQ(stat4::approx_square(kTop), kMax);
+}
+
+TEST(ApproxMathBoundary, SquareLargestNonSaturatingInput) {
+  // y = 2^32 - 1: e = 31, r = 2^31 - 1, result = 2^62 + (2^31-1) << 32 —
+  // the widest in-range shifts the formula produces.
+  const std::uint64_t y = (std::uint64_t{1} << 32) - 1;
+  const std::uint64_t expected =
+      (std::uint64_t{1} << 62) +
+      (((std::uint64_t{1} << 31) - 1) << 32);
+  EXPECT_EQ(stat4::approx_square(y), expected);
+}
+
+TEST(ApproxMathBoundary, Log2AtExtremes) {
+  // e = 63 > kLog2FracBits: fraction path shifts by e - 8 = 55 (< 64).
+  EXPECT_EQ(stat4::approx_log2(kTop), std::uint64_t{63} << stat4::kLog2FracBits);
+  const std::uint64_t l_max = stat4::approx_log2(kMax);
+  EXPECT_GE(l_max, std::uint64_t{63} << stat4::kLog2FracBits);
+  EXPECT_LT(l_max, std::uint64_t{64} << stat4::kLog2FracBits);
+  // e < kLog2FracBits: the mantissa is LEFT-shifted by 8 - e.
+  EXPECT_EQ(stat4::approx_log2(3),
+            (std::uint64_t{1} << stat4::kLog2FracBits) |
+                (std::uint64_t{1} << (stat4::kLog2FracBits - 1)));
+  EXPECT_EQ(stat4::approx_log2(0), 0u);
+  EXPECT_EQ(stat4::approx_log2(1), 0u);
+}
+
+TEST(ApproxMathBoundary, ExactIsqrtAtUint64Extremes) {
+  // Newton from above: the iterate never hits zero (no division by zero)
+  // and x + y/x stays far below 2^64 for every reachable x.
+  EXPECT_EQ(stat4::exact_isqrt(kMax), (std::uint64_t{1} << 32) - 1);
+  EXPECT_EQ(stat4::exact_isqrt(kTop), 3037000499u);  // floor(2^31.5)
+  const std::uint64_t r = stat4::exact_isqrt(kMax - 1);
+  EXPECT_EQ(r, (std::uint64_t{1} << 32) - 1);
+  for (std::uint64_t y : {std::uint64_t{2}, std::uint64_t{3},
+                          std::uint64_t{4}}) {
+    const std::uint64_t s = stat4::exact_isqrt(y);
+    EXPECT_EQ(s * s <= y && (s + 1) * (s + 1) > y, true) << y;
+  }
+}
+
+TEST(ApproxMathBoundary, SqrtEnvelopeHoldsAtExtremes) {
+  // The Figure 2 approximation stays within the paper's error envelope even
+  // at the top of the input range: within a factor ~1.13 of the true root.
+  for (std::uint64_t y : {kTop, kMax, kTop - 1, kTop + 1, kMax - 1}) {
+    const double approx = static_cast<double>(stat4::approx_sqrt(y));
+    const double exact = static_cast<double>(stat4::exact_isqrt(y));
+    EXPECT_GT(approx, exact * 0.70) << y;
+    EXPECT_LT(approx, exact * 1.30) << y;
+  }
+}
+
+}  // namespace

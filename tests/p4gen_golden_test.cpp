@@ -1,0 +1,94 @@
+// Golden-file coverage of the P4_16 emitter.
+//
+// The emitted translation units for the echo and case-study programs are
+// checked byte-for-byte against tests/golden/*.p4, so any change to the
+// emitter's output — intended or not — shows up as a reviewable diff.
+// To regenerate after an intended change:
+//
+//   STAT4_UPDATE_GOLDEN=1 ./p4gen_golden_test
+//
+// then commit the updated golden files alongside the emitter change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/catalog.hpp"
+#include "p4gen/emitter.hpp"
+
+namespace {
+
+std::string golden_path(const std::string& file) {
+  return std::string(STAT4_GOLDEN_DIR) + "/" + file;
+}
+
+bool update_requested() {
+  const char* env = std::getenv("STAT4_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void check_golden(const std::string& app, const std::string& program_name,
+                  const std::string& file) {
+  const auto sw = analysis::build_example(app);
+  p4gen::EmitOptions options;
+  options.program_name = program_name;
+  const std::string emitted = p4gen::emit_p4(*sw, options);
+  const std::string path = golden_path(file);
+
+  if (update_requested()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << emitted;
+    GTEST_SKIP() << "updated " << path;
+  }
+
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty())
+      << path << " missing — run with STAT4_UPDATE_GOLDEN=1 to create it";
+  if (emitted != golden) {
+    // Locate the first differing line for a readable failure.
+    std::istringstream a(emitted);
+    std::istringstream b(golden);
+    std::string la;
+    std::string lb;
+    int line = 0;
+    while (true) {
+      ++line;
+      const bool ga = static_cast<bool>(std::getline(a, la));
+      const bool gb = static_cast<bool>(std::getline(b, lb));
+      if (!ga && !gb) break;
+      if (la != lb || ga != gb) {
+        FAIL() << file << " drifted from golden at line " << line
+               << "\n  emitted: " << (ga ? la : "<eof>")
+               << "\n  golden:  " << (gb ? lb : "<eof>")
+               << "\nIf intended, regenerate with STAT4_UPDATE_GOLDEN=1";
+      }
+    }
+    FAIL() << file << " differs from golden (same lines, different bytes)";
+  }
+}
+
+TEST(P4GenGolden, EchoProgramMatchesGolden) {
+  check_golden("echo", "stat4_echo", "stat4_echo.p4");
+}
+
+TEST(P4GenGolden, CaseStudyProgramMatchesGolden) {
+  check_golden("case_study", "stat4_case_study", "stat4_case_study.p4");
+}
+
+TEST(P4GenGolden, EmissionIsDeterministic) {
+  const auto sw1 = analysis::build_example("case_study");
+  const auto sw2 = analysis::build_example("case_study");
+  EXPECT_EQ(p4gen::emit_p4(*sw1), p4gen::emit_p4(*sw2));
+}
+
+}  // namespace
