@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two bench_throughput JSON reports and fail on regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [options]
+
+Compares real_time_ns_per_iter for every benchmark present in BOTH files
+and exits non-zero when any benchmark regressed by more than the threshold
+(default 25%).  Benchmarks only present on one side are reported but never
+fail the comparison (new benchmarks appear, old ones retire).
+
+Multi-threaded fan-out benchmarks (ShardedEngineScaling, FleetRunnerFanOut)
+are *reported* but excluded from the pass/fail gate by default: on shared
+CI runners their timings are scheduler noise, not code.  Use
+--include-threaded to gate on them too (sensible on quiet dedicated
+hardware).
+
+Exit codes: 0 ok, 1 regression past threshold, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+THREADED_PATTERNS = (
+    re.compile(r"^BM_ShardedEngineScaling/"),
+    re.compile(r"^BM_FleetRunnerFanOut/"),
+)
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns_per_iter} from a bench_throughput JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        t = bench.get("real_time_ns_per_iter")
+        if name and isinstance(t, (int, float)) and t > 0:
+            out[name] = float(t)
+    if not out:
+        print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def is_threaded(name):
+    return any(p.match(name) for p in THREADED_PATTERNS)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("candidate", help="freshly measured JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max allowed slowdown in percent (default: 25)",
+    )
+    ap.add_argument(
+        "--include-threaded",
+        action="store_true",
+        help="gate on multi-threaded fan-out benchmarks too",
+    )
+    args = ap.parse_args(argv)
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+    limit = 1.0 + args.threshold / 100.0
+
+    rows = []
+    failures = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            rows.append((name, None, cand[name], None, "new"))
+            continue
+        if name not in cand:
+            rows.append((name, base[name], None, None, "retired"))
+            continue
+        ratio = cand[name] / base[name]
+        gated = args.include_threaded or not is_threaded(name)
+        if ratio > limit and gated:
+            status = "FAIL"
+            failures.append(name)
+        elif ratio > limit:
+            status = "slow (ungated)"
+        elif ratio < 1.0 / limit:
+            status = "faster"
+        else:
+            status = "ok"
+        if not gated and status in ("ok", "faster"):
+            status += " (ungated)"
+        rows.append((name, base[name], cand[name], ratio, status))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'benchmark':<{width}}  {'base ns':>12}  {'cand ns':>12}  "
+          f"{'ratio':>7}  status")
+    for name, b, c, ratio, status in rows:
+        bs = f"{b:12.1f}" if b is not None else " " * 12
+        cs = f"{c:12.1f}" if c is not None else " " * 12
+        rs = f"{ratio:7.3f}" if ratio is not None else " " * 7
+        print(f"{name:<{width}}  {bs}  {cs}  {rs}  {status}")
+
+    if failures:
+        print(
+            f"\nbench_compare: {len(failures)} benchmark(s) regressed more "
+            f"than {args.threshold:.0f}% vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name in failures:
+            print(f"  {name}: {base[name]:.1f} -> {cand[name]:.1f} ns/iter "
+                  f"({cand[name] / base[name]:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: ok ({args.threshold:.0f}% threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "p4sim/switch.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace p4sim {
@@ -14,12 +15,14 @@ RegisterId P4Switch::declare_register(std::string reg_name, std::uint32_t size,
 
 ActionId P4Switch::add_action(Program program) {
   program.validate(profile_);
+  ++config_gen_;
   actions_.push_back(std::move(program));
   return static_cast<ActionId>(actions_.size() - 1);
 }
 
 TableId P4Switch::add_table(std::string table_name, std::vector<KeySpec> key,
                             std::size_t max_entries) {
+  ++config_gen_;
   tables_.emplace_back(std::move(table_name), std::move(key), max_entries);
   return static_cast<TableId>(tables_.size() - 1);
 }
@@ -31,6 +34,7 @@ void P4Switch::add_table_stage(TableId table_id, std::optional<Guard> guard) {
   Stage s;
   s.guard = guard;
   s.table = table_id;
+  ++config_gen_;
   pipeline_.push_back(s);
 }
 
@@ -42,6 +46,7 @@ void P4Switch::add_program_stage(ActionId action_id,
   Stage s;
   s.guard = guard;
   s.action = action_id;
+  ++config_gen_;
   pipeline_.push_back(s);
 }
 
@@ -66,8 +71,72 @@ const Program& P4Switch::action(ActionId id) const {
   return actions_[id];
 }
 
+void P4Switch::compile_pipeline() {
+  compiled_.clear();
+  compiled_.reserve(pipeline_.size());
+  for (const Stage& stage : pipeline_) {
+    CompiledStage cs;
+    if (stage.guard) {
+      cs.guarded = true;
+      cs.guard = *stage.guard;
+    }
+    if (stage.table) {
+      cs.table = &tables_[*stage.table];
+    } else if (stage.action) {
+      cs.program = &actions_[*stage.action];
+    }
+    compiled_.push_back(cs);
+  }
+  // The scratch context is zeroed per packet only up to the highest temp
+  // ANY installed action can read or write — bit-identical to zeroing the
+  // whole pool, because no instruction addresses beyond that index.
+  scratch_words_ = 0;
+  for (const Program& prog : actions_) {
+    for (const Instruction& ins : prog.code) {
+      const std::size_t hi =
+          std::max(std::max<std::size_t>(ins.dst, ins.a),
+                   std::max<std::size_t>(ins.b, ins.c));
+      scratch_words_ = std::max(scratch_words_, hi + 1);
+    }
+  }
+  if (!scratch_) scratch_ = std::make_unique<ExecutionContext>();
+  compiled_gen_ = config_gen_;
+}
+
+void P4Switch::run_pipeline_reference(PacketView& view, SwitchOutput& out,
+                                      stat4::TimeNs now) {
+  // The original interpreter: a fresh, fully zeroed context per packet and
+  // linear table scans.  This is the fast path's differential baseline.
+  ExecutionContext ctx;
+  ctx.view = &view;
+  ctx.registers = &registers_;
+  ctx.digests = &out.digests;
+  ctx.now = now;
+
+  for (const Stage& stage : pipeline_) {
+    if (stage.guard && !stage.guard->holds(view)) continue;
+    if (stage.table) {
+      const MatchResult m = tables_[*stage.table].lookup_linear(view);
+      const Program& prog = actions_.at(m.action);
+      ctx.action_data = m.action_data;
+      execute(prog, ctx);
+    } else if (stage.action) {
+      ctx.action_data = {};
+      execute(actions_[*stage.action], ctx);
+    }
+  }
+}
+
 SwitchOutput P4Switch::process(Packet pkt) {
   SwitchOutput out;
+  process_into(std::move(pkt), out);
+  return out;
+}
+
+void P4Switch::process_into(Packet pkt, SwitchOutput& out) {
+  out.packets.clear();
+  out.digests.clear();
+  out.dropped = false;
   ++packets_processed_;
 
   ParsedPacket parsed = parse(pkt);
@@ -78,35 +147,39 @@ SwitchOutput P4Switch::process(Packet pkt) {
   view.meta_packet_length = pkt.size();
   view.meta_egress_spec = 0;  // default drop, like bmv2's mark_to_drop
 
-  ExecutionContext ctx;
-  ctx.view = &view;
-  ctx.registers = &registers_;
-  ctx.digests = &out.digests;
-  ctx.now = pkt.ingress_ts;
-
-  for (const Stage& stage : pipeline_) {
-    if (stage.guard && !stage.guard->holds(view)) continue;
-    if (stage.table) {
-      const MatchResult m = tables_[*stage.table].lookup(view);
-      const Program& prog = actions_.at(m.action);
-      ctx.action_data = m.action_data;
-      execute(prog, ctx);
-    } else if (stage.action) {
-      ctx.action_data = {};
-      execute(actions_[*stage.action], ctx);
+  if (fast_path_) {
+    if (compiled_gen_ != config_gen_) compile_pipeline();
+    ExecutionContext& ctx = *scratch_;
+    std::fill_n(ctx.temps.data(), scratch_words_, Word{0});
+    ctx.view = &view;
+    ctx.registers = &registers_;
+    ctx.digests = &out.digests;
+    ctx.now = pkt.ingress_ts;
+    for (const CompiledStage& cs : compiled_) {
+      if (cs.guarded && !cs.guard.holds(view)) continue;
+      if (cs.table != nullptr) {
+        const MatchResult m = cs.table->lookup(view);
+        const Program& prog = actions_.at(m.action);
+        ctx.action_data = m.action_data;
+        execute(prog, ctx);
+      } else if (cs.program != nullptr) {
+        ctx.action_data = {};
+        execute(*cs.program, ctx);
+      }
     }
+  } else {
+    run_pipeline_reference(view, out, pkt.ingress_ts);
   }
 
   digests_emitted_ += out.digests.size();
 
   if (view.meta_egress_spec == 0) {
     out.dropped = true;
-    return out;
+    return;
   }
   deparse(parsed, pkt);
   const auto port = static_cast<PortId>(view.meta_egress_spec - 1);
   out.packets.emplace_back(port, std::move(pkt));
-  return out;
 }
 
 }  // namespace p4sim

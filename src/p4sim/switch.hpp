@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -63,6 +64,25 @@ class P4Switch {
   // ---- data path ----------------------------------------------------------
   [[nodiscard]] SwitchOutput process(Packet pkt);
 
+  /// process() into a caller-owned output whose vectors are reused across
+  /// packets (the batched drain loops call this to keep allocations off the
+  /// per-packet path).  `out` is cleared first.
+  void process_into(Packet pkt, SwitchOutput& out);
+
+  /// The compiled fast path (default ON) pre-resolves the steady-state
+  /// parse → match → action chain: pipeline stages are flattened into a
+  /// dispatch vector of raw table/program pointers, tables use their
+  /// compiled entry caches, and action programs run over a persistent
+  /// scratch context whose temps are zeroed only up to the highest temp any
+  /// installed action touches (instead of zeroing the full 16KB PHV pool
+  /// per packet).  The dispatch vector is rebuilt whenever program
+  /// configuration changes; table writes invalidate per-table caches.
+  /// OFF runs the reference interpreter: per-packet fresh zeroed context
+  /// and linear table scans — bit-identical output, kept as the
+  /// differential baseline (tests/p4sim_fastpath_test.cpp).
+  void set_fast_path(bool on) noexcept { fast_path_ = on; }
+  [[nodiscard]] bool fast_path() const noexcept { return fast_path_; }
+
   // ---- controller-facing state --------------------------------------------
   [[nodiscard]] MatchActionTable& table(TableId id);
   [[nodiscard]] const MatchActionTable& table(TableId id) const;
@@ -99,6 +119,20 @@ class P4Switch {
   }
 
  private:
+  /// One pre-resolved pipeline stage: raw pointers into tables_/actions_,
+  /// the guard flattened out of std::optional.  Valid until the next
+  /// configuration change (config_gen_ bump).
+  struct CompiledStage {
+    Guard guard{};
+    bool guarded = false;
+    MatchActionTable* table = nullptr;  ///< table stage when non-null
+    const Program* program = nullptr;   ///< direct-program stage otherwise
+  };
+
+  void compile_pipeline();
+  void run_pipeline_reference(PacketView& view, SwitchOutput& out,
+                              stat4::TimeNs now);
+
   std::string name_;
   AluProfile profile_;
   RegisterFile registers_;
@@ -107,6 +141,13 @@ class P4Switch {
   std::vector<Stage> pipeline_;
   std::uint64_t packets_processed_ = 0;
   std::uint64_t digests_emitted_ = 0;
+  // Compiled fast path state (see set_fast_path).
+  bool fast_path_ = true;
+  std::uint64_t config_gen_ = 1;    ///< bumped by add_action/add_table/stages
+  std::uint64_t compiled_gen_ = 0;  ///< config_gen_ the dispatch vector matches
+  std::vector<CompiledStage> compiled_;
+  std::size_t scratch_words_ = 0;  ///< highest temp index touched + 1
+  std::unique_ptr<ExecutionContext> scratch_;  ///< persistent PHV scratch
 };
 
 }  // namespace p4sim

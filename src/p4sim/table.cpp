@@ -1,5 +1,6 @@
 #include "p4sim/table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace p4sim {
@@ -23,6 +24,7 @@ EntryHandle MatchActionTable::insert(TableEntry entry) {
   s.entry = std::move(entry);
   s.handle = next_handle_++;
   s.live = true;
+  compiled_dirty_ = true;
   entries_.push_back(std::move(s));
   return entries_.back().handle;
 }
@@ -35,6 +37,7 @@ void MatchActionTable::modify(EntryHandle handle, TableEntry entry) {
   for (auto& s : entries_) {
     if (s.live && s.handle == handle) {
       s.entry = std::move(entry);
+      compiled_dirty_ = true;
       return;
     }
   }
@@ -45,6 +48,7 @@ void MatchActionTable::remove(EntryHandle handle) {
   for (auto& s : entries_) {
     if (s.live && s.handle == handle) {
       s.live = false;
+      compiled_dirty_ = true;
       return;
     }
   }
@@ -64,6 +68,7 @@ void MatchActionTable::set_default_action(ActionId action,
                                           std::vector<Word> action_data) {
   default_action_ = action;
   default_data_ = std::move(action_data);
+  compiled_dirty_ = true;
 }
 
 std::size_t MatchActionTable::entry_count() const noexcept {
@@ -102,7 +107,7 @@ bool MatchActionTable::entry_matches(const TableEntry& e,
   return true;
 }
 
-MatchResult MatchActionTable::lookup(const PacketView& view) const {
+MatchResult MatchActionTable::lookup_linear(const PacketView& view) const {
   const Stored* best = nullptr;
   std::uint32_t best_plen = 0;
   for (const auto& s : entries_) {
@@ -136,6 +141,102 @@ MatchResult MatchActionTable::lookup(const PacketView& view) const {
     r.action_data = default_data_;
     r.hit = false;
   }
+  return r;
+}
+
+void MatchActionTable::compile() const {
+  // Flatten live entries best-first so the compiled lookup can stop at the
+  // first match: stable_sort on (priority desc, total prefix length desc)
+  // keeps insertion order inside equal keys — exactly the resolution order
+  // lookup_linear() implements with its running-best scan.
+  struct Ranked {
+    const Stored* s;
+    std::uint32_t plen;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& s : entries_) {
+    if (!s.live) continue;
+    std::uint32_t plen = 0;
+    for (const auto& km : s.entry.key) plen += km.prefix_len;
+    ranked.push_back({&s, plen});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.s->entry.priority != b.s->entry.priority) {
+                       return a.s->entry.priority > b.s->entry.priority;
+                     }
+                     return a.plen > b.plen;
+                   });
+
+  compiled_.clear();
+  compiled_.reserve(ranked.size());
+  for (const Ranked& r : ranked) {
+    CompiledEntry ce;
+    ce.action = r.s->entry.action;
+    ce.action_data = &r.s->entry.action_data;
+    ce.handle = r.s->handle;
+    ce.keys.reserve(key_layout_.size());
+    for (std::size_t i = 0; i < key_layout_.size(); ++i) {
+      const KeyMatch& km = r.s->entry.key[i];
+      CompiledKey ck;
+      ck.field = key_layout_[i].field;
+      switch (key_layout_[i].kind) {
+        case MatchKind::kExact:
+          ck.mask = ~Word{0};
+          ck.value = km.value;
+          break;
+        case MatchKind::kLpm: {
+          if (km.prefix_len == 0) {
+            ck.mask = 0;  // matches everything
+            ck.value = 0;
+            break;
+          }
+          const unsigned bits = km.field_bits > 64 ? 64u : km.field_bits;
+          const unsigned plen = km.prefix_len > bits
+                                    ? bits
+                                    : static_cast<unsigned>(km.prefix_len);
+          const Word full = bits == 64 ? ~Word{0} : ((Word{1} << bits) - 1);
+          ck.mask = (full >> (bits - plen)) << (bits - plen);
+          ck.value = km.value & ck.mask;
+          break;
+        }
+        case MatchKind::kTernary:
+          ck.mask = km.mask;
+          ck.value = km.value & km.mask;
+          break;
+      }
+      ce.keys.push_back(ck);
+    }
+    compiled_.push_back(std::move(ce));
+  }
+  compiled_dirty_ = false;
+  ++compile_count_;
+}
+
+MatchResult MatchActionTable::lookup(const PacketView& view) const {
+  if (compiled_dirty_) compile();
+  for (const CompiledEntry& ce : compiled_) {
+    bool match = true;
+    for (const CompiledKey& ck : ce.keys) {
+      if ((view.get(ck.field) & ck.mask) != ck.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      MatchResult r;
+      r.action = ce.action;
+      r.action_data = *ce.action_data;
+      r.hit = true;
+      r.handle = ce.handle;
+      return r;
+    }
+  }
+  MatchResult r;
+  r.action = default_action_;
+  r.action_data = default_data_;
+  r.hit = false;
   return r;
 }
 

@@ -68,7 +68,29 @@ class MatchActionTable {
   void set_default_action(ActionId action, std::vector<Word> action_data);
 
   /// Look up a packet.  On miss, returns the default action with hit=false.
+  ///
+  /// Uses the compiled entry cache: live entries are flattened into a dense
+  /// vector sorted best-first (priority desc, total prefix length desc,
+  /// insertion order asc) with every per-key match precomputed to one
+  /// uniform (field & mask) == value test — so the lookup is a scan that
+  /// stops at the FIRST match instead of scoring every entry, and the LPM
+  /// mask arithmetic runs once per table write instead of once per packet.
+  /// Any mutation (insert/modify/remove/set_default_action) marks the cache
+  /// dirty; the next lookup rebuilds it.  Result is bit-identical to
+  /// lookup_linear() — tests/p4sim_fastpath_test.cpp enforces this across
+  /// mid-stream table writes.
   [[nodiscard]] MatchResult lookup(const PacketView& view) const;
+
+  /// The reference lookup: the original full scoring scan over live
+  /// entries, no caching.  Kept as the differential baseline for the
+  /// compiled path (and used by P4Switch when the fast path is disabled).
+  [[nodiscard]] MatchResult lookup_linear(const PacketView& view) const;
+
+  /// How many times the compiled entry cache has been (re)built — lets
+  /// tests assert that table writes invalidate the cache.
+  [[nodiscard]] std::uint64_t compile_count() const noexcept {
+    return compile_count_;
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::vector<KeySpec>& key_layout() const noexcept {
@@ -97,8 +119,26 @@ class MatchActionTable {
     bool live = false;
   };
 
+  /// One key of a compiled entry: every MatchKind lowered to the uniform
+  /// test (view.get(field) & mask) == value.  Exact: mask = ~0; LPM: the
+  /// prefix mask, computed once here instead of per packet; ternary: the
+  /// entry mask.  value is pre-masked.
+  struct CompiledKey {
+    FieldRef field = FieldRef::kIpv4Dst;
+    Word mask = 0;
+    Word value = 0;
+  };
+
+  struct CompiledEntry {
+    std::vector<CompiledKey> keys;
+    ActionId action = 0;
+    const std::vector<Word>* action_data = nullptr;
+    EntryHandle handle = 0;
+  };
+
   [[nodiscard]] bool entry_matches(const TableEntry& e,
                                    const PacketView& view) const;
+  void compile() const;
 
   std::string name_;
   std::vector<KeySpec> key_layout_;
@@ -107,6 +147,12 @@ class MatchActionTable {
   EntryHandle next_handle_ = 1;
   ActionId default_action_ = 0;
   std::vector<Word> default_data_;
+  // Compiled lookup cache (see lookup()).  Mutable: rebuilt lazily from
+  // const lookup(); the table is externally synchronized like all switch
+  // state (one worker thread per switch lane).
+  mutable std::vector<CompiledEntry> compiled_;
+  mutable bool compiled_dirty_ = true;
+  mutable std::uint64_t compile_count_ = 0;
 };
 
 }  // namespace p4sim

@@ -16,6 +16,8 @@ struct FleetMetrics {
   telemetry::Counter& delivered;
   telemetry::Counter& dropped;
   telemetry::Counter& digests;
+  telemetry::Counter& parks;
+  telemetry::Counter& wakes;
   telemetry::Histogram& ring_occupancy;
   telemetry::Histogram& block_stall_ns;
   telemetry::Histogram& digest_latency_ns;
@@ -30,6 +32,10 @@ struct FleetMetrics {
             "runtime.fleet.dropped"),
         telemetry::MetricsRegistry::global().counter(
             "runtime.fleet.digests"),
+        telemetry::MetricsRegistry::global().counter(
+            "runtime.fleet.parks"),
+        telemetry::MetricsRegistry::global().counter(
+            "runtime.fleet.wakes"),
         telemetry::MetricsRegistry::global().histogram(
             "runtime.fleet.ring_occupancy"),
         telemetry::MetricsRegistry::global().histogram(
@@ -58,47 +64,73 @@ control::SwitchId FleetRunner::add_switch(stat4p4::MonitorApp& app) {
 }
 
 void FleetRunner::worker_loop(control::SwitchId id, SwitchLane& lane) {
-  // The lane atomics (delivered, digests) are the accounting source of
-  // truth and are bumped per packet; the process-wide telemetry counters
-  // are a redundant aggregate, so they batch locally and flush at burst
+  // Packets are drained in bursts (one ring handshake per burst) and run
+  // through process_into() with ONE SwitchOutput whose vectors are reused
+  // across the whole lane lifetime — no per-packet allocation.  The lane
+  // atomics (delivered, digests) are the accounting source of truth and
+  // are bumped per packet; the process-wide telemetry counters are a
+  // redundant aggregate, so they batch locally and flush at burst
   // boundaries to keep extra shared-line RMWs off the per-packet path.
+  //
+  // Idle policy is spin -> yield -> park (SpinPolicy): an idle lane parks
+  // on its ring instead of burning a spin loop, and inject()/close_input()
+  // wake it.
   STAT4_TELEMETRY_ONLY(
       auto& metrics = FleetMetrics::get();
       std::uint64_t t_delivered = 0;
       std::uint64_t t_digests = 0;)
-  Backoff backoff;
-  p4sim::Packet pkt;
+  std::vector<p4sim::Packet> burst;
+  burst.reserve(cfg_.drain_burst);
+  p4sim::SwitchOutput out;
+  unsigned idle = 0;
   while (true) {
-    bool did_work = false;
-    while (lane.ring->try_pop(pkt)) {
-      did_work = true;
-      auto out = lane.app->sw().process(std::move(pkt));
-      for (auto& digest : out.digests) {
-        TaggedDigest td{id, std::move(digest), 0};
-        // Emit timestamp feeds the emit-to-controller-dequeue latency
-        // histogram; the controller side stamps the dequeue.
-        STAT4_TELEMETRY_ONLY(td.emit_ns = telemetry::now_ns();
-                             ++t_digests;)
-        digest_channel_.push(std::move(td));
-        lane.digests.fetch_add(1, std::memory_order_relaxed);
+    burst.clear();
+    const std::size_t n = lane.ring->pop_burst(burst, cfg_.drain_burst);
+    if (n != 0) {
+      for (std::size_t b = 0; b < n; ++b) {
+        lane.app->sw().process_into(std::move(burst[b]), out);
+        for (auto& digest : out.digests) {
+          TaggedDigest td{id, std::move(digest), 0};
+          // Emit timestamp feeds the emit-to-controller-dequeue latency
+          // histogram; the controller side stamps the dequeue.
+          STAT4_TELEMETRY_ONLY(td.emit_ns = telemetry::now_ns();
+                               ++t_digests;)
+          digest_channel_.push(std::move(td));
+          lane.digests.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Release-publish the processed count last, so a flush() observing
+        // it also observes the register state and the queued digests.
+        lane.delivered.fetch_add(1, std::memory_order_release);
+        STAT4_TELEMETRY_ONLY(++t_delivered;)
       }
-      // Release-publish the processed count last, so a flush() observing it
-      // also observes the register state and the queued digests.
-      lane.delivered.fetch_add(1, std::memory_order_release);
-      STAT4_TELEMETRY_ONLY(++t_delivered;)
-    }
-    if (did_work) {
       STAT4_TELEMETRY_ONLY(
           metrics.delivered.add(t_delivered); t_delivered = 0;
           if (t_digests != 0) {
             metrics.digests.add(t_digests);
             t_digests = 0;
           })
-      backoff.reset();
+      idle = 0;
       continue;
     }
     if (lane.ring->closed() && lane.ring->empty()) return;
-    backoff.pause();
+    if (idle < SpinPolicy::kSpins) {
+      ++idle;
+    } else if (idle < SpinPolicy::kSpins + SpinPolicy::kYields) {
+      ++idle;
+      std::this_thread::yield();
+    } else {
+      STAT4_TELEMETRY_ONLY(
+          const std::uint64_t t_before = lane.ring->consumer_parks();)
+      lane.ring->consumer_park();
+      STAT4_TELEMETRY_ONLY(
+          const std::uint64_t t_entered =
+              lane.ring->consumer_parks() - t_before;
+          if (t_entered != 0) {
+            metrics.parks.add(t_entered);
+            metrics.wakes.add(t_entered);
+          })
+      idle = 0;
+    }
   }
 }
 

@@ -49,6 +49,10 @@ class FleetRunner {
   struct Config {
     std::size_t queue_capacity = 1024;  ///< per-switch ingress ring, packets
     Policy policy = Policy::kDrop;
+    /// Max packets a worker drains from its ring per wakeup (one ring
+    /// handshake per burst; the reused SwitchOutput keeps allocations off
+    /// the per-packet path).  1 degenerates to per-packet popping.
+    std::size_t drain_burst = 64;
   };
 
   struct Counters {

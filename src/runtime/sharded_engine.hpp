@@ -24,6 +24,14 @@
 //   * threaded: start() spawns one worker per shard; submit()/
 //     submit_advance() enqueue (single producer thread!), flush() is a
 //     barrier after which statistics may be read, stop() flushes and joins.
+//
+// Batched ingestion (the hot path): submit() appends to a producer-side
+// staging buffer; every batch_size ops the whole batch is burst-pushed to
+// each shard's ring under one acquire/release pair per shard, and workers
+// drain whole bursts into Stat4Engine::process_batch().  Order within the
+// single producer is preserved, so the equivalence guarantee is unchanged.
+// flush()/stop() first drain the staging buffer, so callers never see a
+// partial batch.  batch_size = 1 degenerates to the per-packet pipeline.
 #pragma once
 
 #include <atomic>
@@ -44,8 +52,21 @@ class ShardedEngine {
   explicit ShardedEngine(std::size_t shards,
                          stat4::OverflowPolicy policy =
                              stat4::OverflowPolicy::kThrow,
-                         std::size_t queue_capacity = 4096);
+                         std::size_t queue_capacity = 4096,
+                         std::size_t batch_size = kDefaultBatchSize);
   ~ShardedEngine();
+
+  /// Ops staged per producer-side batch before a burst enqueue (and the
+  /// max ops a worker drains per wakeup).  256 amortizes the ring handshake
+  /// to noise while keeping worst-case added latency one batch deep.
+  static constexpr std::size_t kDefaultBatchSize = 256;
+
+  /// Change the ingestion batch size.  Call while stopped (the producer
+  /// staging buffer and the worker drain loops both read it).
+  void set_batch_size(std::size_t batch_size);
+  [[nodiscard]] std::size_t batch_size() const noexcept {
+    return batch_size_;
+  }
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -104,10 +125,11 @@ class ShardedEngine {
   void start();
   [[nodiscard]] bool running() const noexcept { return running_; }
 
-  /// Enqueue a packet to every shard.  Lossless: backpressure-spins when a
-  /// shard's ring is full (the engine must not drop, or it would diverge
-  /// from the single-threaded reference).  Spins are counted so callers can
-  /// observe backpressure.
+  /// Enqueue a packet to every shard (staged; becomes visible to workers at
+  /// the next batch boundary or flush()).  Lossless: backpressure-parks
+  /// when a shard's ring is full (the engine must not drop, or it would
+  /// diverge from the single-threaded reference).  Park episodes are
+  /// counted so callers can observe backpressure.
   void submit(const stat4::PacketFields& pkt);
   void submit_advance(stat4::TimeNs now);
 
@@ -120,7 +142,8 @@ class ShardedEngine {
   /// mode and may be start()ed again.
   void stop();
 
-  /// Times a submit had to backpressure-wait on a full shard ring.
+  /// Times a batch enqueue found a shard ring full and had to
+  /// backpressure-wait (spin/yield/park) for the worker to drain it.
   [[nodiscard]] std::uint64_t backpressure_waits() const noexcept {
     return backpressure_waits_.load(std::memory_order_relaxed);
   }
@@ -150,6 +173,9 @@ class ShardedEngine {
   [[nodiscard]] const DistRef& ref(stat4::DistId id) const;
   stat4::DistId register_dist(std::size_t shard, stat4::DistId local);
   void enqueue(const Op& op);
+  /// Burst-push the staged ops to every shard (one ring handshake per
+  /// shard), parking on backpressure.  No-op when nothing is staged.
+  void flush_staged();
   void worker_loop(Shard& shard);
   void drain_alerts();
 
@@ -160,6 +186,8 @@ class ShardedEngine {
   MpscChannel<stat4::Alert> alert_channel_;
   std::atomic<std::uint64_t> alert_seq_{0};
   std::size_t queue_capacity_;
+  std::size_t batch_size_;
+  std::vector<Op> staged_;  ///< producer-side staging buffer (see submit())
   bool running_ = false;
   std::atomic<std::uint64_t> backpressure_waits_{0};
   // Telemetry sampling tick for enqueue() (plain: single producer thread

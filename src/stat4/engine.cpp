@@ -39,6 +39,7 @@ Stat4Engine::Stat4Engine(OverflowPolicy policy) : policy_(policy) {}
 DistId Stat4Engine::add_freq_dist(std::size_t domain_size) {
   DistSlot s;
   s.dist = std::make_unique<FreqDist>(domain_size, policy_);
+  invalidate_resolved();
   dists_.push_back(std::move(s));
   return static_cast<DistId>(dists_.size() - 1);
 }
@@ -47,6 +48,7 @@ DistId Stat4Engine::add_sliding_freq_dist(std::size_t domain_size,
                                           std::size_t window) {
   DistSlot s;
   s.dist = std::make_unique<SlidingFreqDist>(domain_size, window, policy_);
+  invalidate_resolved();
   dists_.push_back(std::move(s));
   return static_cast<DistId>(dists_.size() - 1);
 }
@@ -58,6 +60,7 @@ DistId Stat4Engine::add_interval_window(std::size_t num_intervals,
   s.k_sigma = k_sigma;
   s.dist = std::make_unique<IntervalWindow>(num_intervals, interval_len,
                                             k_sigma, policy_);
+  invalidate_resolved();
   dists_.push_back(std::move(s));
   return static_cast<DistId>(dists_.size() - 1);
 }
@@ -65,6 +68,7 @@ DistId Stat4Engine::add_interval_window(std::size_t num_intervals,
 DistId Stat4Engine::add_value_stats() {
   DistSlot s;
   s.dist = std::make_unique<RunningStats>(policy_);
+  invalidate_resolved();
   dists_.push_back(std::move(s));
   return static_cast<DistId>(dists_.size() - 1);
 }
@@ -186,6 +190,7 @@ void Stat4Engine::rearm(DistId id) { slot(id).latched = false; }
 
 BindingId Stat4Engine::add_binding(const BindingEntry& entry) {
   slot(entry.dist);  // validate the target exists
+  invalidate_resolved();
   bindings_.emplace_back(entry);
   return static_cast<BindingId>(bindings_.size() - 1);
 }
@@ -195,6 +200,7 @@ void Stat4Engine::modify_binding(BindingId id, const BindingEntry& entry) {
     throw UsageError("stat4: unknown binding id");
   }
   slot(entry.dist);
+  invalidate_resolved();
   bindings_[id] = entry;
 }
 
@@ -202,6 +208,7 @@ void Stat4Engine::remove_binding(BindingId id) {
   if (id >= bindings_.size() || !bindings_[id].has_value()) {
     throw UsageError("stat4: unknown binding id");
   }
+  invalidate_resolved();
   bindings_[id].reset();
 }
 
@@ -213,9 +220,9 @@ std::size_t Stat4Engine::active_bindings() const noexcept {
   return n;
 }
 
-void Stat4Engine::apply(const BindingEntry& b, const PacketFields& pkt) {
+void Stat4Engine::apply(const BindingEntry& b, DistSlot& s,
+                        const PacketFields& pkt) {
   const Value v = b.extractor.extract(pkt);
-  DistSlot& s = slot(b.dist);
   switch (b.kind) {
     case UpdateKind::kFrequencyObserve: {
       Count total = 0;
@@ -266,6 +273,16 @@ void Stat4Engine::apply(const BindingEntry& b, const PacketFields& pkt) {
   }
 }
 
+void Stat4Engine::refresh_resolved() {
+  resolved_.clear();
+  for (const auto& b : bindings_) {
+    if (b.has_value() && b->enabled) {
+      resolved_.push_back(ResolvedBinding{&*b, &dists_[b->dist]});
+    }
+  }
+  resolved_gen_ = mutation_gen_;
+}
+
 void Stat4Engine::process(const PacketFields& pkt) {
   // Per-packet cost: one plain increment + compare on a member the owning
   // thread already has in cache.  The shared striped counter sees one RMW
@@ -279,17 +296,44 @@ void Stat4Engine::process(const PacketFields& pkt) {
         EngineMetrics::get().packets.add(t_tick_);
         t_tick_ = 0;
       })
+  if (resolved_gen_ != mutation_gen_) refresh_resolved();
   last_time_ = pkt.timestamp;
-  for (const auto& b : bindings_) {
-    if (b.has_value() && b->enabled && b->match.matches(pkt)) {
-      apply(*b, pkt);
-    }
+  for (const ResolvedBinding& rb : resolved_) {
+    if (rb.entry->match.matches(pkt)) apply(*rb.entry, *rb.slot, pkt);
   }
   STAT4_TELEMETRY_ONLY(
       if (t_sampled) {
         EngineMetrics::get().process_ns.record(telemetry::now_ns() -
                                                t_start);
       })
+}
+
+void Stat4Engine::process_batch(const PacketFields* pkts, std::size_t n) {
+  if (n == 0) return;
+  STAT4_TELEMETRY_ONLY(
+      static telemetry::Histogram& t_batch =
+          telemetry::MetricsRegistry::global().histogram(
+              "stat4.engine.batch_size");
+      t_batch.record(n);
+      // Same aggregate accounting as the scalar tick: publish whole
+      // kPacketBatch multiples, keep the residue in the plain member.
+      const std::uint64_t t_total = t_tick_ + n;
+      if (t_total >= kPacketBatch) {
+        EngineMetrics::get().packets.add(t_total - (t_total % kPacketBatch));
+      }
+      t_tick_ = static_cast<std::uint32_t>(t_total % kPacketBatch);)
+  if (resolved_gen_ != mutation_gen_) refresh_resolved();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PacketFields& pkt = pkts[i];
+    last_time_ = pkt.timestamp;
+    for (const ResolvedBinding& rb : resolved_) {
+      if (rb.entry->match.matches(pkt)) apply(*rb.entry, *rb.slot, pkt);
+    }
+    // An alert sink may mutate bindings mid-batch (the drill-down
+    // controller re-binds on alert); the generation check makes the rest
+    // of the batch see the mutation exactly as a scalar loop would.
+    if (resolved_gen_ != mutation_gen_) [[unlikely]] refresh_resolved();
+  }
 }
 
 void Stat4Engine::advance_time(TimeNs now) {

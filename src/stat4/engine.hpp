@@ -108,6 +108,15 @@ class Stat4Engine {
   /// distributions, run enabled checks.  O(#bindings).
   void process(const PacketFields& pkt);
 
+  /// Process a contiguous run of packets.  Bit-exact against calling
+  /// process() once per packet, in order (tests/batch_differential_test.cpp
+  /// enforces this), but resolves the binding table → distribution mapping
+  /// once per batch instead of once per packet: the enabled bindings and
+  /// their target slots are flattened into a dense cache that is only
+  /// rebuilt when a binding or distribution mutation bumps the generation
+  /// counter.
+  void process_batch(const PacketFields* pkts, std::size_t n);
+
   /// Let time pass without traffic (closes interval windows).
   void advance_time(TimeNs now);
 
@@ -135,12 +144,25 @@ class Stat4Engine {
     unsigned k_sigma = 2;
   };
 
+  /// One entry of the binding-resolution cache: the enabled binding and its
+  /// pre-looked-up target slot.  Pointers stay valid until the next
+  /// structural mutation (which bumps mutation_gen_, forcing a rebuild).
+  struct ResolvedBinding {
+    const BindingEntry* entry = nullptr;
+    DistSlot* slot = nullptr;
+  };
+
   void emit(AlertKind kind, DistId id, Value value,
             const OutlierVerdict& verdict, TimeNs time);
-  void apply(const BindingEntry& b, const PacketFields& pkt);
+  void apply(const BindingEntry& b, DistSlot& s, const PacketFields& pkt);
   void ensure_interval_callback(DistId window_id);
   DistSlot& slot(DistId id);
   const DistSlot& slot(DistId id) const;
+  void refresh_resolved();
+  /// Every structural mutation (new distribution, binding add/modify/
+  /// remove) routes through here so stale ResolvedBinding pointers can
+  /// never be walked.
+  void invalidate_resolved() noexcept { ++mutation_gen_; }
 
   OverflowPolicy policy_;
   // Telemetry packet-batch tick (see process() in engine.cpp).  A plain
@@ -150,6 +172,9 @@ class Stat4Engine {
   std::uint32_t t_tick_ = 0;
   std::vector<DistSlot> dists_;
   std::vector<std::optional<BindingEntry>> bindings_;
+  std::vector<ResolvedBinding> resolved_;  ///< dense enabled-binding cache
+  std::uint64_t mutation_gen_ = 0;
+  std::uint64_t resolved_gen_ = ~std::uint64_t{0};  ///< != gen -> rebuild
   std::function<void(const Alert&)> alert_sink_;
   std::uint64_t alert_seq_ = 0;
   TimeNs last_time_ = 0;

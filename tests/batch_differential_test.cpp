@@ -1,0 +1,294 @@
+// Differential property test: the batched ingestion paths are bit-exact.
+//
+//   Stat4Engine::process_batch(pkts, n)  ≡  n × Stat4Engine::process(pkt)
+//   ShardedEngine(batch_size = k)        ≡  single-threaded Stat4Engine
+//
+// for batch sizes 1, 7, 64 and 4096 — deliberately including sizes that
+// are not divisors of the trace length, so interval-window flushes (the
+// only time-driven state transition) straddle batch boundaries: the trace
+// timestamps advance ~150 us per packet against a 1 ms interval, so a
+// window closes roughly every 7 packets, i.e. inside, at, and across every
+// batch boundary the parametrization produces.  Batching is an
+// amortization of the ingestion cost, never a semantic change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "runtime/sharded_engine.hpp"
+#include "stat4/stat4.hpp"
+
+namespace {
+
+using runtime::ShardedEngine;
+using stat4::Alert;
+using stat4::BindingEntry;
+using stat4::DistId;
+using stat4::kMillisecond;
+using stat4::PacketFields;
+using stat4::Stat4Engine;
+using stat4::TimeNs;
+
+/// Alert identity for multiset comparison (seq excluded: threading permutes
+/// cross-shard arrival order; the scalar-vs-batch comparison on a single
+/// engine keeps alerts in identical order anyway).
+using AlertKey = std::tuple<int, DistId, stat4::Value, bool, stat4::Accum,
+                            stat4::Accum, TimeNs>;
+
+AlertKey key_of(const Alert& a) {
+  return {static_cast<int>(a.kind), a.dist,          a.value,
+          a.verdict.is_outlier,     a.verdict.scaled_value,
+          a.verdict.threshold,      a.time};
+}
+
+std::vector<PacketFields> make_trace(std::uint64_t seed, std::size_t n) {
+  std::mt19937_64 rng(seed);
+  std::vector<PacketFields> trace;
+  trace.reserve(n);
+  TimeNs t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketFields pkt;
+    t += static_cast<TimeNs>(rng() % 300) * 1000;  // 0..300 us gaps
+    pkt.timestamp = t;
+    pkt.dst_ip = 0x0A000000u |
+                 (static_cast<std::uint32_t>(1 + rng() % 4) << 16) |
+                 static_cast<std::uint32_t>(rng() % 4096);
+    pkt.src_ip = static_cast<std::uint32_t>(rng());
+    pkt.src_port = static_cast<std::uint16_t>(rng() % 0xFFFF);
+    pkt.dst_port = static_cast<std::uint16_t>(rng() % 0xFFFF);
+    pkt.protocol = rng() % 2 == 0 ? 6 : 17;
+    pkt.length = 64 + static_cast<std::uint32_t>(rng() % 1400);
+    trace.push_back(pkt);
+  }
+  return trace;
+}
+
+/// One distribution of every kind, with checks armed, plus an interval
+/// window whose 1 ms interval guarantees time-driven flushes mid-trace.
+template <typename Engine>
+std::vector<DistId> configure(Engine& engine) {
+  std::vector<DistId> ids;
+  const DistId f = engine.add_freq_dist(64);
+  engine.enable_imbalance_check(f, 64);
+  engine.freq(f).attach_percentile(stat4::Percentile{90});
+  ids.push_back(f);
+
+  const DistId s = engine.add_sliding_freq_dist(32, 100);
+  engine.enable_imbalance_check(s, 64);
+  ids.push_back(s);
+
+  const DistId w = engine.add_interval_window(16, kMillisecond, 2);
+  engine.enable_spike_check(w, 4);
+  engine.enable_stall_check(w, 4);
+  ids.push_back(w);
+
+  const DistId v = engine.add_value_stats();
+  engine.enable_value_outlier_check(v, 32);
+  ids.push_back(v);
+
+  BindingEntry bf;
+  bf.dist = f;
+  bf.kind = stat4::UpdateKind::kFrequencyObserve;
+  bf.extractor.field = stat4::Field::kDstIp;
+  bf.extractor.mask = 63;
+  engine.add_binding(bf);
+
+  BindingEntry bs;
+  bs.dist = s;
+  bs.kind = stat4::UpdateKind::kFrequencyObserve;
+  bs.extractor.field = stat4::Field::kSrcPort;
+  bs.extractor.mask = 31;
+  bs.match.protocol = std::uint8_t{6};  // TCP only: exercises match misses
+  engine.add_binding(bs);
+
+  BindingEntry bw;
+  bw.dist = w;
+  bw.kind = stat4::UpdateKind::kIntervalCount;
+  bw.extractor.field = stat4::Field::kLength;
+  engine.add_binding(bw);
+
+  BindingEntry bv;
+  bv.dist = v;
+  bv.kind = stat4::UpdateKind::kValueSample;
+  bv.extractor.field = stat4::Field::kLength;
+  engine.add_binding(bv);
+  return ids;
+}
+
+void expect_same_stats(const stat4::RunningStats& a,
+                       const stat4::RunningStats& b, const char* what) {
+  EXPECT_EQ(a.n(), b.n()) << what;
+  EXPECT_EQ(a.xsum(), b.xsum()) << what;
+  EXPECT_EQ(a.xsumsq(), b.xsumsq()) << what;
+}
+
+void expect_equivalent(const Stat4Engine& ref, const Stat4Engine& got,
+                       const std::vector<DistId>& ids) {
+  EXPECT_EQ(got.freq(ids[0]).frequencies(), ref.freq(ids[0]).frequencies());
+  EXPECT_EQ(got.freq(ids[0]).total(), ref.freq(ids[0]).total());
+  expect_same_stats(got.freq(ids[0]).stats(), ref.freq(ids[0]).stats(),
+                    "freq");
+  EXPECT_EQ(got.freq(ids[0]).percentile(0).position(),
+            ref.freq(ids[0]).percentile(0).position());
+
+  EXPECT_EQ(got.sliding(ids[1]).total(), ref.sliding(ids[1]).total());
+  EXPECT_EQ(got.sliding(ids[1]).distinct(), ref.sliding(ids[1]).distinct());
+  expect_same_stats(got.sliding(ids[1]).stats(), ref.sliding(ids[1]).stats(),
+                    "sliding");
+
+  EXPECT_EQ(got.window(ids[2]).history(), ref.window(ids[2]).history());
+  EXPECT_EQ(got.window(ids[2]).completed(), ref.window(ids[2]).completed());
+  EXPECT_EQ(got.window(ids[2]).current_count(),
+            ref.window(ids[2]).current_count());
+  expect_same_stats(got.window(ids[2]).stats(), ref.window(ids[2]).stats(),
+                    "window");
+
+  expect_same_stats(got.values(ids[3]), ref.values(ids[3]), "values");
+}
+
+class BatchDifferential
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(BatchDifferential, ProcessBatchMatchesScalar) {
+  const auto [seed, batch] = GetParam();
+  const auto trace = make_trace(seed, 10000);
+
+  Stat4Engine ref;
+  const auto ids = configure(ref);
+  std::vector<AlertKey> ref_alerts;
+  ref.set_alert_sink([&](const Alert& a) { ref_alerts.push_back(key_of(a)); });
+  for (const auto& pkt : trace) ref.process(pkt);
+
+  Stat4Engine got;
+  configure(got);
+  std::vector<AlertKey> got_alerts;
+  got.set_alert_sink([&](const Alert& a) { got_alerts.push_back(key_of(a)); });
+  for (std::size_t i = 0; i < trace.size(); i += batch) {
+    got.process_batch(&trace[i], std::min(batch, trace.size() - i));
+  }
+
+  expect_equivalent(ref, got, ids);
+  // Same engine type, same order: the alert streams must match exactly,
+  // not just as multisets.
+  EXPECT_EQ(got_alerts, ref_alerts);
+  EXPECT_EQ(got.alerts_emitted(), ref.alerts_emitted());
+  // The trace must actually exercise window flushes straddling batches.
+  EXPECT_GT(ref.window(ids[2]).completed(), 100u)
+      << "trace too short to straddle batch boundaries with window flushes";
+}
+
+TEST_P(BatchDifferential, ShardedBatchedMatchesScalar) {
+  const auto [seed, batch] = GetParam();
+  const auto trace = make_trace(seed, 10000);
+
+  Stat4Engine ref;
+  const auto ids = configure(ref);
+  std::vector<AlertKey> ref_alerts;
+  ref.set_alert_sink([&](const Alert& a) { ref_alerts.push_back(key_of(a)); });
+  for (const auto& pkt : trace) ref.process(pkt);
+  std::sort(ref_alerts.begin(), ref_alerts.end());
+
+  ShardedEngine sharded(3, stat4::OverflowPolicy::kThrow,
+                        /*queue_capacity=*/256, batch);
+  configure(sharded);
+  std::vector<AlertKey> got_alerts;
+  sharded.set_alert_sink(
+      [&](const Alert& a) { got_alerts.push_back(key_of(a)); });
+  sharded.start();
+  for (const auto& pkt : trace) sharded.submit(pkt);
+  sharded.stop();
+  std::sort(got_alerts.begin(), got_alerts.end());
+
+  EXPECT_EQ(sharded.freq(ids[0]).frequencies(),
+            ref.freq(ids[0]).frequencies());
+  expect_same_stats(sharded.freq(ids[0]).stats(), ref.freq(ids[0]).stats(),
+                    "freq");
+  EXPECT_EQ(sharded.sliding(ids[1]).total(), ref.sliding(ids[1]).total());
+  EXPECT_EQ(sharded.window(ids[2]).history(), ref.window(ids[2]).history());
+  EXPECT_EQ(sharded.window(ids[2]).completed(),
+            ref.window(ids[2]).completed());
+  expect_same_stats(sharded.values(ids[3]), ref.values(ids[3]), "values");
+  EXPECT_EQ(got_alerts, ref_alerts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSizes, BatchDifferential,
+    ::testing::Combine(::testing::Values(1u, 42u),
+                       ::testing::Values(std::size_t{1}, std::size_t{7},
+                                         std::size_t{64},
+                                         std::size_t{4096})));
+
+// A structural mutation between batches (a new binding) must invalidate the
+// engine's resolved-binding cache: packets after the mutation flow through
+// the new binding exactly as in the scalar reference.
+TEST(BatchDifferential, MidStreamBindingAddInvalidatesCache) {
+  const auto trace = make_trace(7, 4000);
+
+  BindingEntry extra;
+  extra.kind = stat4::UpdateKind::kFrequencyObserve;
+  extra.extractor.field = stat4::Field::kDstIp;
+  extra.extractor.mask = 63;
+  extra.extractor.shift = 8;
+
+  Stat4Engine ref;
+  const auto ids = configure(ref);
+  for (std::size_t i = 0; i < 2000; ++i) ref.process(trace[i]);
+  extra.dist = ids[0];
+  ref.add_binding(extra);
+  for (std::size_t i = 2000; i < trace.size(); ++i) ref.process(trace[i]);
+
+  Stat4Engine got;
+  const auto gids = configure(got);
+  got.process_batch(trace.data(), 2000);  // cache is hot now
+  extra.dist = gids[0];
+  got.add_binding(extra);
+  got.process_batch(trace.data() + 2000, trace.size() - 2000);
+
+  EXPECT_EQ(got.freq(gids[0]).frequencies(), ref.freq(ids[0]).frequencies());
+  EXPECT_EQ(got.freq(gids[0]).total(), ref.freq(ids[0]).total());
+}
+
+// Disabling a binding via modify_binding must also drop it from the cache.
+TEST(BatchDifferential, MidStreamBindingDisableInvalidatesCache) {
+  const auto trace = make_trace(11, 4000);
+
+  Stat4Engine ref;
+  const auto ids = configure(ref);
+  for (std::size_t i = 0; i < 2000; ++i) ref.process(trace[i]);
+  const stat4::Count total_at_switch = ref.freq(ids[0]).total();
+
+  Stat4Engine got;
+  const auto gids = configure(got);
+  got.process_batch(trace.data(), 2000);
+  ASSERT_EQ(got.freq(gids[0]).total(), total_at_switch);
+
+  // Binding 0 feeds the freq dist in configure(); disable it in both.
+  ref.remove_binding(0);
+  got.remove_binding(0);
+  for (std::size_t i = 2000; i < trace.size(); ++i) ref.process(trace[i]);
+  got.process_batch(trace.data() + 2000, trace.size() - 2000);
+
+  EXPECT_EQ(got.freq(gids[0]).total(), total_at_switch)
+      << "disabled binding still fed the distribution on the batch path";
+  EXPECT_EQ(got.freq(gids[0]).frequencies(), ref.freq(ids[0]).frequencies());
+}
+
+TEST(BatchDifferential, EmptyAndSingletonBatches) {
+  const auto trace = make_trace(3, 64);
+  Stat4Engine ref;
+  const auto ids = configure(ref);
+  for (const auto& pkt : trace) ref.process(pkt);
+
+  Stat4Engine got;
+  const auto gids = configure(got);
+  got.process_batch(trace.data(), 0);  // no-op
+  for (const auto& pkt : trace) got.process_batch(&pkt, 1);
+  expect_equivalent(ref, got, ids);
+  EXPECT_EQ(gids, ids);
+}
+
+}  // namespace

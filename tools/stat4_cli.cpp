@@ -8,6 +8,9 @@
 // routed across the fleet by destination-address hash, exercising the
 // threaded pipeline the way an ECMP fabric would spread flows over edge
 // switches.  Digests are printed as they reach the controller thread.
+// `--batch-size N` sets how many packets each worker drains from its ring
+// per atomic handshake (the FleetRunner drain burst, default 64); larger
+// bursts amortize synchronization, smaller ones cut per-packet latency.
 //
 // `--metrics[=FILE]` turns on the telemetry reporter: the process-wide
 // metrics registry (packet counts, ring occupancy, digest latency, ...) is
@@ -47,10 +50,11 @@ std::unique_ptr<telemetry::Reporter> start_metrics_reporter(
 }
 
 struct Fleet {
-  explicit Fleet(std::size_t n) {
+  Fleet(std::size_t n, std::size_t batch_size) {
     runtime::FleetRunner::Config cfg;
     cfg.queue_capacity = 4096;
     cfg.policy = runtime::FleetRunner::Policy::kBlock;  // CLI replay: lossless
+    cfg.drain_burst = batch_size;
     runner = std::make_unique<runtime::FleetRunner>(cfg);
     for (std::size_t i = 0; i < n; ++i) {
       apps.push_back(std::make_unique<stat4p4::MonitorApp>());
@@ -80,8 +84,8 @@ struct Fleet {
   std::vector<std::unique_ptr<cli::RuntimeCli>> shells;
 };
 
-int run_fleet(std::size_t threads) {
-  Fleet fleet(threads);
+int run_fleet(std::size_t threads, std::size_t batch_size) {
+  Fleet fleet(threads, batch_size);
   std::cout << "stat4 runtime CLI — fleet mode, " << threads
             << " switch threads; 'help' for commands\n";
   std::string line;
@@ -187,6 +191,7 @@ int run_fleet(std::size_t threads) {
 
 int main(int argc, char** argv) {
   std::size_t threads = 1;
+  std::size_t batch_size = 64;
   bool metrics = false;
   std::string metrics_path;
   std::uint64_t metrics_interval_ms = 1000;
@@ -194,6 +199,13 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--batch-size" && i + 1 < argc) {
+      batch_size =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (batch_size == 0) {
+        std::cerr << "stat4_cli: --batch-size must be >= 1\n";
+        return 2;
+      }
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -204,8 +216,8 @@ int main(int argc, char** argv) {
       metrics_interval_ms = std::strtoull(argv[++i], nullptr, 10);
       if (metrics_interval_ms == 0) metrics_interval_ms = 1;
     } else {
-      std::cerr << "usage: stat4_cli [--threads N] [--metrics[=FILE]] "
-                   "[--metrics-interval-ms N]\n";
+      std::cerr << "usage: stat4_cli [--threads N] [--batch-size N] "
+                   "[--metrics[=FILE]] [--metrics-interval-ms N]\n";
       return 2;
     }
   }
@@ -222,7 +234,7 @@ int main(int argc, char** argv) {
   // The reporter outlives the fleet/shell scope below; its destructor
   // (stop()) writes the final snapshot after the workers are joined.
 
-  if (threads > 1) return run_fleet(threads);
+  if (threads > 1) return run_fleet(threads, batch_size);
 
   stat4p4::MonitorApp app;
   cli::RuntimeCli shell(app);
