@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   std::string p4;
   if (echo) {
     stat4p4::EchoApp app;
-    p4 = p4gen::emit_p4(app.sw(), {"stat4_echo", true});
+    p4 = p4gen::emit_p4(app.sw(), {"stat4_echo", true, {}});
   } else {
     stat4p4::MonitorApp app;
     app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     per24.dist = 1;
     per24.shift = 8;
     app.install_freq_binding(per24);
-    p4 = p4gen::emit_p4(app.sw(), {"stat4_case_study", true});
+    p4 = p4gen::emit_p4(app.sw(), {"stat4_case_study", true, {}});
   }
 
   if (path != nullptr) {

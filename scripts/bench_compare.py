@@ -15,6 +15,14 @@ CI runners their timings are scheduler noise, not code.  Use
 --include-threaded to gate on them too (sensible on quiet dedicated
 hardware).
 
+With --static the inputs are `stat4_opt --json` reports instead: for every
+app present in BOTH files, the post-optimization static costs
+(instructions, stages, temps, registers, state_bytes) are compared, and
+any axis that GREW by more than the threshold fails the gate.  Static
+costs are deterministic, so the default threshold is 0 in this mode —
+any growth is a real change someone must bless by regenerating the
+baseline (scripts/bench.sh writes BENCH_static_costs.json).
+
 Exit codes: 0 ok, 1 regression past threshold, 2 usage/input error.
 """
 
@@ -55,6 +63,72 @@ def is_threaded(name):
     return any(p.match(name) for p in THREADED_PATTERNS)
 
 
+STATIC_AXES = ("instructions", "stages", "temps", "registers", "state_bytes")
+
+
+def load_static_costs(path):
+    """Returns {"app/axis": after_value} from a stat4_opt --json report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for entry in doc if isinstance(doc, list) else []:
+        app = entry.get("app")
+        cost = entry.get("cost", {})
+        if not app:
+            continue
+        for axis in STATIC_AXES:
+            after = cost.get(axis, {}).get("after")
+            if isinstance(after, (int, float)):
+                out[f"{app}/{axis}"] = float(after)
+    if not out:
+        print(f"bench_compare: no static costs in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def compare_static(args):
+    base = load_static_costs(args.baseline)
+    cand = load_static_costs(args.candidate)
+    limit = 1.0 + args.threshold / 100.0
+    failures = []
+    width = max(len(n) for n in set(base) | set(cand))
+    print(f"{'app/axis':<{width}}  {'base':>12}  {'cand':>12}  status")
+    for name in sorted(set(base) | set(cand)):
+        if name not in base or name not in cand:
+            status = "new" if name not in base else "retired"
+            v = cand.get(name, base.get(name))
+            print(f"{name:<{width}}  {'':>12}  {v:12.0f}  {status}")
+            continue
+        b, c = base[name], cand[name]
+        if c > b * limit:
+            status = "FAIL"
+            failures.append(name)
+        elif c < b:
+            status = "better"
+        else:
+            status = "ok"
+        print(f"{name:<{width}}  {b:12.0f}  {c:12.0f}  {status}")
+    if failures:
+        print(
+            f"\nbench_compare: {len(failures)} static cost(s) grew more than "
+            f"{args.threshold:.0f}% vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name in failures:
+            print(f"  {name}: {base[name]:.0f} -> {cand[name]:.0f}",
+                  file=sys.stderr)
+        print("regenerate the baseline if intended: "
+              "build/tools/stat4_opt --app=all --json > BENCH_static_costs.json",
+              file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: static costs ok ({args.threshold:.0f}% threshold)")
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed baseline JSON")
@@ -62,16 +136,28 @@ def main(argv=None):
     ap.add_argument(
         "--threshold",
         type=float,
-        default=25.0,
+        default=None,
         metavar="PCT",
-        help="max allowed slowdown in percent (default: 25)",
+        help="max allowed slowdown in percent (default: 25, or 0 with "
+        "--static)",
     )
     ap.add_argument(
         "--include-threaded",
         action="store_true",
         help="gate on multi-threaded fan-out benchmarks too",
     )
+    ap.add_argument(
+        "--static",
+        action="store_true",
+        help="inputs are stat4_opt --json static-cost reports; gate on "
+        "post-optimization cost growth (threshold defaults to 0)",
+    )
     args = ap.parse_args(argv)
+
+    if args.threshold is None:
+        args.threshold = 0.0 if args.static else 25.0
+    if args.static:
+        return compare_static(args)
 
     base = load_benchmarks(args.baseline)
     cand = load_benchmarks(args.candidate)

@@ -50,6 +50,10 @@ if command -v clang-tidy >/dev/null 2>&1; then
     fi
     if ((${#files[@]})); then
       echo "=== clang-tidy over ${#files[@]} file(s) ==="
+      echo "--- enabled checks ---"
+      clang-tidy -p "$build_dir" --list-checks "${files[0]}" 2>/dev/null \
+        | sed -n '/^Enabled checks:/,$p'
+      echo "----------------------"
       if ! clang-tidy -p "$build_dir" --quiet "${files[@]}"; then
         failures+=("clang-tidy")
       fi

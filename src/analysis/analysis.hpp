@@ -1,10 +1,13 @@
 // Umbrella header for the Stat4 static verifier.
 #pragma once
 
-#include "analysis/catalog.hpp"      // IWYU pragma: export
-#include "analysis/constraints.hpp"  // IWYU pragma: export
-#include "analysis/diagnostics.hpp"  // IWYU pragma: export
-#include "analysis/hazards.hpp"      // IWYU pragma: export
-#include "analysis/interval.hpp"     // IWYU pragma: export
-#include "analysis/overflow.hpp"     // IWYU pragma: export
-#include "analysis/verifier.hpp"     // IWYU pragma: export
+#include "analysis/catalog.hpp"       // IWYU pragma: export
+#include "analysis/constraints.hpp"   // IWYU pragma: export
+#include "analysis/dataflow.hpp"      // IWYU pragma: export
+#include "analysis/diagnostics.hpp"   // IWYU pragma: export
+#include "analysis/hazards.hpp"       // IWYU pragma: export
+#include "analysis/interval.hpp"      // IWYU pragma: export
+#include "analysis/overflow.hpp"      // IWYU pragma: export
+#include "analysis/pass_manager.hpp"  // IWYU pragma: export
+#include "analysis/passes.hpp"        // IWYU pragma: export
+#include "analysis/verifier.hpp"      // IWYU pragma: export

@@ -47,8 +47,8 @@ FreqBindingSpec syn_flood_binding() {
 }
 
 template <typename App>
-std::shared_ptr<const p4sim::P4Switch> hold(std::shared_ptr<App> app) {
-  const p4sim::P4Switch* sw = &app->sw();
+std::shared_ptr<p4sim::P4Switch> hold(std::shared_ptr<App> app) {
+  p4sim::P4Switch* sw = &app->sw();
   return {std::move(app), sw};
 }
 
@@ -73,6 +73,11 @@ const std::vector<ExampleApp>& example_apps() {
 }
 
 std::shared_ptr<const p4sim::P4Switch> build_example(const std::string& name) {
+  return build_example_mutable(name);
+}
+
+std::shared_ptr<p4sim::P4Switch> build_example_mutable(
+    const std::string& name) {
   if (name == "echo") {
     return hold(std::make_shared<stat4p4::EchoApp>());
   }

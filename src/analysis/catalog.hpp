@@ -28,4 +28,9 @@ struct ExampleApp {
 [[nodiscard]] std::shared_ptr<const p4sim::P4Switch> build_example(
     const std::string& name);
 
+/// Like build_example, but the switch is mutable — the handle the dataflow
+/// optimizer (stat4_opt, the optimizer tests) rewrites in place.
+[[nodiscard]] std::shared_ptr<p4sim::P4Switch> build_example_mutable(
+    const std::string& name);
+
 }  // namespace analysis

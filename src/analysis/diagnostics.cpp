@@ -68,6 +68,22 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "floating-point type in emitted P4 source"},
       {"S4-SRC-003", Severity::kError,
        "loop construct in emitted P4 source (P4 control flow is loop-free)"},
+      // ---- dataflow optimizer (pass_manager.cpp) ---------------------------
+      {"S4-OPT-001", Severity::kNote,
+       "constant propagation folded or simplified instructions"},
+      {"S4-OPT-002", Severity::kNote,
+       "dead-code elimination removed or renumbered instructions"},
+      {"S4-OPT-003", Severity::kNote,
+       "common-subexpression elimination reused earlier results"},
+      {"S4-OPT-004", Severity::kNote,
+       "strength reduction rewrote multiplications as shifts"},
+      {"S4-OPT-005", Severity::kNote,
+       "stage packing merged adjacent non-conflicting stages"},
+      {"S4-OPT-006", Severity::kWarning,
+       "temps cross a stage boundary; zero-seeding and temp compaction are "
+       "suppressed for the action"},
+      {"S4-OPT-007", Severity::kWarning,
+       "optimizer stopped before reaching a fixpoint (iteration budget)"},
   };
   return kRules;
 }

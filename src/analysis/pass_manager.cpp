@@ -1,0 +1,390 @@
+#include "analysis/pass_manager.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/dataflow.hpp"
+#include "p4sim/register_file.hpp"
+#include "p4sim/table.hpp"
+
+namespace analysis {
+
+using p4sim::ActionId;
+using p4sim::P4Switch;
+using p4sim::Program;
+using p4sim::RegisterId;
+
+namespace {
+
+/// Which of the canonical passes are enabled.
+struct PassSet {
+  bool constprop = false;
+  bool strength = false;
+  bool cse = false;
+  bool dce = false;
+  bool pack = false;
+};
+
+PassSet resolve_passes(const std::vector<std::string>& names) {
+  PassSet set;
+  if (names.empty()) {
+    set.constprop = set.strength = set.cse = set.dce = set.pack = true;
+    return set;
+  }
+  for (const std::string& n : names) {
+    if (n == "constprop") {
+      set.constprop = true;
+    } else if (n == "strength") {
+      set.strength = true;
+    } else if (n == "cse") {
+      set.cse = true;
+    } else if (n == "dce") {
+      set.dce = true;
+    } else if (n == "pack") {
+      set.pack = true;
+    } else {
+      throw std::invalid_argument("unknown pass: " + n);
+    }
+  }
+  return set;
+}
+
+const char* rule_for_pass(const std::string& pass) {
+  if (pass == "constprop") return "S4-OPT-001";
+  if (pass == "dce") return "S4-OPT-002";
+  if (pass == "cse") return "S4-OPT-003";
+  if (pass == "strength") return "S4-OPT-004";
+  return "S4-OPT-005";  // pack
+}
+
+/// Cross-stage temp context for every registered action, computed
+/// pessimistically: a table stage may dispatch ANY action (the controller
+/// can table_add at runtime), so each table stage contributes the union of
+/// all actions' written / upward-exposed sets at its pipeline position.
+struct ActionContexts {
+  std::vector<PassContext> ctx;
+  std::vector<bool> shared;  ///< temps genuinely cross this action's bounds
+};
+
+ActionContexts compute_contexts(const P4Switch& sw) {
+  const std::size_t n = sw.action_count();
+  std::vector<ProgramFacts> facts;
+  facts.reserve(n);
+  TempSet all_written;
+  TempSet all_exposed;
+  for (ActionId id = 0; id < n; ++id) {
+    facts.push_back(collect_facts(sw.action(id)));
+    all_written |= facts.back().written;
+    all_exposed |= facts.back().upward_exposed;
+  }
+
+  const auto& pipe = sw.pipeline();
+  const std::size_t stages = pipe.size();
+  const TempSet empty;
+  auto stage_written = [&](std::size_t si) -> const TempSet& {
+    if (pipe[si].table) return all_written;
+    return pipe[si].action ? facts[*pipe[si].action].written : empty;
+  };
+  auto stage_exposed = [&](std::size_t si) -> const TempSet& {
+    if (pipe[si].table) return all_exposed;
+    return pipe[si].action ? facts[*pipe[si].action].upward_exposed : empty;
+  };
+
+  // prefix[si] = temps some stage BEFORE si may write;
+  // suffix[si] = temps some stage AT OR AFTER si may read before writing.
+  std::vector<TempSet> prefix(stages + 1);
+  std::vector<TempSet> suffix(stages + 1);
+  for (std::size_t si = 0; si < stages; ++si) {
+    prefix[si + 1] = prefix[si] | stage_written(si);
+  }
+  for (std::size_t si = stages; si-- > 0;) {
+    suffix[si] = suffix[si + 1] | stage_exposed(si);
+  }
+
+  ActionContexts out;
+  out.ctx.resize(n);
+  out.shared.assign(n, false);
+  for (std::size_t si = 0; si < stages; ++si) {
+    if (pipe[si].action) {
+      PassContext& c = out.ctx[*pipe[si].action];
+      c.dirty_on_entry |= prefix[si];
+      c.live_out |= suffix[si + 1];
+    }
+    if (pipe[si].table) {
+      for (ActionId id = 0; id < n; ++id) {
+        out.ctx[id].dirty_on_entry |= prefix[si];
+        out.ctx[id].live_out |= suffix[si + 1];
+      }
+    }
+  }
+  for (ActionId id = 0; id < n; ++id) {
+    // "Shared" = the context actually constrains rewrites: the action reads
+    // temps an earlier stage may have written, or a later stage reads temps
+    // past this one.  Self-contained builder programs never trip this.
+    const bool reads_dirty =
+        (facts[id].upward_exposed & out.ctx[id].dirty_on_entry).any();
+    out.shared[id] = reads_dirty || out.ctx[id].live_out.any();
+  }
+  return out;
+}
+
+void add_register_costs(const P4Switch& sw, const std::set<RegisterId>& regs,
+                        CostSummary& cost) {
+  cost.registers = regs.size();
+  for (const RegisterId r : regs) {
+    const p4sim::RegisterArrayInfo& info = sw.registers().info(r);
+    cost.state_bytes += static_cast<std::size_t>(info.size) *
+                        ((static_cast<std::size_t>(info.width_bits) + 7) / 8);
+  }
+}
+
+void note_pass_totals(
+    const std::map<std::pair<std::string, std::string>, std::size_t>& counts,
+    DiagnosticEngine& diags) {
+  for (const auto& [key, n] : counts) {
+    const auto& [pass, program] = key;
+    SourceLoc loc;
+    loc.program = program;
+    diags.report(rule_for_pass(pass), Severity::kNote,
+                 pass + " applied " + std::to_string(n) + " rewrite(s)", loc);
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& pass_names() {
+  static const std::vector<std::string> kNames = {"constprop", "strength",
+                                                  "cse", "dce", "pack"};
+  return kNames;
+}
+
+std::size_t OptimizeResult::total_rewrites() const noexcept {
+  std::size_t total = 0;
+  for (const PassStats& s : pass_stats) total += s.rewrites;
+  return total;
+}
+
+CostSummary measure_cost(const P4Switch& sw) {
+  CostSummary cost;
+  cost.stages = sw.pipeline().size();
+
+  std::set<ActionId> reachable;
+  for (const P4Switch::Stage& stage : sw.pipeline()) {
+    if (stage.action) reachable.insert(*stage.action);
+    if (stage.table) {
+      const p4sim::MatchActionTable& table = sw.table(*stage.table);
+      reachable.insert(table.default_action());
+      for (const p4sim::TableEntry* entry : table.live_entries()) {
+        reachable.insert(entry->action);
+      }
+    }
+  }
+
+  std::set<RegisterId> regs;
+  for (const ActionId id : reachable) {
+    const Program& program = sw.action(id);
+    cost.instructions += program.code.size();
+    const ProgramFacts facts = collect_facts(program);
+    cost.temps = std::max(cost.temps, facts.max_temp_plus_one);
+    regs.insert(facts.regs_read.begin(), facts.regs_read.end());
+    regs.insert(facts.regs_written.begin(), facts.regs_written.end());
+  }
+  add_register_costs(sw, regs, cost);
+  return cost;
+}
+
+CostSummary measure_cost(const Program& program) {
+  CostSummary cost;
+  cost.instructions = program.code.size();
+  cost.stages = 1;
+  const ProgramFacts facts = collect_facts(program);
+  cost.temps = facts.max_temp_plus_one;
+  std::set<RegisterId> regs = facts.regs_read;
+  regs.insert(facts.regs_written.begin(), facts.regs_written.end());
+  cost.registers = regs.size();
+  return cost;
+}
+
+OptimizeResult optimize_switch(P4Switch& sw,
+                               const PassManagerOptions& options) {
+  const PassSet enabled = resolve_passes(options.passes);
+  OptimizeResult res;
+  res.before = measure_cost(sw);
+
+  // (pass, program) -> cumulative rewrites, for the S4-OPT notes.
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  std::map<std::string, std::size_t> totals;
+  std::set<std::string> warned_shared;
+  auto account = [&](const char* pass, const std::string& program,
+                     std::size_t n) {
+    if (n == 0) return;
+    counts[{pass, program}] += n;
+    totals[pass] += n;
+  };
+
+  for (std::size_t round = 0; round < options.max_iterations; ++round) {
+    const ActionContexts actx = compute_contexts(sw);
+    for (ActionId id = 0; id < sw.action_count(); ++id) {
+      if (!actx.shared[id]) continue;
+      const std::string& name = sw.action(id).name;
+      if (!warned_shared.insert(name).second) continue;
+      SourceLoc loc;
+      loc.program = name;
+      res.diags.report(
+          "S4-OPT-006", Severity::kWarning,
+          "temps cross this action's stage boundary; constant seeding and "
+          "temp compaction are suppressed",
+          loc);
+    }
+
+    std::size_t round_rewrites = 0;
+    for (ActionId id = 0; id < sw.action_count(); ++id) {
+      Program program = sw.action(id);  // work on a copy, install on change
+      const PassContext& ctx = actx.ctx[id];
+      std::size_t n = 0;
+      if (enabled.constprop) {
+        const std::size_t k = run_constprop(program, ctx);
+        account("constprop", program.name, k);
+        n += k;
+      }
+      if (enabled.strength) {
+        const std::size_t k = run_strength_reduction(program, ctx);
+        account("strength", program.name, k);
+        n += k;
+      }
+      if (enabled.cse) {
+        const std::size_t k = run_cse(program, ctx);
+        account("cse", program.name, k);
+        n += k;
+      }
+      if (enabled.dce) {
+        const std::size_t k = run_dce(program, ctx);
+        account("dce", program.name, k);
+        n += k;
+      }
+      if (n != 0) sw.replace_action(id, std::move(program));
+      round_rewrites += n;
+    }
+    if (enabled.pack) {
+      const std::size_t k = run_stage_packing(sw, options.profile);
+      account("pack", sw.name(), k);
+      round_rewrites += k;
+    }
+    ++res.iterations;
+    if (round_rewrites == 0) {
+      res.fixpoint = true;
+      break;
+    }
+  }
+
+  if (!res.fixpoint) {
+    res.diags.report("S4-OPT-007", Severity::kWarning,
+                     "fixpoint not reached within " +
+                         std::to_string(options.max_iterations) +
+                         " iteration(s)",
+                     SourceLoc{});
+  }
+  note_pass_totals(counts, res.diags);
+  res.diags.sort();
+
+  for (const std::string& pass : pass_names()) {
+    const bool on = (pass == "constprop" && enabled.constprop) ||
+                    (pass == "strength" && enabled.strength) ||
+                    (pass == "cse" && enabled.cse) ||
+                    (pass == "dce" && enabled.dce) ||
+                    (pass == "pack" && enabled.pack);
+    if (on) res.pass_stats.push_back({pass, totals[pass]});
+  }
+  res.after = measure_cost(sw);
+  return res;
+}
+
+OptimizeResult optimize_program(Program& program,
+                                const PassManagerOptions& options) {
+  PassSet enabled = resolve_passes(options.passes);
+  enabled.pack = false;  // pipeline-level; meaningless for one program
+  OptimizeResult res;
+  res.before = measure_cost(program);
+
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  std::map<std::string, std::size_t> totals;
+  const PassContext ctx;  // standalone: zero on entry, nothing live out
+  auto account = [&](const char* pass, std::size_t n) {
+    if (n == 0) return;
+    counts[{pass, program.name}] += n;
+    totals[pass] += n;
+  };
+
+  for (std::size_t round = 0; round < options.max_iterations; ++round) {
+    std::size_t round_rewrites = 0;
+    if (enabled.constprop) {
+      const std::size_t k = run_constprop(program, ctx);
+      account("constprop", k);
+      round_rewrites += k;
+    }
+    if (enabled.strength) {
+      const std::size_t k = run_strength_reduction(program, ctx);
+      account("strength", k);
+      round_rewrites += k;
+    }
+    if (enabled.cse) {
+      const std::size_t k = run_cse(program, ctx);
+      account("cse", k);
+      round_rewrites += k;
+    }
+    if (enabled.dce) {
+      const std::size_t k = run_dce(program, ctx);
+      account("dce", k);
+      round_rewrites += k;
+    }
+    ++res.iterations;
+    if (round_rewrites == 0) {
+      res.fixpoint = true;
+      break;
+    }
+  }
+
+  if (!res.fixpoint) {
+    SourceLoc loc;
+    loc.program = program.name;
+    res.diags.report("S4-OPT-007", Severity::kWarning,
+                     "fixpoint not reached within " +
+                         std::to_string(options.max_iterations) +
+                         " iteration(s)",
+                     loc);
+  }
+  note_pass_totals(counts, res.diags);
+  res.diags.sort();
+
+  for (const std::string& pass : pass_names()) {
+    const bool on = (pass == "constprop" && enabled.constprop) ||
+                    (pass == "strength" && enabled.strength) ||
+                    (pass == "cse" && enabled.cse) ||
+                    (pass == "dce" && enabled.dce);
+    if (on) res.pass_stats.push_back({pass, totals[pass]});
+  }
+  res.after = measure_cost(program);
+  return res;
+}
+
+void render_cost_json(std::ostream& os, const CostSummary& before,
+                      const CostSummary& after) {
+  auto axis = [&os](const char* key, std::size_t b, std::size_t a,
+                    bool last = false) {
+    os << '"' << key << "\":{\"before\":" << b << ",\"after\":" << a << '}';
+    if (!last) os << ',';
+  };
+  os << '{';
+  axis("instructions", before.instructions, after.instructions);
+  axis("stages", before.stages, after.stages);
+  axis("temps", before.temps, after.temps);
+  axis("registers", before.registers, after.registers);
+  axis("state_bytes", before.state_bytes, after.state_bytes, true);
+  os << '}';
+}
+
+}  // namespace analysis

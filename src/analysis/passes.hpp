@@ -1,0 +1,78 @@
+// Transform passes over the p4sim IR.
+//
+// Each pass takes a Program plus its cross-stage PassContext and rewrites in
+// place, returning how many rewrites it applied (0 = already at this pass's
+// fixpoint).  Passes are semantics-preserving for ANY runtime table
+// configuration: they never change what an action computes, only how — so
+// an action rewritten here stays a valid dispatch target for entries the
+// controller installs later.  Stage packing is the one pipeline-level
+// transform; it adds a merged action and shrinks the stage list without
+// touching the original actions (which may still be table-dispatched).
+//
+// The PassManager (pass_manager.hpp) owns pass ordering, the fixpoint loop,
+// cross-stage context computation, and diagnostics.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/verifier.hpp"
+#include "p4sim/action.hpp"
+#include "p4sim/switch.hpp"
+
+namespace analysis {
+
+/// What the surrounding pipeline lets a pass assume about one program.
+/// Temps persist across stages within a packet, so:
+///   dirty_on_entry — temps an earlier stage may have written: NOT zero on
+///                    entry (everything else reads as 0, per-packet init);
+///   live_out       — temps a later stage may read before writing: must
+///                    hold their final values when the program exits.
+/// Both empty (the self-contained common case — every ProgramBuilder
+/// program defines temps before use) enables the full rewrite set,
+/// including dead-temp compaction.
+struct PassContext {
+  TempSet dirty_on_entry;
+  TempSet live_out;
+};
+
+/// Constant propagation + folding: forward constant lattice seeded with
+/// zero-initialized temps, pure all-constant instructions folded to kConst
+/// (evaluated with execute() semantics), kSelect with a known condition
+/// lowered to kMov, algebraic identities (x+0, x<<0, x&0, x*1, ...)
+/// simplified, and digests with a provably-false condition removed.
+std::size_t run_constprop(p4sim::Program& program, const PassContext& ctx);
+
+/// Local common-subexpression elimination by value numbering: operands are
+/// canonicalized to the earliest temp holding the same value (subsuming
+/// copy propagation), recomputations of an available expression become
+/// kMov, field/register loads participate with store-versioned keys plus
+/// store-to-load forwarding, and value-identical operand pairs collapse
+/// comparisons/selects (x-x, x==x, select(c,v,v)).  kParam keys on its
+/// index — within one execution the same index always yields the same word.
+std::size_t run_cse(p4sim::Program& program, const PassContext& ctx);
+
+/// Dead-code and dead-temp elimination: backward liveness seeded from
+/// ctx.live_out removes pure instructions whose result is never read (and
+/// no-op kMov t,t); when the context is self-contained, surviving temps are
+/// compacted to a dense prefix — shrinking the emitted P4 scratch struct
+/// and the fast path's per-packet zeroing span (scratch_words_).
+std::size_t run_dce(p4sim::Program& program, const PassContext& ctx);
+
+/// Strength reduction: kMul with a power-of-two constant operand becomes a
+/// kShl (exact under wrapping arithmetic), mul by 0/1 simplifies away —
+/// the rewrite that ports kMul programs to `hardware-nomul` targets.
+std::size_t run_strength_reduction(p4sim::Program& program,
+                                   const PassContext& ctx);
+
+/// Hazard-aware stage packing: merges adjacent direct-program stages whose
+/// guards agree (and whose first program cannot flip the shared guard) and
+/// whose register access sets are disjoint — concatenation is bit-exact
+/// because stages already share the packet's temp context, and register
+/// disjointness keeps the merged action free of new S4-HAZ multi-access
+/// findings.  The merged program is registered as a NEW action (originals
+/// stay valid dispatch targets); returns the number of merges.
+std::size_t run_stage_packing(p4sim::P4Switch& sw,
+                              const TargetProfile& profile);
+
+}  // namespace analysis

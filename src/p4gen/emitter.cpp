@@ -317,8 +317,11 @@ std::string emit_p4(const P4Switch& sw, const EmitOptions& options) {
      << " — generated by stat4cpp's P4 emitter from the validated\n"
      << "// p4sim pipeline \"" << sw.name() << "\".  Structure and\n"
      << "// arithmetic are one-to-one with the simulated, tested programs;\n"
-     << "// extern signatures may need adaptation to your p4c target.\n"
-     << "#include <core.p4>\n#include <v1model.p4>\n";
+     << "// extern signatures may need adaptation to your p4c target.\n";
+  if (!options.header_note.empty()) {
+    os << "// " << options.header_note << "\n";
+  }
+  os << "#include <core.p4>\n#include <v1model.p4>\n";
 
   // Scratch metadata: one 64-bit container per temp any action touches.
   TempId temps = 0;

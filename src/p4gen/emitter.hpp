@@ -26,6 +26,9 @@ struct EmitOptions {
   std::string program_name = "stat4_app";
   /// Emit the per-instruction comments produced by the disassembler.
   bool annotate = true;
+  /// Extra line appended to the file banner (e.g. the optimizer pass list
+  /// stat4_opt --emit-p4 stamps); empty = no extra line.
+  std::string header_note;
 };
 
 /// Generates the complete P4_16 translation unit for the switch.

@@ -50,6 +50,31 @@ void P4Switch::add_program_stage(ActionId action_id,
   pipeline_.push_back(s);
 }
 
+void P4Switch::replace_action(ActionId id, Program program) {
+  if (id >= actions_.size()) {
+    throw std::out_of_range("p4sim: unknown action id");
+  }
+  program.validate(profile_);
+  // Bump BEFORE installing: the compiled dispatch vector holds raw pointers
+  // into actions_ and a scratch_words_ prefix sized for the old bodies, so
+  // the next process() must recompile even if this throws nowhere.
+  ++config_gen_;
+  actions_[id] = std::move(program);
+}
+
+void P4Switch::set_pipeline(std::vector<Stage> stages) {
+  for (const Stage& s : stages) {
+    if (s.table && *s.table >= tables_.size()) {
+      throw std::out_of_range("p4sim: unknown table in pipeline");
+    }
+    if (s.action && *s.action >= actions_.size()) {
+      throw std::out_of_range("p4sim: unknown action in pipeline");
+    }
+  }
+  ++config_gen_;
+  pipeline_ = std::move(stages);
+}
+
 MatchActionTable& P4Switch::table(TableId id) {
   if (id >= tables_.size()) {
     throw std::out_of_range("p4sim: unknown table id");
@@ -72,6 +97,7 @@ const Program& P4Switch::action(ActionId id) const {
 }
 
 void P4Switch::compile_pipeline() {
+  ++pipeline_compiles_;
   compiled_.clear();
   compiled_.reserve(pipeline_.size());
   for (const Stage& stage : pipeline_) {

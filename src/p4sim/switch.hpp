@@ -61,6 +61,30 @@ class P4Switch {
   /// like statements in the ingress control body outside any table).
   void add_program_stage(ActionId action, std::optional<Guard> guard = {});
 
+  struct Stage {
+    std::optional<Guard> guard;
+    std::optional<TableId> table;    // table stage
+    std::optional<ActionId> action;  // direct-program stage
+  };
+
+  // ---- IR mutation (the optimizer's rewrite hooks) ------------------------
+  /// Replaces a registered action's program in place — how the dataflow
+  /// optimizer installs a rewritten body.  The new program is validated
+  /// against the ALU profile and config_gen_ is bumped so the compiled fast
+  /// path rebuilds its dispatch vector and scratch sizing (a stale
+  /// scratch_words_ over a rewritten program would read beyond the zeroed
+  /// prefix).
+  void replace_action(ActionId id, Program program);
+  /// Replaces the whole pipeline (stage packing).  Every referenced table /
+  /// action id must already exist.
+  void set_pipeline(std::vector<Stage> stages);
+  /// How many times the fast-path dispatch vector has been rebuilt — the
+  /// observable that regression tests use to prove in-place rewrites
+  /// invalidate the compiled pipeline.
+  [[nodiscard]] std::uint64_t pipeline_compile_count() const noexcept {
+    return pipeline_compiles_;
+  }
+
   // ---- data path ----------------------------------------------------------
   [[nodiscard]] SwitchOutput process(Packet pkt);
 
@@ -109,11 +133,6 @@ class P4Switch {
     return tables_.size();
   }
 
-  struct Stage {
-    std::optional<Guard> guard;
-    std::optional<TableId> table;    // table stage
-    std::optional<ActionId> action;  // direct-program stage
-  };
   [[nodiscard]] const std::vector<Stage>& pipeline() const noexcept {
     return pipeline_;
   }
@@ -143,8 +162,9 @@ class P4Switch {
   std::uint64_t digests_emitted_ = 0;
   // Compiled fast path state (see set_fast_path).
   bool fast_path_ = true;
-  std::uint64_t config_gen_ = 1;    ///< bumped by add_action/add_table/stages
+  std::uint64_t config_gen_ = 1;    ///< bumped by any program/pipeline write
   std::uint64_t compiled_gen_ = 0;  ///< config_gen_ the dispatch vector matches
+  std::uint64_t pipeline_compiles_ = 0;  ///< compile_pipeline() invocations
   std::vector<CompiledStage> compiled_;
   std::size_t scratch_words_ = 0;  ///< highest temp index touched + 1
   std::unique_ptr<ExecutionContext> scratch_;  ///< persistent PHV scratch

@@ -80,7 +80,7 @@ TEST(NoMul, GeneratedP4ContainsNoMultiplication) {
   app.install_forward(ipv4(10, 0, 0, 0), 8, 1);
   app.install_rate_monitor(ipv4(10, 0, 0, 0), 8, 0, 8'000'000ull, 100, 8);
   const std::string p4 =
-      p4gen::emit_p4(app.sw(), {"nomul", /*annotate=*/false});
+      p4gen::emit_p4(app.sw(), {"nomul", /*annotate=*/false, {}});
   std::istringstream is(p4);
   std::string line;
   while (std::getline(is, line)) {

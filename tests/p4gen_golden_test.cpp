@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analysis/catalog.hpp"
+#include "analysis/pass_manager.hpp"
 #include "p4gen/emitter.hpp"
 
 namespace {
@@ -36,12 +37,8 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
-void check_golden(const std::string& app, const std::string& program_name,
-                  const std::string& file) {
-  const auto sw = analysis::build_example(app);
-  p4gen::EmitOptions options;
-  options.program_name = program_name;
-  const std::string emitted = p4gen::emit_p4(*sw, options);
+void expect_matches_golden(const std::string& emitted,
+                           const std::string& file) {
   const std::string path = golden_path(file);
 
   if (update_requested()) {
@@ -77,12 +74,43 @@ void check_golden(const std::string& app, const std::string& program_name,
   }
 }
 
+void check_golden(const std::string& app, const std::string& program_name,
+                  const std::string& file) {
+  const auto sw = analysis::build_example(app);
+  p4gen::EmitOptions options;
+  options.program_name = program_name;
+  expect_matches_golden(p4gen::emit_p4(*sw, options), file);
+}
+
+/// Golden for the OPTIMIZED pipeline: what `stat4_opt --emit-p4` produces.
+void check_optimized_golden(const std::string& app,
+                            const std::string& program_name,
+                            const std::string& file) {
+  const auto sw = analysis::build_example_mutable(app);
+  const analysis::OptimizeResult result = analysis::optimize_switch(*sw);
+  ASSERT_TRUE(result.fixpoint) << app;
+  p4gen::EmitOptions options;
+  options.program_name = program_name;
+  options.header_note =
+      "optimized by stat4_opt (passes: constprop,strength,cse,dce,pack)";
+  expect_matches_golden(p4gen::emit_p4(*sw, options), file);
+}
+
 TEST(P4GenGolden, EchoProgramMatchesGolden) {
   check_golden("echo", "stat4_echo", "stat4_echo.p4");
 }
 
 TEST(P4GenGolden, CaseStudyProgramMatchesGolden) {
   check_golden("case_study", "stat4_case_study", "stat4_case_study.p4");
+}
+
+TEST(P4GenGolden, OptimizedEchoMatchesGolden) {
+  check_optimized_golden("echo", "stat4_echo_opt", "stat4_echo_opt.p4");
+}
+
+TEST(P4GenGolden, OptimizedCaseStudyMatchesGolden) {
+  check_optimized_golden("case_study", "stat4_case_study_opt",
+                         "stat4_case_study_opt.p4");
 }
 
 TEST(P4GenGolden, EmissionIsDeterministic) {

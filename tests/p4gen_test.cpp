@@ -33,7 +33,7 @@ long count_occurrences(const std::string& text, const std::string& needle) {
 
 TEST(P4Gen, EmitsCompleteTranslationUnit) {
   auto app = make_app();
-  const std::string p4 = emit_p4(app.sw(), {"stat4_case_study", true});
+  const std::string p4 = emit_p4(app.sw(), {"stat4_case_study", true, {}});
   // v1model scaffolding present, in order.
   for (const char* needle :
        {"#include <v1model.p4>", "struct metadata_t", "parser Stat4Parser",
@@ -109,7 +109,7 @@ TEST(P4Gen, NoForbiddenOperatorsInGeneratedCode) {
   // contain division or modulo.  (The '/' in comments and includes is fine;
   // scan only statement lines.)
   auto app = make_app();
-  const std::string p4 = emit_p4(app.sw(), {"x", /*annotate=*/false});
+  const std::string p4 = emit_p4(app.sw(), {"x", /*annotate=*/false, {}});
   std::istringstream is(p4);
   std::string line;
   while (std::getline(is, line)) {
@@ -148,7 +148,7 @@ TEST(P4Gen, AnnotationTogglesComments) {
 
 TEST(P4Gen, EchoAppEmitsEchoHeaderWrites) {
   stat4p4::EchoApp app;
-  const std::string p4 = emit_p4(app.sw(), {"stat4_echo", true});
+  const std::string p4 = emit_p4(app.sw(), {"stat4_echo", true, {}});
   EXPECT_NE(p4.find("hdr.stat4_echo.xsum = "), std::string::npos);
   EXPECT_NE(p4.find("hdr.stat4_echo.sd_nx = "), std::string::npos);
   EXPECT_NE(p4.find("0x88B5: parse_stat4_echo;"), std::string::npos);

@@ -1,0 +1,222 @@
+// stat4_opt: the dataflow optimizer front end.
+//
+// Runs the src/analysis/ pass framework — constant propagation, strength
+// reduction, common-subexpression elimination, dead-code elimination, and
+// hazard-aware stage packing — over the shipped example applications, then
+// re-verifies the optimized pipeline with the full static verifier.  The
+// static cost report (instructions, stages, temps, registers, state bytes
+// before/after) is the artifact scripts/bench_compare.py --static tracks.
+//
+// Usage:
+//   stat4_opt [--app=NAME|all] [--profile=bmv2|hardware-nomul|strict]
+//             [--passes=p1,p2,...] [--max-iterations=N]
+//             [--report] [--json] [--emit-p4] [--list-passes] [--list-apps]
+//
+// Exit codes: 0 = optimized and re-verified clean; 1 = a post-optimization
+// verifier error (the optimizer broke an invariant — always a bug);
+// 2 = usage / unknown app, profile, or pass.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "p4gen/emitter.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: stat4_opt [--app=NAME|all] "
+        "[--profile=bmv2|hardware-nomul|strict]\n"
+        "                 [--passes=p1,p2,...] [--max-iterations=N]\n"
+        "                 [--report] [--json] [--emit-p4] [--list-passes] "
+        "[--list-apps]\n";
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string pass_list(const analysis::OptimizeResult& result) {
+  std::string out;
+  for (const analysis::PassStats& s : result.pass_stats) {
+    if (!out.empty()) out += ",";
+    out += s.pass;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = "all";
+  std::string profile_name = "bmv2";
+  analysis::PassManagerOptions opt;
+  bool report = false;
+  bool json = false;
+  bool emit_p4 = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* app_v = value("--app=")) {
+      app = app_v;
+    } else if (const char* profile_v = value("--profile=")) {
+      profile_name = profile_v;
+    } else if (const char* passes_v = value("--passes=")) {
+      opt.passes = split_csv(passes_v);
+    } else if (const char* iter_v = value("--max-iterations=")) {
+      char* end = nullptr;
+      opt.max_iterations = std::strtoull(iter_v, &end, 0);
+      if (end == iter_v || *end != '\0' || opt.max_iterations == 0) {
+        std::cerr << "stat4_opt: bad --max-iterations value '" << iter_v
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--emit-p4") {
+      emit_p4 = true;
+    } else if (arg == "--list-passes") {
+      for (const std::string& p : analysis::pass_names()) {
+        std::cout << p << "\n";
+      }
+      return 0;
+    } else if (arg == "--list-apps") {
+      for (const analysis::ExampleApp& a : analysis::example_apps()) {
+        std::cout << a.name << "  " << a.description << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "stat4_opt: unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  try {
+    opt.profile = analysis::TargetProfile::by_name(profile_name);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "stat4_opt: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::vector<std::string> apps;
+  if (app == "all") {
+    for (const analysis::ExampleApp& a : analysis::example_apps()) {
+      apps.push_back(a.name);
+    }
+  } else {
+    apps.push_back(app);
+  }
+  if (emit_p4 && apps.size() != 1) {
+    std::cerr << "stat4_opt: --emit-p4 needs a single --app=NAME\n";
+    return 2;
+  }
+  if (emit_p4 && json) {
+    std::cerr << "stat4_opt: --emit-p4 and --json are mutually exclusive\n";
+    return 2;
+  }
+
+  bool any_errors = false;
+  bool first = true;
+  if (json) std::cout << "[";
+  for (const std::string& name : apps) {
+    std::shared_ptr<p4sim::P4Switch> sw;
+    try {
+      sw = analysis::build_example_mutable(name);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "stat4_opt: " << e.what() << " (see --list-apps)\n";
+      return 2;
+    }
+
+    analysis::OptimizeResult result;
+    try {
+      result = analysis::optimize_switch(*sw, opt);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "stat4_opt: " << e.what() << " (see --list-passes)\n";
+      return 2;
+    }
+
+    // The gate: the optimized pipeline must re-verify clean.  Any error here
+    // means a pass broke an invariant the verifier proves.
+    analysis::AnalysisOptions verify_opt;
+    verify_opt.profile = opt.profile;
+    const analysis::AnalysisResult verified =
+        analysis::verify_switch(*sw, verify_opt);
+    any_errors = any_errors || !verified.ok();
+
+    if (json) {
+      if (!first) std::cout << ",";
+      std::cout << "\n{\"app\":\"" << analysis::json_escape(name)
+                << "\",\"profile\":\"" << analysis::json_escape(opt.profile.name)
+                << "\",\"iterations\":" << result.iterations
+                << ",\"fixpoint\":" << (result.fixpoint ? "true" : "false")
+                << ",\"passes\":[";
+      bool first_pass = true;
+      for (const analysis::PassStats& s : result.pass_stats) {
+        if (!first_pass) std::cout << ",";
+        std::cout << "{\"pass\":\"" << analysis::json_escape(s.pass)
+                  << "\",\"rewrites\":" << s.rewrites << "}";
+        first_pass = false;
+      }
+      std::cout << "],\"cost\":";
+      analysis::render_cost_json(std::cout, result.before, result.after);
+      std::cout << ",\"verify_errors\":"
+                << verified.diags.count(analysis::Severity::kError)
+                << ",\"report\":";
+      result.diags.render_json(std::cout);
+      std::cout << "}";
+    } else {
+      // With --emit-p4 the P4 source owns stdout; the summary moves aside.
+      std::ostream& out = emit_p4 ? std::cerr : std::cout;
+      out << "== " << name << " (profile " << opt.profile.name << ") ==\n"
+          << "  instructions " << result.before.instructions << " -> "
+          << result.after.instructions << ", stages " << result.before.stages
+          << " -> " << result.after.stages << ", temps "
+          << result.before.temps << " -> " << result.after.temps << "\n";
+      for (const analysis::PassStats& s : result.pass_stats) {
+        out << "  " << s.pass << ": " << s.rewrites << " rewrite(s)\n";
+      }
+      out << "  iterations " << result.iterations
+          << (result.fixpoint ? " (fixpoint)" : " (budget hit)")
+          << ", post-opt verifier errors "
+          << verified.diags.count(analysis::Severity::kError) << "\n";
+      if (report) {
+        result.diags.render_text(out);
+        verified.diags.render_text(out, analysis::Severity::kWarning);
+      }
+    }
+
+    if (emit_p4) {
+      p4gen::EmitOptions emit;
+      emit.program_name = "stat4_" + name + "_opt";
+      emit.header_note = "optimized by stat4_opt (passes: " +
+                         pass_list(result) + ")";
+      std::cout << p4gen::emit_p4(*sw, emit);
+    }
+    first = false;
+  }
+  if (json) std::cout << "\n]\n";
+
+  return any_errors ? 1 : 0;
+}
