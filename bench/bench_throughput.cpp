@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <random>
 #include <string>
@@ -31,6 +32,7 @@
 #include "netsim/rng.hpp"
 #include "p4sim/craft.hpp"
 #include "runtime/runtime.hpp"
+#include "sketch/apps.hpp"
 #include "stat4/stat4.hpp"
 #include "stat4p4/stat4p4.hpp"
 
@@ -205,6 +207,27 @@ void BM_SwitchForwardOnlyPacket(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SwitchForwardOnlyPacket);
+
+void BM_SwitchSketchHHPacket(benchmark::State& state) {
+  // Heavy-hitter path (src/sketch/): count-min update + threshold digest
+  // arming per packet.  Versus BM_SwitchForwardOnlyPacket this prices the
+  // whole sketch stage; versus BM_SwitchTrackFreqPacket it compares the
+  // sketch against the sparse tracker on the same traffic shape.  The
+  // threshold is high enough that the digest never fires — steady-state
+  // cost, not the alert path.
+  sketch::SketchApp app(sketch::SketchKind::kCountMin);
+  app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+  app.install_sketch(0, 0, 0, 0xFFFFFFFFull,
+                     std::numeric_limits<std::uint64_t>::max());
+  netsim::Rng rng(1);
+  for (auto _ : state) {
+    const auto subnet = 1 + static_cast<unsigned>(rng.below(6));
+    benchmark::DoNotOptimize(app.sw().process(p4sim::make_udp_packet(
+        p4sim::ipv4(8, 8, 8, 8), p4sim::ipv4(10, 0, subnet, 1), 1, 2)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchSketchHHPacket);
 
 // ------------------------------------------------- batched engine ingest
 

@@ -63,6 +63,46 @@ def is_threaded(name):
     return any(p.match(name) for p in THREADED_PATTERNS)
 
 
+def report_scaling(path):
+    """Surfaces the candidate's BM_ShardedEngineScaling shape.
+
+    The per-shard timings are excluded from the regression gate (scheduler
+    noise on shared runners), which used to mean a degenerating scaling
+    curve passed in silence.  This prints the candidate's `scaling` block
+    and explicitly labels shards past 2 whose parallel efficiency is below
+    1.0 as KNOWN-DEGRADED — visible in every CI log, still non-gating.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return  # bare google-benchmark JSON without our wrapper: nothing to do
+    shards = (doc.get("scaling") or {}).get("shards") or []
+    if not shards:
+        return
+    print("\nsharded-engine scaling (informational, never gated):")
+    print(f"  {'shards':>6}  {'ns/iter':>10}  {'efficiency':>10}  status")
+    degraded = 0
+    for row in shards:
+        n = row.get("n")
+        eff = row.get("efficiency")
+        ns = row.get("ns_per_iter")
+        if not isinstance(n, int) or not isinstance(eff, (int, float)):
+            continue
+        if n > 2 and eff < 1.0:
+            status = "known-degraded"
+            degraded += 1
+        else:
+            status = "ok"
+        print(f"  {n:>6}  {ns:>10.1f}  {eff:>10.3f}  {status}")
+    if degraded:
+        print(
+            f"  {degraded} shard count(s) past 2 run below linear "
+            "efficiency — broadcast-write contention in ShardedEngine "
+            "(see ROADMAP); tracked, not a gate failure."
+        )
+
+
 STATIC_AXES = ("instructions", "stages", "temps", "registers", "state_bytes")
 
 
@@ -195,6 +235,8 @@ def main(argv=None):
         cs = f"{c:12.1f}" if c is not None else " " * 12
         rs = f"{ratio:7.3f}" if ratio is not None else " " * 7
         print(f"{name:<{width}}  {bs}  {cs}  {rs}  {status}")
+
+    report_scaling(args.candidate)
 
     if failures:
         print(

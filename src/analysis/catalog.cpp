@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "p4sim/craft.hpp"
+#include "sketch/apps.hpp"
 #include "stat4/types.hpp"
 #include "stat4p4/apps.hpp"
 
@@ -68,6 +69,11 @@ const std::vector<ExampleApp>& example_apps() {
       {"value", "value-sample binding over packet lengths"},
       {"mitigation", "in-switch drop of the captured hot value"},
       {"reroute", "in-switch rerouting of a surge to a backup port"},
+      {"sketch_hh", "count-min sketch with heavy-hitter threshold digests"},
+      {"sketch_changer", "count-sketch over interval windows with "
+                         "heavy-changer digests"},
+      {"sketch_netwide", "invertible sketch + epoch ticks for controller-"
+                         "side network-wide merge/decode"},
   };
   return apps;
 }
@@ -129,6 +135,31 @@ std::shared_ptr<p4sim::P4Switch> build_example_mutable(
     app->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
     app->install_freq_binding(per24_binding());
     app->install_reroute(per24_binding(), 7);
+    return hold(std::move(app));
+  }
+  if (name == "sketch_hh") {
+    // Heavy hitters over whole destination addresses: alert at 64 packets.
+    auto app =
+        std::make_shared<sketch::SketchApp>(sketch::SketchKind::kCountMin);
+    app->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+    app->install_sketch(0, 0, 0, 0xFFFFFFFFull, 64);
+    return hold(std::move(app));
+  }
+  if (name == "sketch_changer") {
+    // Heavy changers per /24 across 256-packet interval windows.
+    auto app = std::make_shared<sketch::SketchApp>(
+        sketch::SketchKind::kCountSketch);
+    app->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+    app->install_sketch(0, 0, 8, 0xFFFFFFull, 24);
+    return hold(std::move(app));
+  }
+  if (name == "sketch_netwide") {
+    // Per-switch invertible sketch snapshots, merged and decoded by
+    // control::SketchAggregator at every epoch tick.
+    auto app = std::make_shared<sketch::SketchApp>(
+        sketch::SketchKind::kInvertible);
+    app->install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
+    app->install_sketch(0, 0, 0, 0xFFFFFFFFull, 0);
     return hold(std::move(app));
   }
   throw std::invalid_argument("analysis: unknown example app '" + name + "'");

@@ -1,0 +1,91 @@
+#include "control/sketch_aggregate.hpp"
+
+#include <algorithm>
+
+#include "stat4/types.hpp"
+
+namespace control {
+
+void SketchAggregator::add_switch(SwitchId id, sketch::SketchApp& app) {
+  if (app.kind() != sketch::SketchKind::kInvertible) {
+    throw stat4::UsageError(
+        "control: SketchAggregator needs kInvertible sketch apps");
+  }
+  if (!members_.empty() &&
+      (app.config().width != members_.front().second->config().width)) {
+    throw stat4::UsageError(
+        "control: all fleet sketches need identical geometry to merge");
+  }
+  members_.emplace_back(id, &app);
+  latest_epoch_[id] = 0;
+}
+
+void SketchAggregator::on_digest(SwitchId sw, const p4sim::Digest& digest) {
+  if (digest.id != sketch::kDigestSketchEpoch) {
+    ++ignored_digests_;
+    return;
+  }
+  const auto it = latest_epoch_.find(sw);
+  if (it == latest_epoch_.end()) {
+    ++ignored_digests_;  // a switch we do not aggregate
+    return;
+  }
+  it->second = std::max(it->second, digest.payload[0]);
+
+  // The fleet epoch completes when the SLOWEST member has closed it; ticks
+  // from fast switches just advance their row and wait.
+  while (true) {
+    std::uint64_t slowest = ~std::uint64_t{0};
+    for (const auto& [id, epoch] : latest_epoch_) {
+      slowest = std::min(slowest, epoch);
+    }
+    if (slowest < next_epoch_) break;
+    aggregate(next_epoch_);
+    ++next_epoch_;
+  }
+}
+
+void SketchAggregator::aggregate(std::uint64_t epoch) {
+  if (members_.empty()) return;
+
+  // Snapshot every switch, then merge into the first snapshot.  Snapshots
+  // double as the per-switch attribution source below.
+  std::vector<sketch::InvertibleSketch> snaps;
+  snaps.reserve(members_.size());
+  for (const auto& [id, app] : members_) {
+    snaps.push_back(app->snapshot_invertible());
+  }
+  sketch::InvertibleSketch merged = snaps.front();
+  for (std::size_t i = 1; i < snaps.size(); ++i) merged.merge(snaps[i]);
+
+  const sketch::DecodeResult decoded = merged.decode();
+  if (!decoded.complete) ++incomplete_decodes_;
+
+  for (const sketch::DecodedFlow& flow : decoded.flows) {
+    if (flow.count < cfg_.heavy_threshold) continue;
+    NetHeavyFlow out;
+    out.key = flow.key;
+    out.count = flow.count;
+    out.epoch = epoch;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      const std::uint64_t local = snaps[i].query(flow.key);
+      if (local > 0) out.per_switch.emplace_back(members_[i].first, local);
+    }
+    // Drill down: block the decoded key network-wide, once.
+    if (cfg_.escalate_threshold > 0 && flow.count >= cfg_.escalate_threshold &&
+        blocked_.insert(flow.key).second) {
+      for (const auto& [id, app] : members_) {
+        app->install_drop_exact(static_cast<std::uint32_t>(flow.key));
+      }
+      out.escalated = true;
+    }
+    flows_.push_back(out);
+    if (sink_) sink_(out);
+  }
+
+  // Reset the fleet for the next epoch: each sketch becomes a fresh delta.
+  for (const auto& [id, app] : members_) app->clear_sketch();
+  ++epochs_aggregated_;
+}
+
+}  // namespace control

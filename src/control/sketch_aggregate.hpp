@@ -1,0 +1,106 @@
+// Network-wide heavy-flow aggregation over per-switch invertible sketches.
+//
+// The Figure 1c loop, scaled out: every switch runs a "sketch_netwide"
+// SketchApp whose data plane emits a kDigestSketchEpoch tick each time a
+// 2^epoch_shift-packet window closes.  Those ticks travel the ordinary
+// FleetRunner digest channel; the aggregator is just another digest sink.
+// Once EVERY registered switch has announced an epoch, the aggregator
+//
+//   1. snapshots each switch's invertible sketch (registers -> C++ engine),
+//   2. MERGES the snapshots (elementwise — the mergeability the property
+//      tests prove) into one fleet sketch,
+//   3. DECODES the merged sketch into named flows (no switch ever kept
+//      per-flow state),
+//   4. reports flows above `heavy_threshold` to the flow sink, and for
+//      flows above `escalate_threshold` drills down: installs an exact-
+//      match drop for the decoded key on every switch (the same
+//      local-mitigation move as the stat4 drill-down state machine),
+//   5. clears every switch's sketch so the next epoch is a fresh delta.
+//
+// Threading contract: on_digest() runs on whatever thread delivers digests
+// (FleetRunner's poll/flush/stop thread).  Snapshot + clear touch switch
+// registers, so the fleet must be QUIESCED when epochs complete — inject,
+// then flush(), then poll_digests(), the standard single-producer loop
+// (examples/netwide_heavy_hitter.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "control/fleet.hpp"
+#include "sketch/apps.hpp"
+
+namespace control {
+
+struct NetHeavyFlow {
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;  ///< network-wide (merged) count this epoch
+  std::uint64_t epoch = 0;
+  /// Per-switch upper-bound counts (invertible query), same order as
+  /// registration; shows WHERE the flow entered the network.
+  std::vector<std::pair<SwitchId, std::uint64_t>> per_switch;
+  bool escalated = false;  ///< true when drops were installed for it
+};
+
+class SketchAggregator {
+ public:
+  struct Config {
+    std::uint64_t heavy_threshold = 32;     ///< report at this merged count
+    std::uint64_t escalate_threshold = 0;   ///< install drops; 0 = never
+  };
+
+  SketchAggregator() = default;
+  explicit SketchAggregator(Config cfg) : cfg_(cfg) {}
+
+  /// Register a fleet member (a kInvertible SketchApp); `app` must outlive
+  /// the aggregator.  `id` is the FleetRunner switch id.
+  void add_switch(SwitchId id, sketch::SketchApp& app);
+
+  /// Wire as the FleetRunner digest sink.  Non-epoch digests are ignored
+  /// (counted), epoch ticks advance the per-switch epoch table; when the
+  /// slowest switch reaches the pending epoch the aggregation step runs.
+  void on_digest(SwitchId sw, const p4sim::Digest& digest);
+
+  void set_flow_sink(std::function<void(const NetHeavyFlow&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// All flows reported so far, in report order.
+  [[nodiscard]] const std::vector<NetHeavyFlow>& flows() const noexcept {
+    return flows_;
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& blocked_keys() const noexcept {
+    return blocked_;
+  }
+  [[nodiscard]] std::uint64_t epochs_aggregated() const noexcept {
+    return epochs_aggregated_;
+  }
+  /// Epochs whose merged sketch did not decode completely (overloaded —
+  /// more flows than the sketch can invert; the width needs to grow).
+  [[nodiscard]] std::uint64_t incomplete_decodes() const noexcept {
+    return incomplete_decodes_;
+  }
+  [[nodiscard]] std::uint64_t ignored_digests() const noexcept {
+    return ignored_digests_;
+  }
+
+ private:
+  void aggregate(std::uint64_t epoch);
+
+  Config cfg_;
+  std::vector<std::pair<SwitchId, sketch::SketchApp*>> members_;
+  std::map<SwitchId, std::uint64_t> latest_epoch_;
+  std::uint64_t next_epoch_ = 1;  ///< first data-plane epoch id is 1
+  std::vector<NetHeavyFlow> flows_;
+  std::set<std::uint64_t> blocked_;
+  std::function<void(const NetHeavyFlow&)> sink_;
+  std::uint64_t epochs_aggregated_ = 0;
+  std::uint64_t incomplete_decodes_ = 0;
+  std::uint64_t ignored_digests_ = 0;
+};
+
+}  // namespace control

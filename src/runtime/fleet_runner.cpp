@@ -52,12 +52,12 @@ FleetRunner::~FleetRunner() {
   if (running_) stop();
 }
 
-control::SwitchId FleetRunner::add_switch(stat4p4::MonitorApp& app) {
+control::SwitchId FleetRunner::add_switch(p4sim::P4Switch& sw) {
   if (running_) {
     throw stat4::UsageError("runtime: cannot add a switch while running");
   }
   auto lane = std::make_unique<SwitchLane>();
-  lane->app = &app;
+  lane->sw = &sw;
   lane->ring = std::make_unique<SpscRing<p4sim::Packet>>(cfg_.queue_capacity);
   switches_.push_back(std::move(lane));
   return static_cast<control::SwitchId>(switches_.size() - 1);
@@ -88,7 +88,7 @@ void FleetRunner::worker_loop(control::SwitchId id, SwitchLane& lane) {
     const std::size_t n = lane.ring->pop_burst(burst, cfg_.drain_burst);
     if (n != 0) {
       for (std::size_t b = 0; b < n; ++b) {
-        lane.app->sw().process_into(std::move(burst[b]), out);
+        lane.sw->process_into(std::move(burst[b]), out);
         for (auto& digest : out.digests) {
           TaggedDigest td{id, std::move(digest), 0};
           // Emit timestamp feeds the emit-to-controller-dequeue latency

@@ -69,9 +69,13 @@ class FleetRunner {
   FleetRunner(const FleetRunner&) = delete;
   FleetRunner& operator=(const FleetRunner&) = delete;
 
-  /// Register a switch; `app` must outlive the runner.  All switches must be
-  /// registered before start().
-  control::SwitchId add_switch(stat4p4::MonitorApp& app);
+  /// Register a switch; `sw` must outlive the runner.  All switches must be
+  /// registered before start().  Any P4Switch works — MonitorApp, EchoApp
+  /// and the sketch apps all run under the same worker/ring/digest plumbing.
+  control::SwitchId add_switch(p4sim::P4Switch& sw);
+  control::SwitchId add_switch(stat4p4::MonitorApp& app) {
+    return add_switch(app.sw());
+  }
 
   [[nodiscard]] std::size_t switch_count() const noexcept {
     return switches_.size();
@@ -136,7 +140,7 @@ class FleetRunner {
 
  private:
   struct SwitchLane {
-    stat4p4::MonitorApp* app = nullptr;
+    p4sim::P4Switch* sw = nullptr;
     std::unique_ptr<SpscRing<p4sim::Packet>> ring;
     std::thread worker;
     // sent/dropped have one writer (the lane's producer) but concurrent

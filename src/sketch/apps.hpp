@@ -1,0 +1,100 @@
+// Assembled sketch switch applications.
+//
+// A SketchApp is a P4Switch carrying ONE sketch kind plus the standard
+// forwarding plumbing:
+//
+//   stage 1: ipv4_forward   (LPM dst -> egress port, default drop)
+//   stage 2: sketch_block   (EXACT dst -> drop; the drill-down mitigation
+//                            table the controller fills with decoded heavy
+//                            keys — a later stage wins, so a block beats
+//                            the forwarding decision)
+//   stage 3: sketch_binding (LPM dst -> the kind's update action)
+//
+// The catalog names (analysis/catalog.cpp) build one app per kind:
+// "sketch_hh" (count-min + heavy-hitter digests), "sketch_changer"
+// (count-sketch across interval windows + heavy-changer digests) and
+// "sketch_netwide" (invertible + epoch ticks, aggregated controller-side
+// by control::SketchAggregator).
+#pragma once
+
+#include <cstdint>
+
+#include "p4sim/p4sim.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/count_sketch.hpp"
+#include "sketch/invertible.hpp"
+#include "sketch/programs.hpp"
+
+namespace sketch {
+
+enum class SketchKind : std::uint8_t {
+  kCountMin,
+  kCountSketch,
+  kInvertible,
+};
+
+class SketchApp {
+ public:
+  explicit SketchApp(SketchKind kind, SketchConfig cfg = {},
+                     p4sim::AluProfile profile = p4sim::AluProfile::bmv2());
+
+  // ---- controller operations ---------------------------------------------
+  /// Forward `prefix/len` out of `port`.
+  p4sim::EntryHandle install_forward(std::uint32_t prefix, std::uint8_t len,
+                                     p4sim::PortId port);
+
+  /// Bind matching traffic to the sketch: key = (ipv4.dst >> shift) & mask;
+  /// `threshold` arms the heavy-hitter / heavy-changer digest (0 = track
+  /// only, never alert — the invertible kind ignores it).
+  p4sim::EntryHandle install_sketch(std::uint32_t prefix, std::uint8_t len,
+                                    std::uint8_t shift, std::uint64_t mask,
+                                    std::uint64_t threshold);
+
+  /// Drop packets whose ipv4.dst equals `key` exactly — the mitigation the
+  /// network-wide aggregator installs for decoded heavy flows (assumes the
+  /// binding's identity extractor: shift 0, full mask).
+  p4sim::EntryHandle install_drop_exact(std::uint32_t key);
+
+  /// Clear a heavy-hitter suppression latch (count-min kind) or the whole
+  /// reported-epoch array (count-sketch kind) — controller acknowledgment.
+  void rearm();
+
+  // ---- snapshots (controller must be quiesced w.r.t. the data path) ------
+  /// Register image of the resident sketch as a C++ engine object.
+  [[nodiscard]] CountMinSketch snapshot_count_min() const;
+  [[nodiscard]] CountSketch snapshot_count_sketch_current() const;
+  [[nodiscard]] CountSketch snapshot_count_sketch_previous() const;
+  [[nodiscard]] InvertibleSketch snapshot_invertible() const;
+
+  /// Zero the sketch bucket arrays (NOT the packet counter driving epochs)
+  /// — the per-epoch reset the network-wide aggregator applies after a
+  /// snapshot, making each epoch's sketch a delta.
+  void clear_sketch();
+
+  // ---- accessors ----------------------------------------------------------
+  [[nodiscard]] p4sim::P4Switch& sw() noexcept { return sw_; }
+  [[nodiscard]] const p4sim::P4Switch& sw() const noexcept { return sw_; }
+  [[nodiscard]] SketchKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const SketchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const SketchRegisters& regs() const noexcept { return regs_; }
+  [[nodiscard]] p4sim::TableId block_table() const noexcept {
+    return block_table_;
+  }
+
+ private:
+  void require_kind(SketchKind kind, const char* what) const;
+
+  SketchKind kind_;
+  SketchConfig cfg_;
+  p4sim::P4Switch sw_;
+  SketchRegisters regs_;
+  p4sim::ActionId drop_action_ = 0;
+  p4sim::ActionId noop_action_ = 0;
+  p4sim::ActionId forward_action_ = 0;
+  p4sim::ActionId update_action_ = 0;
+  p4sim::TableId forward_table_ = 0;
+  p4sim::TableId block_table_ = 0;
+  p4sim::TableId binding_table_ = 0;
+};
+
+}  // namespace sketch

@@ -1,0 +1,49 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sketch {
+
+namespace {
+
+void require_power_of_two(std::uint64_t width) {
+  if (width == 0 || (width & (width - 1)) != 0 || width > kMaxWidth) {
+    throw std::invalid_argument(
+        "sketch: width must be a power of two <= 2^20");
+  }
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(unsigned depth, std::uint64_t width)
+    : depth_(depth), width_(width) {
+  if (depth == 0) throw std::invalid_argument("sketch: depth must be > 0");
+  require_power_of_two(width);
+  cells_.assign(depth_ * width_, 0);
+}
+
+void CountMinSketch::update(std::uint64_t key, std::uint64_t count) {
+  for (unsigned r = 0; r < depth_; ++r) {
+    cells_[r * width_ + column(key, r, width_)] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::query(std::uint64_t key) const {
+  std::uint64_t best = cells_[column(key, 0, width_)];
+  for (unsigned r = 1; r < depth_; ++r) {
+    best = std::min(best, cells_[r * width_ + column(key, r, width_)]);
+  }
+  return best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_) {
+    throw std::invalid_argument("sketch: merge needs identical geometry");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+}  // namespace sketch

@@ -1,0 +1,55 @@
+// Count-min sketch (Cormode & Muthukrishnan): d x w counter matrix,
+// update adds to one counter per row, query takes the row minimum.
+//
+// Guarantees (tests/sketch_test.cpp proves both on real streams):
+//   * overestimate-only:  query(k) >= true_count(k), always;
+//   * (eps, delta) bound: query(k) <= true_count(k) + eps*N with probability
+//     at least 1 - delta, for eps = e/width and delta = e^-depth, N = total
+//     stream weight.
+// Memory: depth * width 64-bit counters — sizing is width ~ e/eps,
+// depth ~ ln(1/delta), independent of the key-domain size.
+//
+// merge(a, b) is elementwise addition and equals sketching the concatenated
+// stream, which is what the controller-side network-wide aggregation relies
+// on (docs/SKETCH.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/hashing.hpp"
+
+namespace sketch {
+
+class CountMinSketch {
+ public:
+  /// `width` must be a power of two (column masking, like the P4 form).
+  CountMinSketch(unsigned depth, std::uint64_t width);
+
+  void update(std::uint64_t key, std::uint64_t count = 1);
+  [[nodiscard]] std::uint64_t query(std::uint64_t key) const;
+
+  /// Elementwise sum; `other` must have identical geometry.
+  void merge(const CountMinSketch& other);
+
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Direct cell access (row-major), used by the register-image
+  /// differential tests and the snapshot loaders.
+  [[nodiscard]] std::uint64_t cell(unsigned row, std::uint64_t col) const {
+    return cells_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t& cell(unsigned row, std::uint64_t col) {
+    return cells_[row * width_ + col];
+  }
+
+ private:
+  unsigned depth_;
+  std::uint64_t width_;
+  std::uint64_t total_ = 0;  ///< stream weight seen (merged like the cells)
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace sketch

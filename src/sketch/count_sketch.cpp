@@ -1,0 +1,66 @@
+#include "sketch/count_sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sketch {
+
+CountSketch::CountSketch(unsigned depth, std::uint64_t width)
+    : depth_(depth), width_(width) {
+  if (depth == 0 || depth > 64) {
+    throw std::invalid_argument("sketch: depth must be in [1, 64]");
+  }
+  if (width == 0 || (width & (width - 1)) != 0 || width > kMaxWidth) {
+    throw std::invalid_argument(
+        "sketch: width must be a power of two <= 2^20");
+  }
+  plus_.assign(depth_ * width_, 0);
+  minus_.assign(depth_ * width_, 0);
+}
+
+void CountSketch::update(std::uint64_t key, std::uint64_t count) {
+  for (unsigned r = 0; r < depth_; ++r) {
+    const std::uint64_t i = r * width_ + column(key, r, width_);
+    if (sign_bit(key, r)) {
+      plus_[i] += count;
+    } else {
+      minus_[i] += count;
+    }
+  }
+  total_ += count;
+}
+
+std::int64_t CountSketch::query(std::uint64_t key) const {
+  std::vector<std::int64_t> est;
+  est.reserve(depth_);
+  for (unsigned r = 0; r < depth_; ++r) {
+    const std::uint64_t i = r * width_ + column(key, r, width_);
+    const auto cell = static_cast<std::int64_t>(plus_[i]) -
+                      static_cast<std::int64_t>(minus_[i]);
+    est.push_back(sign_bit(key, r) ? cell : -cell);
+  }
+  std::nth_element(est.begin(), est.begin() + depth_ / 2, est.end());
+  std::int64_t median = est[depth_ / 2];
+  if (depth_ % 2 == 0) {
+    // Even depth: average the two middle estimates (truncating toward the
+    // lower one keeps everything in integers).
+    const std::int64_t hi = median;
+    const std::int64_t lo =
+        *std::max_element(est.begin(), est.begin() + depth_ / 2);
+    median = lo + (hi - lo) / 2;
+  }
+  return median;
+}
+
+void CountSketch::merge(const CountSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_) {
+    throw std::invalid_argument("sketch: merge needs identical geometry");
+  }
+  for (std::size_t i = 0; i < plus_.size(); ++i) {
+    plus_[i] += other.plus_[i];
+    minus_[i] += other.minus_[i];
+  }
+  total_ += other.total_;
+}
+
+}  // namespace sketch

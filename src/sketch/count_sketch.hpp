@@ -1,0 +1,61 @@
+// Count-sketch (Charikar, Chen & Farach-Colton): like count-min, but each
+// key is also assigned a random sign per row and the query is the MEDIAN of
+// the signed per-row estimates — collisions cancel in expectation, so the
+// estimator is unbiased (count-min is one-sidedly biased upward).
+//
+// P4 twist: switch registers are unsigned, so each cell is stored as a
+// (plus, minus) pair of monotone counters and the signed cell value is
+// plus - minus, compared in the data plane after adding kSignBias (see
+// hashing.hpp).  The C++ engine mirrors that representation exactly, which
+// is what makes the register-image differential test bit-exact.
+//
+// merge(a, b) adds the plus and minus planes elementwise and equals
+// sketching the concatenated stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/hashing.hpp"
+
+namespace sketch {
+
+class CountSketch {
+ public:
+  /// `width` must be a power of two.
+  CountSketch(unsigned depth, std::uint64_t width);
+
+  void update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Median of the signed per-row estimates (can be negative under
+  /// collision noise — the unbiasedness property needs the sign).
+  [[nodiscard]] std::int64_t query(std::uint64_t key) const;
+
+  void merge(const CountSketch& other);
+
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::uint64_t plus(unsigned row, std::uint64_t col) const {
+    return plus_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t minus(unsigned row, std::uint64_t col) const {
+    return minus_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t& plus(unsigned row, std::uint64_t col) {
+    return plus_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t& minus(unsigned row, std::uint64_t col) {
+    return minus_[row * width_ + col];
+  }
+
+ private:
+  unsigned depth_;
+  std::uint64_t width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> plus_;
+  std::vector<std::uint64_t> minus_;
+};
+
+}  // namespace sketch

@@ -1,0 +1,75 @@
+// Shared hash plumbing for the sketch layer.
+//
+// Every sketch exists twice — as a C++ engine (count_min.hpp, ...) and as a
+// p4sim action program (programs.cpp) — and the two must agree bit for bit.
+// Both sides therefore derive all randomness from the SAME two hash externs
+// the sparse tracker already shares with the switch (stat4::sparse_hash1/2,
+// i.e. the kHash1/kHash2 opcodes):
+//
+//   column(key, r)  = (h1(key) >> 20r) & (width - 1)
+//   sign(key, r)    = bit r of h2(h1(key))          (count-sketch rows)
+//   checksum(key)   = h1(key ^ salt) & 0xFFFF       (invertible buckets)
+//
+// Each row reads a DISJOINT 20-bit window of h1, so the rows behave as
+// independent hash functions: two keys collide in every row only when all
+// three windows agree (~2^-3log2(w) per pair).  That independence is what
+// invertible-sketch peeling needs — the double-hashing alternative
+// (h1 + r*h2) correlates rows, and a single pair with h1 AND h2 congruent
+// mod width collides in ALL rows and permanently wedges the decode (a real
+// failure this scheme replaced).  Shifts and masks only: no modulo, no
+// multiply, P4-safe.  The checksum is masked to 16 bits so a bucket
+// accumulating one mix per packet stays far below 2^64 for any observation
+// bound the static verifier is asked to prove.
+#pragma once
+
+#include <cstdint>
+
+#include "stat4/sparse_freq.hpp"
+
+namespace sketch {
+
+/// Fixed row count of every p4-resident sketch (one register array — one
+/// pipeline stateful ALU — per row; see docs/SKETCH.md).
+inline constexpr unsigned kSketchDepth = 3;
+
+/// Salt decorrelating the invertible sketch's checksum from its column hash.
+inline constexpr std::uint64_t kChecksumSalt = 0x5374617434536b21ull;
+
+/// Checksum width: 16 bits keeps `sum of mixes` <= N * 2^16 provably small.
+inline constexpr std::uint64_t kChecksumMask = 0xFFFF;
+
+/// Bias making count-sketch per-row estimates comparable with UNSIGNED
+/// arithmetic: est = kSignBias + plus - minus never wraps for any bucket
+/// holding fewer than 2^32 observations, so the data plane can order
+/// estimates with plain unsigned compares.
+inline constexpr std::uint64_t kSignBias = std::uint64_t{1} << 32;
+
+/// Bits of h1 each row's column window advances by; bounds width at 2^20.
+inline constexpr unsigned kColumnShift = 20;
+
+/// Widest sketch row the disjoint-window scheme supports (2^20 buckets).
+inline constexpr std::uint64_t kMaxWidth = std::uint64_t{1} << kColumnShift;
+
+/// Column of `key` in row `r` of a width-`width` (power of two) sketch:
+/// row r reads its own 20-bit window of h1, making rows independent.
+[[nodiscard]] inline std::uint64_t column(std::uint64_t key, unsigned r,
+                                          std::uint64_t width) {
+  return (stat4::sparse_hash1(key) >> (r * kColumnShift)) & (width - 1);
+}
+
+/// 64 independent count-sketch sign bits for `key` (bit r = row r's sign).
+[[nodiscard]] inline std::uint64_t sign_word(std::uint64_t key) {
+  return stat4::sparse_hash2(stat4::sparse_hash1(key));
+}
+
+/// Count-sketch sign of `key` in row `r`: true = +1 cell, false = -1 cell.
+[[nodiscard]] inline bool sign_bit(std::uint64_t key, unsigned r) {
+  return ((sign_word(key) >> r) & 1) != 0;
+}
+
+/// 16-bit purity checksum of `key` for invertible-sketch buckets.
+[[nodiscard]] inline std::uint64_t checksum_mix(std::uint64_t key) {
+  return stat4::sparse_hash1(key ^ kChecksumSalt) & kChecksumMask;
+}
+
+}  // namespace sketch

@@ -1,0 +1,106 @@
+#include "sketch/invertible.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sketch {
+
+InvertibleSketch::InvertibleSketch(unsigned depth, std::uint64_t width)
+    : depth_(depth), width_(width) {
+  if (depth == 0) throw std::invalid_argument("sketch: depth must be > 0");
+  if (width == 0 || (width & (width - 1)) != 0 || width > kMaxWidth) {
+    throw std::invalid_argument(
+        "sketch: width must be a power of two <= 2^20");
+  }
+  count_.assign(depth_ * width_, 0);
+  keysum_.assign(depth_ * width_, 0);
+  checksum_.assign(depth_ * width_, 0);
+}
+
+void InvertibleSketch::update(std::uint64_t key, std::uint64_t count) {
+  const std::uint64_t mix = checksum_mix(key);
+  for (unsigned r = 0; r < depth_; ++r) {
+    const std::uint64_t i = r * width_ + column(key, r, width_);
+    count_[i] += count;
+    keysum_[i] += key * count;
+    checksum_[i] += mix * count;
+  }
+  total_ += count;
+}
+
+std::uint64_t InvertibleSketch::query(std::uint64_t key) const {
+  std::uint64_t best = count_[column(key, 0, width_)];
+  for (unsigned r = 1; r < depth_; ++r) {
+    best = std::min(best, count_[r * width_ + column(key, r, width_)]);
+  }
+  return best;
+}
+
+void InvertibleSketch::merge(const InvertibleSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_) {
+    throw std::invalid_argument("sketch: merge needs identical geometry");
+  }
+  for (std::size_t i = 0; i < count_.size(); ++i) {
+    count_[i] += other.count_[i];
+    keysum_[i] += other.keysum_[i];
+    checksum_[i] += other.checksum_[i];
+  }
+  total_ += other.total_;
+}
+
+DecodeResult InvertibleSketch::decode() const {
+  InvertibleSketch work = *this;
+  DecodeResult result;
+
+  // A bucket holding `count` copies of exactly one key satisfies all three
+  // purity conditions; collisions can fake divisibility but essentially
+  // never the checksum AND the column recomputation together.
+  const auto try_peel = [&](unsigned r, std::uint64_t c) -> bool {
+    const std::uint64_t i = r * width_ + c;
+    const std::uint64_t n = work.count_[i];
+    if (n == 0) return false;
+    if (work.keysum_[i] % n != 0) return false;
+    const std::uint64_t key = work.keysum_[i] / n;
+    if (column(key, r, width_) != c) return false;
+    if (work.checksum_[i] != checksum_mix(key) * n) return false;
+    // Subtract the decoded flow from every row it maps to.
+    for (unsigned rr = 0; rr < depth_; ++rr) {
+      const std::uint64_t j = rr * width_ + column(key, rr, width_);
+      work.count_[j] -= n;
+      work.keysum_[j] -= key * n;
+      work.checksum_[j] -= checksum_mix(key) * n;
+    }
+    result.flows.push_back({key, n});
+    return true;
+  };
+
+  // Repeated sweeps until a full pass peels nothing.  A legitimate decode
+  // can name at most depth*width distinct flows; the cap also bounds the
+  // pathological case where a collision-faked peel corrupts `work` (the
+  // purity test is probabilistic, not cryptographic).
+  const std::size_t max_flows = depth_ * width_;
+  bool progressed = true;
+  while (progressed && result.flows.size() < max_flows) {
+    progressed = false;
+    for (unsigned r = 0; r < depth_; ++r) {
+      for (std::uint64_t c = 0; c < width_; ++c) {
+        progressed = try_peel(r, c) || progressed;
+        if (result.flows.size() >= max_flows) break;
+      }
+      if (result.flows.size() >= max_flows) break;
+    }
+  }
+
+  result.complete =
+      std::all_of(work.count_.begin(), work.count_.end(),
+                  [](std::uint64_t v) { return v == 0; }) &&
+      std::all_of(work.keysum_.begin(), work.keysum_.end(),
+                  [](std::uint64_t v) { return v == 0; });
+  std::sort(result.flows.begin(), result.flows.end(),
+            [](const DecodedFlow& a, const DecodedFlow& b) {
+              return a.key < b.key;
+            });
+  return result;
+}
+
+}  // namespace sketch

@@ -1,0 +1,86 @@
+// Invertible (reversible) sketch, IBLT-style: each of d rows holds w
+// buckets of (count, keysum, checksum).  An update adds (1, key,
+// checksum_mix(key)) to one bucket per row; because every component is a
+// plain sum, two sketches merge by elementwise addition — and a DIFFERENCE
+// of two epochs' sketches is itself a sketch of the delta stream.
+//
+// decode() inverts the structure by peeling: a bucket is PURE when its
+// contents are exactly `count` copies of one key (keysum divisible by
+// count, the quotient rehashes to this bucket, and checksum ==
+// count * checksum_mix(key)); subtracting a decoded key from its other
+// rows exposes new pure buckets until either the sketch drains (complete
+// decode) or no pure bucket remains (load above the decodable threshold —
+// tests/sketch_test.cpp probes both regimes).
+//
+// This is the controller-side half of network-wide heavy-flow detection:
+// per-switch snapshots merge into one fleet sketch whose decode names the
+// heavy keys — no per-flow state anywhere (Tang et al., PAPERS.md).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sketch/hashing.hpp"
+
+namespace sketch {
+
+struct DecodedFlow {
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;
+};
+
+struct DecodeResult {
+  std::vector<DecodedFlow> flows;  ///< sorted by key (deterministic order)
+  bool complete = false;           ///< true iff the sketch drained to zero
+};
+
+class InvertibleSketch {
+ public:
+  /// `width` must be a power of two.
+  InvertibleSketch(unsigned depth, std::uint64_t width);
+
+  void update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Count-min-style upper bound read (min over rows of bucket counts) —
+  /// cheap point query without decoding.
+  [[nodiscard]] std::uint64_t query(std::uint64_t key) const;
+
+  void merge(const InvertibleSketch& other);
+
+  /// Peels the sketch (non-destructively) into its flow list.
+  [[nodiscard]] DecodeResult decode() const;
+
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::uint64_t count(unsigned row, std::uint64_t col) const {
+    return count_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t keysum(unsigned row, std::uint64_t col) const {
+    return keysum_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t checksum(unsigned row, std::uint64_t col) const {
+    return checksum_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t& count(unsigned row, std::uint64_t col) {
+    return count_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t& keysum(unsigned row, std::uint64_t col) {
+    return keysum_[row * width_ + col];
+  }
+  [[nodiscard]] std::uint64_t& checksum(unsigned row, std::uint64_t col) {
+    return checksum_[row * width_ + col];
+  }
+
+ private:
+  unsigned depth_;
+  std::uint64_t width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> count_;
+  std::vector<std::uint64_t> keysum_;
+  std::vector<std::uint64_t> checksum_;
+};
+
+}  // namespace sketch

@@ -1,0 +1,112 @@
+#include "sketch/monitors.hpp"
+
+#include <algorithm>
+
+namespace sketch {
+
+namespace {
+
+p4sim::Digest make_digest(std::uint32_t id, std::uint64_t w0, std::uint64_t w1,
+                          std::uint64_t w2, stat4::TimeNs time) {
+  p4sim::Digest d;
+  d.id = id;
+  d.payload = {w0, w1, w2};
+  d.time = time;
+  return d;
+}
+
+}  // namespace
+
+HeavyHitterMonitor::HeavyHitterMonitor(SketchConfig cfg, KeyExtract extract,
+                                       std::uint64_t threshold)
+    : cfg_(cfg),
+      extract_(extract),
+      threshold_(threshold),
+      cm_(kSketchDepth, cfg.width),
+      reported_(cfg.width, 0) {}
+
+std::optional<p4sim::Digest> HeavyHitterMonitor::observe(std::uint64_t raw,
+                                                         stat4::TimeNs time) {
+  const std::uint64_t key = extract_(raw);
+  const std::uint64_t col0 = column(key, 0, cfg_.width);
+  const std::uint64_t est_new = cm_.query(key) + 1;
+  cm_.update(key);
+  const std::uint64_t tot_new = ++total_;
+  const bool fire = threshold_ > 0 && est_new >= threshold_ &&
+                    reported_[col0] == 0;
+  if (!fire) return std::nullopt;
+  reported_[col0] = 1;
+  return make_digest(kDigestHeavyHitter, key, est_new, tot_new, time);
+}
+
+HeavyChangerMonitor::HeavyChangerMonitor(SketchConfig cfg, KeyExtract extract,
+                                         std::uint64_t threshold)
+    : cfg_(cfg),
+      extract_(extract),
+      threshold_(threshold),
+      cur_(kSketchDepth, cfg.width),
+      prev_(kSketchDepth, cfg.width),
+      epoch_(kSketchDepth * cfg.width, 0),
+      reported_(cfg.width, 0) {}
+
+std::optional<p4sim::Digest> HeavyChangerMonitor::observe(std::uint64_t raw,
+                                                          stat4::TimeNs time) {
+  const std::uint64_t key = extract_(raw);
+  const std::uint64_t e = total_ >> cfg_.epoch_shift;  // BEFORE increment
+  ++total_;
+
+  std::uint64_t diff[kSketchDepth];
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    const std::uint64_t col = column(key, r, cfg_.width);
+    const bool sgn = sign_bit(key, r);
+    std::uint64_t& ep = epoch_[r * cfg_.width + col];
+    std::uint64_t cp = cur_.plus(r, col);
+    std::uint64_t cn = cur_.minus(r, col);
+    std::uint64_t& pp = prev_.plus(r, col);
+    std::uint64_t& pn = prev_.minus(r, col);
+    if (ep != e) {  // lazy bank rotation, exactly like the p4 form
+      pp = cp;
+      pn = cn;
+      cp = 0;
+      cn = 0;
+      ep = e;
+    }
+    cp += sgn ? 1 : 0;
+    cn += sgn ? 0 : 1;
+    cur_.plus(r, col) = cp;
+    cur_.minus(r, col) = cn;
+    // Bias-offset unsigned arithmetic, same word ops as the switch.
+    const std::uint64_t cur_e =
+        sgn ? kSignBias + cp - cn : kSignBias + cn - cp;
+    const std::uint64_t prev_e =
+        sgn ? kSignBias + pp - pn : kSignBias + pn - pp;
+    diff[r] = cur_e >= prev_e ? cur_e - prev_e : prev_e - cur_e;
+  }
+  // median3 = max(min(a,b), min(max(a,b), c))
+  const std::uint64_t minab = std::min(diff[0], diff[1]);
+  const std::uint64_t maxab = std::max(diff[0], diff[1]);
+  const std::uint64_t med = std::max(minab, std::min(maxab, diff[2]));
+
+  const std::uint64_t col0 = column(key, 0, cfg_.width);
+  const bool fire = threshold_ > 0 && e >= 1 && med > threshold_ &&
+                    reported_[col0] != e + 1;
+  if (!fire) return std::nullopt;
+  reported_[col0] = e + 1;
+  return make_digest(kDigestHeavyChanger, key, med, e, time);
+}
+
+NetwideMonitor::NetwideMonitor(SketchConfig cfg, KeyExtract extract)
+    : cfg_(cfg), extract_(extract), inv_(kSketchDepth, cfg.width) {}
+
+std::optional<p4sim::Digest> NetwideMonitor::observe(std::uint64_t raw,
+                                                     stat4::TimeNs time) {
+  const std::uint64_t key = extract_(raw);
+  inv_.update(key);
+  const std::uint64_t tot_new = ++total_;
+  const std::uint64_t emask = (std::uint64_t{1} << cfg_.epoch_shift) - 1;
+  if ((tot_new & emask) != 0) return std::nullopt;
+  return make_digest(kDigestSketchEpoch, tot_new >> cfg_.epoch_shift, tot_new,
+                     0, time);
+}
+
+}  // namespace sketch

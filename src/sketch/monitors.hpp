@@ -1,0 +1,110 @@
+// C++ mirrors of the three sketch APPLICATIONS (not just the sketches):
+// each monitor replicates its p4 update program's full per-packet effect —
+// bucket updates, epoch rotation, digest arming and suppression — over the
+// plain C++ engines, word for word.
+//
+// tests/sketch_differential_test.cpp replays identical packet streams
+// through a SketchApp switch and its monitor and asserts bit-exact digests
+// AND bit-exact register images, which is what licenses using the cheap
+// C++ forms as ground truth for the p4 forms everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "p4sim/action.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/count_sketch.hpp"
+#include "sketch/invertible.hpp"
+#include "sketch/programs.hpp"
+
+namespace sketch {
+
+/// Key extraction shared by all monitors: key = (raw >> shift) & mask,
+/// matching the binding entry's action data.
+struct KeyExtract {
+  std::uint8_t shift = 0;
+  std::uint64_t mask = ~std::uint64_t{0};
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t raw) const {
+    return (raw >> shift) & mask;
+  }
+};
+
+/// Mirror of build_count_min_update: count-min + threshold digest with the
+/// row-0 reported bitmap.
+class HeavyHitterMonitor {
+ public:
+  HeavyHitterMonitor(SketchConfig cfg, KeyExtract extract,
+                     std::uint64_t threshold);
+
+  /// One matching packet; returns the digest the switch would emit, if any.
+  std::optional<p4sim::Digest> observe(std::uint64_t raw, stat4::TimeNs time);
+
+  [[nodiscard]] const CountMinSketch& sketch() const noexcept { return cm_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& reported() const noexcept {
+    return reported_;
+  }
+
+ private:
+  SketchConfig cfg_;
+  KeyExtract extract_;
+  std::uint64_t threshold_;
+  CountMinSketch cm_;
+  std::vector<std::uint64_t> reported_;
+  std::uint64_t total_ = 0;
+};
+
+/// Mirror of build_count_sketch_update: count-sketch over lazily rotated
+/// epoch banks + heavy-changer digest.
+class HeavyChangerMonitor {
+ public:
+  HeavyChangerMonitor(SketchConfig cfg, KeyExtract extract,
+                      std::uint64_t threshold);
+
+  std::optional<p4sim::Digest> observe(std::uint64_t raw, stat4::TimeNs time);
+
+  [[nodiscard]] const CountSketch& current() const noexcept { return cur_; }
+  [[nodiscard]] const CountSketch& previous() const noexcept { return prev_; }
+  [[nodiscard]] std::uint64_t epoch_stamp(unsigned row,
+                                          std::uint64_t col) const {
+    return epoch_[row * cfg_.width + col];
+  }
+  [[nodiscard]] std::uint64_t reported_epoch(std::uint64_t col) const {
+    return reported_[col];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  SketchConfig cfg_;
+  KeyExtract extract_;
+  std::uint64_t threshold_;
+  CountSketch cur_;
+  CountSketch prev_;
+  std::vector<std::uint64_t> epoch_;
+  std::vector<std::uint64_t> reported_;
+  std::uint64_t total_ = 0;
+};
+
+/// Mirror of build_invertible_update: invertible sketch + epoch ticks.
+class NetwideMonitor {
+ public:
+  NetwideMonitor(SketchConfig cfg, KeyExtract extract);
+
+  std::optional<p4sim::Digest> observe(std::uint64_t raw, stat4::TimeNs time);
+
+  [[nodiscard]] const InvertibleSketch& sketch() const noexcept {
+    return inv_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  SketchConfig cfg_;
+  KeyExtract extract_;
+  InvertibleSketch inv_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sketch

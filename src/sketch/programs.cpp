@@ -1,0 +1,231 @@
+#include "sketch/programs.hpp"
+
+#include <stdexcept>
+
+namespace sketch {
+
+using p4sim::FieldRef;
+using p4sim::Program;
+using p4sim::ProgramBuilder;
+using p4sim::TempId;
+
+namespace {
+
+void check_config(const SketchConfig& cfg) {
+  if (cfg.width == 0 || (cfg.width & (cfg.width - 1)) != 0 ||
+      cfg.width > kMaxWidth) {
+    throw std::invalid_argument(
+        "sketch: width must be a power of two <= 2^20");
+  }
+  if (cfg.epoch_shift == 0 || cfg.epoch_shift > 40) {
+    throw std::invalid_argument("sketch: epoch_shift must be in [1, 40]");
+  }
+}
+
+/// Extracted key + the three per-row columns, loads not yet emitted.
+struct Probes {
+  TempId zero = 0;
+  TempId one = 0;
+  TempId key = 0;
+  std::array<TempId, kSketchDepth> col{};
+};
+
+Probes emit_probes(ProgramBuilder& b, const SketchConfig& cfg,
+                   FieldRef source) {
+  Probes p;
+  p.zero = b.konst(0);
+  p.one = b.konst(1);
+  const TempId shift = b.param(kSkAdShift);
+  const TempId mask = b.param(kSkAdMask);
+  const TempId raw = b.load_field(source);
+  p.key = b.band(b.shr(raw, shift), mask);
+  // Per-row columns from disjoint 20-bit windows of h1 (hashing.hpp): the
+  // rows act as independent hash functions, using only shr/band (no kMul,
+  // no modulo).
+  const TempId wmask = b.konst(cfg.width - 1);
+  const TempId h1 = b.hash1(p.key);
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    const TempId window =
+        r == 0 ? h1 : b.shr(h1, b.konst(r * kColumnShift));
+    p.col[r] = b.band(window, wmask);
+  }
+  return p;
+}
+
+TempId min2(ProgramBuilder& b, TempId a, TempId c) {
+  return b.select(b.le(a, c), a, c);
+}
+
+/// median(a, b, c) = max(min(a,b), min(max(a,b), c)), selects only.
+TempId median3(ProgramBuilder& b, TempId a, TempId c, TempId d) {
+  const TempId ab = b.le(a, c);
+  const TempId minab = b.select(ab, a, c);
+  const TempId maxab = b.select(ab, c, a);
+  const TempId mid = b.select(b.le(maxab, d), maxab, d);
+  return b.select(b.ge(minab, mid), minab, mid);
+}
+
+}  // namespace
+
+Program build_count_min_update(const SketchRegisters& regs,
+                               const SketchConfig& cfg, FieldRef source) {
+  check_config(cfg);
+  ProgramBuilder b("sketch_count_min");
+  const Probes p = emit_probes(b, cfg, source);
+  const TempId thr = b.param(kSkAdThreshold);
+
+  // All loads first (one RMW per array).
+  std::array<TempId, kSketchDepth> cell{};
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    cell[r] = b.load_reg(regs.cm_row[r], p.col[r]);
+  }
+  const TempId rep = b.load_reg(regs.hh_seen, p.col[0]);
+  const TempId tot = b.load_reg(regs.total, p.zero);
+
+  // The key's new estimate: every one of its row cells gains exactly 1, so
+  // min(old) + 1 == min(new).
+  const TempId est_new = b.add(min2(b, min2(b, cell[0], cell[1]), cell[2]),
+                               p.one);
+  const TempId tot_new = b.add(tot, p.one);
+  const TempId armed = b.gt(thr, p.zero);
+  const TempId over = b.ge(est_new, thr);
+  const TempId fresh = b.eq(rep, p.zero);
+  const TempId fire = b.band(armed, b.band(over, fresh));
+
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    b.store_reg(regs.cm_row[r], p.col[r], b.add(cell[r], p.one));
+  }
+  b.store_reg(regs.hh_seen, p.col[0], b.bor(rep, fire));
+  b.store_reg(regs.total, p.zero, tot_new);
+  b.digest_if(fire, kDigestHeavyHitter, p.key, est_new, tot_new);
+  return b.take();
+}
+
+Program build_count_sketch_update(const SketchRegisters& regs,
+                                  const SketchConfig& cfg, FieldRef source) {
+  check_config(cfg);
+  ProgramBuilder b("sketch_count_sketch");
+  const Probes p = emit_probes(b, cfg, source);
+  const TempId thr = b.param(kSkAdThreshold);
+  const TempId bias = b.konst(kSignBias);
+
+  // Per-row sign bits: bit r of hash2(hash1(key)).
+  const TempId sgnw = b.hash2(b.hash1(p.key));
+  std::array<TempId, kSketchDepth> sgn{};
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    sgn[r] = r == 0 ? b.band(sgnw, p.one)
+                    : b.band(b.shr(sgnw, b.konst(r)), p.one);
+  }
+
+  // All loads first.
+  std::array<TempId, kSketchDepth> ep{};
+  std::array<TempId, kSketchDepth> cp{};
+  std::array<TempId, kSketchDepth> cn{};
+  std::array<TempId, kSketchDepth> pp{};
+  std::array<TempId, kSketchDepth> pn{};
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    ep[r] = b.load_reg(regs.cs_epoch[r], p.col[r]);
+    cp[r] = b.load_reg(regs.cs_cur_plus[r], p.col[r]);
+    cn[r] = b.load_reg(regs.cs_cur_minus[r], p.col[r]);
+    pp[r] = b.load_reg(regs.cs_prev_plus[r], p.col[r]);
+    pn[r] = b.load_reg(regs.cs_prev_minus[r], p.col[r]);
+  }
+  const TempId rep = b.load_reg(regs.ch_reported, p.col[0]);
+  const TempId tot = b.load_reg(regs.total, p.zero);
+
+  const TempId tot_new = b.add(tot, p.one);
+  // This packet's epoch (0-based, BEFORE the increment — the mirror engine
+  // in monitors.cpp replicates exactly this).
+  const TempId e = b.shr(tot, b.konst(cfg.epoch_shift));
+  const TempId e1 = b.add(e, p.one);
+
+  // Lazy bank rotation: a bucket last touched in an older epoch moves its
+  // current pair to the previous bank and restarts the current pair at
+  // zero — no data-plane-wide clear needed at epoch boundaries.
+  std::array<TempId, kSketchDepth> cp3{};
+  std::array<TempId, kSketchDepth> cn3{};
+  std::array<TempId, kSketchDepth> pp2{};
+  std::array<TempId, kSketchDepth> pn2{};
+  std::array<TempId, kSketchDepth> diff{};
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    const TempId stale = b.ne(ep[r], e);
+    pp2[r] = b.select(stale, cp[r], pp[r]);
+    pn2[r] = b.select(stale, cn[r], pn[r]);
+    const TempId cp2 = b.select(stale, p.zero, cp[r]);
+    const TempId cn2 = b.select(stale, p.zero, cn[r]);
+    cp3[r] = b.add(cp2, sgn[r]);
+    cn3[r] = b.add(cn2, b.bxor(sgn[r], p.one));
+    // Signed estimates compared as bias-offset unsigned values: the adds
+    // keep both operands >= kSignBias - bucket_count, so the subtractions
+    // below cannot wrap for any bucket below 2^32 observations.
+    const TempId cur_e =
+        b.select(sgn[r], b.sub(b.add(bias, cp3[r]), cn3[r]),
+                 b.sub(b.add(bias, cn3[r]), cp3[r]));
+    const TempId prev_e =
+        b.select(sgn[r], b.sub(b.add(bias, pp2[r]), pn2[r]),
+                 b.sub(b.add(bias, pn2[r]), pp2[r]));
+    const TempId cur_ge = b.ge(cur_e, prev_e);
+    diff[r] = b.select(cur_ge, b.sub(cur_e, prev_e), b.sub(prev_e, cur_e));
+  }
+  const TempId med = median3(b, diff[0], diff[1], diff[2]);
+
+  // Fire once per (row-0 bucket, epoch): ch_reported stores epoch+1 (0 =
+  // never).  Epoch 0 has an empty previous bank, so changes only arm from
+  // epoch 1 on.
+  const TempId armed = b.gt(thr, p.zero);
+  const TempId warm = b.ge(e, p.one);
+  const TempId over = b.gt(med, thr);
+  const TempId fresh = b.ne(rep, e1);
+  const TempId fire = b.band(armed, b.band(warm, b.band(over, fresh)));
+
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    b.store_reg(regs.cs_epoch[r], p.col[r], e);
+    b.store_reg(regs.cs_cur_plus[r], p.col[r], cp3[r]);
+    b.store_reg(regs.cs_cur_minus[r], p.col[r], cn3[r]);
+    b.store_reg(regs.cs_prev_plus[r], p.col[r], pp2[r]);
+    b.store_reg(regs.cs_prev_minus[r], p.col[r], pn2[r]);
+  }
+  b.store_reg(regs.ch_reported, p.col[0], b.select(fire, e1, rep));
+  b.store_reg(regs.total, p.zero, tot_new);
+  b.digest_if(fire, kDigestHeavyChanger, p.key, med, e);
+  return b.take();
+}
+
+Program build_invertible_update(const SketchRegisters& regs,
+                                const SketchConfig& cfg, FieldRef source) {
+  check_config(cfg);
+  ProgramBuilder b("sketch_invertible");
+  const Probes p = emit_probes(b, cfg, source);
+
+  // 16-bit purity checksum; the mask bounds what a bucket can accumulate.
+  const TempId chk = b.band(b.hash1(b.bxor(p.key, b.konst(kChecksumSalt))),
+                            b.konst(kChecksumMask));
+
+  std::array<TempId, kSketchDepth> cnt{};
+  std::array<TempId, kSketchDepth> ks{};
+  std::array<TempId, kSketchDepth> ck{};
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    cnt[r] = b.load_reg(regs.inv_count[r], p.col[r]);
+    ks[r] = b.load_reg(regs.inv_keysum[r], p.col[r]);
+    ck[r] = b.load_reg(regs.inv_checksum[r], p.col[r]);
+  }
+  const TempId tot = b.load_reg(regs.total, p.zero);
+  const TempId tot_new = b.add(tot, p.one);
+
+  for (unsigned r = 0; r < kSketchDepth; ++r) {
+    b.store_reg(regs.inv_count[r], p.col[r], b.add(cnt[r], p.one));
+    b.store_reg(regs.inv_keysum[r], p.col[r], b.add(ks[r], p.key));
+    b.store_reg(regs.inv_checksum[r], p.col[r], b.add(ck[r], chk));
+  }
+  b.store_reg(regs.total, p.zero, tot_new);
+
+  // Epoch tick: every 2^epoch_shift packets, tell the controller a snapshot
+  // window closed (payload: epoch id, packets so far).
+  const TempId emask = b.konst((std::uint64_t{1} << cfg.epoch_shift) - 1);
+  const TempId tick = b.eq(b.band(tot_new, emask), p.zero);
+  const TempId eid = b.shr(tot_new, b.konst(cfg.epoch_shift));
+  b.digest_if(tick, kDigestSketchEpoch, eid, tot_new, p.zero);
+  return b.take();
+}
+
+}  // namespace sketch

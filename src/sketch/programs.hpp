@@ -1,0 +1,88 @@
+// P4-form sketch update programs (the data-plane twins of count_min.hpp,
+// count_sketch.hpp and invertible.hpp).
+//
+// Layout discipline, driven by the static verifier and the hardware rules
+// it encodes (src/analysis/):
+//   * one register array per sketch ROW — each array is then touched by
+//     exactly one index expression per packet (no S4-HAZ-001 multi-index
+//     access), matching one stateful ALU per stage on real targets;
+//   * every array load precedes every array store (single RMW per array);
+//   * NO kMul anywhere: row offsets are per-row arrays, probe columns are
+//     disjoint bit-windows of h1 (shr + band), so all three programs verify
+//     clean under the hardware-nomul profile;
+//   * count-sketch cells are (plus, minus) monotone pairs and comparisons
+//     run over kSignBias-offset values, so subtraction stays provably
+//     wrap-free where it matters (hashing.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "p4sim/action.hpp"
+#include "sketch/hashing.hpp"
+
+namespace sketch {
+
+// Digest vocabulary of the sketch apps — disjoint from stat4p4's ids 1..6
+// so a FleetCorrelator / digest sink can tell the sources apart.
+inline constexpr std::uint32_t kDigestHeavyHitter = 7;
+inline constexpr std::uint32_t kDigestHeavyChanger = 8;
+inline constexpr std::uint32_t kDigestSketchEpoch = 9;
+
+/// Action-data words of the sketch binding table entries.
+enum SketchActionData : std::size_t {
+  kSkAdShift = 0,      ///< key = (ipv4.dst >> shift) & mask
+  kSkAdMask = 1,
+  kSkAdThreshold = 2,  ///< heavy-hitter / heavy-changer threshold; 0 = off
+  kSkAdWordCount = 3,
+};
+
+/// Build-time geometry shared by all three program forms.
+struct SketchConfig {
+  std::uint64_t width = 256;  ///< buckets per row; must be a power of two
+  unsigned epoch_shift = 8;   ///< epoch length = 2^epoch_shift packets
+};
+
+/// Register ids of one sketch app instance (only the arrays of the app's
+/// kind are declared; the rest stay 0 and unused).
+struct SketchRegisters {
+  // Count-min rows + the heavy-hitter reported bitmap (row-0 indexed).
+  std::array<p4sim::RegisterId, kSketchDepth> cm_row{};
+  p4sim::RegisterId hh_seen = 0;
+  // Count-sketch current/previous epoch banks, per-bucket epoch stamps and
+  // the heavy-changer reported-epoch array (row-0 indexed).
+  std::array<p4sim::RegisterId, kSketchDepth> cs_cur_plus{};
+  std::array<p4sim::RegisterId, kSketchDepth> cs_cur_minus{};
+  std::array<p4sim::RegisterId, kSketchDepth> cs_prev_plus{};
+  std::array<p4sim::RegisterId, kSketchDepth> cs_prev_minus{};
+  std::array<p4sim::RegisterId, kSketchDepth> cs_epoch{};
+  p4sim::RegisterId ch_reported = 0;
+  // Invertible-sketch bucket planes.
+  std::array<p4sim::RegisterId, kSketchDepth> inv_count{};
+  std::array<p4sim::RegisterId, kSketchDepth> inv_keysum{};
+  std::array<p4sim::RegisterId, kSketchDepth> inv_checksum{};
+  // Packet counter driving epochs (size-1 array), all kinds.
+  p4sim::RegisterId total = 0;
+};
+
+/// Count-min update + heavy-hitter threshold digest (kDigestHeavyHitter,
+/// payload {key, estimate, total}); the hh_seen bitmap suppresses repeat
+/// digests for the same row-0 bucket until the controller clears it.
+[[nodiscard]] p4sim::Program build_count_min_update(
+    const SketchRegisters& regs, const SketchConfig& cfg,
+    p4sim::FieldRef source);
+
+/// Count-sketch update over lazily rotated epoch banks + heavy-changer
+/// digest (kDigestHeavyChanger, payload {key, |delta| estimate, epoch}).
+[[nodiscard]] p4sim::Program build_count_sketch_update(
+    const SketchRegisters& regs, const SketchConfig& cfg,
+    p4sim::FieldRef source);
+
+/// Invertible-sketch update + once-per-epoch tick digest
+/// (kDigestSketchEpoch, payload {epoch, total, 0}) that tells the
+/// controller a snapshot window closed.
+[[nodiscard]] p4sim::Program build_invertible_update(
+    const SketchRegisters& regs, const SketchConfig& cfg,
+    p4sim::FieldRef source);
+
+}  // namespace sketch

@@ -133,7 +133,8 @@ TEST_P(OptimizerDifferential, FastPathBitExact) {
 INSTANTIATE_TEST_SUITE_P(
     AllApps, OptimizerDifferential,
     ::testing::Values("echo", "case_study", "case_study_nomul", "syn_flood",
-                      "sparse", "entropy", "value", "mitigation", "reroute"),
+                      "sparse", "entropy", "value", "mitigation", "reroute",
+                      "sketch_hh", "sketch_changer", "sketch_netwide"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       return std::string(param_info.param);
     });

@@ -113,6 +113,28 @@ TEST(P4GenGolden, OptimizedCaseStudyMatchesGolden) {
                          "stat4_case_study_opt.p4");
 }
 
+// The three sketch catalog apps (src/sketch/): emitted registers must carry
+// the per-row width-verified layout, and the heaviest program (the count-
+// sketch update) must survive the optimizer byte-stably.
+TEST(P4GenGolden, SketchHeavyHitterMatchesGolden) {
+  check_golden("sketch_hh", "stat4_sketch_hh", "stat4_sketch_hh.p4");
+}
+
+TEST(P4GenGolden, SketchHeavyChangerMatchesGolden) {
+  check_golden("sketch_changer", "stat4_sketch_changer",
+               "stat4_sketch_changer.p4");
+}
+
+TEST(P4GenGolden, SketchNetwideMatchesGolden) {
+  check_golden("sketch_netwide", "stat4_sketch_netwide",
+               "stat4_sketch_netwide.p4");
+}
+
+TEST(P4GenGolden, OptimizedSketchChangerMatchesGolden) {
+  check_optimized_golden("sketch_changer", "stat4_sketch_changer_opt",
+                         "stat4_sketch_changer_opt.p4");
+}
+
 TEST(P4GenGolden, EmissionIsDeterministic) {
   const auto sw1 = analysis::build_example("case_study");
   const auto sw2 = analysis::build_example("case_study");
