@@ -28,6 +28,7 @@
 #include "telemetry/telemetry.hpp"
 
 #include "analysis/pass_manager.hpp"
+#include "control/ml/ml.hpp"
 #include "baseline/welford.hpp"
 #include "netsim/rng.hpp"
 #include "p4sim/craft.hpp"
@@ -228,6 +229,24 @@ void BM_SwitchSketchHHPacket(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SwitchSketchHHPacket);
+
+void BM_AnomalyScorePacket(benchmark::State& state) {
+  // Controller-side ML ensemble cost per fed sample (docs/ML.md): with the
+  // model pool full, every feed extracts the 6-dim feature vector, scores
+  // all 4 k-means models, and amortizes a Lloyd's retrain every
+  // train_stagger samples.  This is the per-telemetry-window cost on the
+  // controller, NOT a packet hot-path stage — it bounds how many metrics a
+  // controller can watch per second.
+  control::ml::AnomalyDetector det;
+  const control::ml::MetricId m = det.register_metric("bench");
+  netsim::Rng rng(42);
+  for (int i = 0; i < 512; ++i) det.feed(m, 1000 + rng.below(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.feed(m, 1000 + rng.below(64)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnomalyScorePacket);
 
 // ------------------------------------------------- batched engine ingest
 

@@ -39,21 +39,31 @@ THREADED_PATTERNS = (
 )
 
 
-def load_benchmarks(path):
-    """Returns {name: real_time_ns_per_iter} from a bench_throughput JSON."""
+def load_benchmarks(path, allow_missing=False):
+    """Returns {name: real_time_ns_per_iter} from a bench_throughput JSON.
+
+    An unreadable file is always a hard error (exit 2).  A readable file
+    without a usable `benchmarks` block exits 2 too, unless
+    `allow_missing` — then it returns {} so the caller can skip the
+    comparison with a note (a baseline predating a newly added block must
+    not crash the gate with a traceback).
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    benches = doc.get("benchmarks") if isinstance(doc, dict) else None
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in benches if isinstance(benches, list) else []:
+        if not isinstance(bench, dict):
+            continue
         name = bench.get("name")
         t = bench.get("real_time_ns_per_iter")
         if name and isinstance(t, (int, float)) and t > 0:
             out[name] = float(t)
-    if not out:
+    if not out and not allow_missing:
         print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
         sys.exit(2)
     return out
@@ -77,7 +87,10 @@ def report_scaling(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError):
         return  # bare google-benchmark JSON without our wrapper: nothing to do
-    shards = (doc.get("scaling") or {}).get("shards") or []
+    if not isinstance(doc, dict):
+        return
+    scaling = doc.get("scaling")
+    shards = scaling.get("shards") if isinstance(scaling, dict) else None
     if not shards:
         return
     print("\nsharded-engine scaling (informational, never gated):")
@@ -106,8 +119,12 @@ def report_scaling(path):
 STATIC_AXES = ("instructions", "stages", "temps", "registers", "state_bytes")
 
 
-def load_static_costs(path):
-    """Returns {"app/axis": after_value} from a stat4_opt --json report."""
+def load_static_costs(path, allow_missing=False):
+    """Returns {"app/axis": after_value} from a stat4_opt --json report.
+
+    Same contract as load_benchmarks: unreadable -> exit 2; readable but
+    empty/malformed -> exit 2, or {} with `allow_missing`.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -116,22 +133,37 @@ def load_static_costs(path):
         sys.exit(2)
     out = {}
     for entry in doc if isinstance(doc, list) else []:
+        if not isinstance(entry, dict):
+            continue
         app = entry.get("app")
-        cost = entry.get("cost", {})
-        if not app:
+        cost = entry.get("cost")
+        if not app or not isinstance(cost, dict):
             continue
         for axis in STATIC_AXES:
-            after = cost.get(axis, {}).get("after")
+            axis_cost = cost.get(axis)
+            after = axis_cost.get("after") if isinstance(axis_cost, dict) \
+                else None
             if isinstance(after, (int, float)):
                 out[f"{app}/{axis}"] = float(after)
-    if not out:
+    if not out and not allow_missing:
         print(f"bench_compare: no static costs in {path}", file=sys.stderr)
         sys.exit(2)
     return out
 
 
+def skip_note(path, block):
+    print(
+        f"bench_compare: {path} has no '{block}' block — baseline predates "
+        "it; skipping the comparison (regenerate the baseline to arm the "
+        "gate)"
+    )
+    return 0
+
+
 def compare_static(args):
-    base = load_static_costs(args.baseline)
+    base = load_static_costs(args.baseline, allow_missing=True)
+    if not base:
+        return skip_note(args.baseline, "cost")
     cand = load_static_costs(args.candidate)
     limit = 1.0 + args.threshold / 100.0
     failures = []
@@ -199,7 +231,9 @@ def main(argv=None):
     if args.static:
         return compare_static(args)
 
-    base = load_benchmarks(args.baseline)
+    base = load_benchmarks(args.baseline, allow_missing=True)
+    if not base:
+        return skip_note(args.baseline, "benchmarks")
     cand = load_benchmarks(args.candidate)
     limit = 1.0 + args.threshold / 100.0
 

@@ -5,3 +5,4 @@
 #include "control/drilldown.hpp"   // IWYU pragma: export
 #include "control/fleet.hpp"       // IWYU pragma: export
 #include "control/inspector.hpp"   // IWYU pragma: export
+#include "control/ml/ml.hpp"       // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "control/drilldown.hpp"
 
+#include "sketch/programs.hpp"
+
 namespace control {
 
 using stat4p4::FreqBindingSpec;
@@ -13,35 +15,51 @@ DrillDownController::DrillDownController(netsim::ControlChannel& channel,
       [this](const p4sim::Digest& d) { on_digest(d); });
 }
 
+void DrillDownController::react_with_per24(TimeNs handled_at) {
+  result_.spike_handled_time = handled_at;
+
+  // React: track traffic per /24 inside the monitored /8 (Figure 6's
+  // first drill-down step).  The reset clears any stale state in the
+  // target distribution before the binding activates.
+  FreqBindingSpec per24;
+  per24.dst_prefix = cfg_.monitored_prefix;
+  per24.dst_prefix_len = cfg_.prefix_len;
+  per24.dist = cfg_.subnet_dist;
+  per24.shift = 8;  // third octet = /24 index
+  per24.mask = 0xFF;
+  per24.check = true;
+  per24.min_total = cfg_.min_total;
+  channel_->execute_register_op(
+      [this]() { app_->reset_distribution(cfg_.subnet_dist); });
+  channel_->execute_table_op([this, per24]() {
+    binding_handle_ = app_->install_freq_binding(per24);
+  });
+  state_ = State::kWatchingSubnet;
+}
+
+void DrillDownController::on_consensus_anomaly(std::string_view metric,
+                                               TimeNs time) {
+  if (state_ != State::kWatchingRate) return;
+  result_.ml_trigger_time = time;
+  result_.ml_metric = std::string(metric);
+  react_with_per24(channel_->sim().now());
+}
+
 void DrillDownController::on_digest(const p4sim::Digest& digest) {
   const TimeNs now = channel_->sim().now();
 
   switch (state_) {
     case State::kWatchingRate: {
-      if (digest.id != kDigestRateSpike ||
-          digest.payload[0] != cfg_.rate_dist) {
+      if (digest.id == kDigestRateSpike &&
+          digest.payload[0] == cfg_.rate_dist) {
+        result_.spike_digest_time = digest.time;
+      } else if (cfg_.accept_heavy_changer &&
+                 digest.id == sketch::kDigestHeavyChanger) {
+        result_.changer_digest_time = digest.time;
+      } else {
         return;
       }
-      result_.spike_digest_time = digest.time;
-      result_.spike_handled_time = now;
-
-      // React: track traffic per /24 inside the monitored /8 (Figure 6's
-      // first drill-down step).  The reset clears any stale state in the
-      // target distribution before the binding activates.
-      FreqBindingSpec per24;
-      per24.dst_prefix = cfg_.monitored_prefix;
-      per24.dst_prefix_len = cfg_.prefix_len;
-      per24.dist = cfg_.subnet_dist;
-      per24.shift = 8;  // third octet = /24 index
-      per24.mask = 0xFF;
-      per24.check = true;
-      per24.min_total = cfg_.min_total;
-      channel_->execute_register_op(
-          [this]() { app_->reset_distribution(cfg_.subnet_dist); });
-      channel_->execute_table_op([this, per24]() {
-        binding_handle_ = app_->install_freq_binding(per24);
-      });
-      state_ = State::kWatchingSubnet;
+      react_with_per24(now);
       break;
     }
 

@@ -15,10 +15,22 @@
 // response to this second alert, the controller modifies the previously
 // added entry so that the switch tracks the traffic per destination within
 // the identified /24."
+//
+// Three trigger classes can start the drill-down (all funnel into the same
+// per-/24 reaction):
+//   * the paper's rate-spike digest (kDigestRateSpike on rate_dist);
+//   * a sketch heavy-changer digest (sketch::kDigestHeavyChanger), when
+//     Config::accept_heavy_changer is set — the ROADMAP's "changer digests
+//     as a trigger distribution" follow-on;
+//   * a consensus anomaly from the ML ensemble (docs/ML.md), delivered by
+//     on_consensus_anomaly() — typically wired from
+//     ml::AnomalyDetector::set_anomaly_callback.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "netsim/channel.hpp"
 #include "stat4p4/apps.hpp"
@@ -30,14 +42,17 @@ using stat4::TimeNs;
 struct DrillDownResult {
   // Switch-side emission times (digest timestamps).
   std::optional<TimeNs> spike_digest_time;
+  std::optional<TimeNs> changer_digest_time;  ///< heavy-changer trigger
+  std::optional<TimeNs> ml_trigger_time;      ///< consensus-anomaly trigger
   std::optional<TimeNs> imbalance_digest_time;
   std::optional<TimeNs> pinpoint_digest_time;
   // Controller-side handling times (after channel latency).
-  std::optional<TimeNs> spike_handled_time;
+  std::optional<TimeNs> spike_handled_time;  ///< whichever trigger fired
   std::optional<TimeNs> subnet_handled_time;
   std::optional<TimeNs> host_handled_time;
   std::uint32_t identified_subnet = 0;
   std::uint32_t identified_host = 0;
+  std::string ml_metric;  ///< metric name behind an ML trigger
 
   [[nodiscard]] bool done() const noexcept {
     return host_handled_time.has_value();
@@ -53,6 +68,9 @@ class DrillDownController {
     std::uint32_t subnet_dist = 1;
     std::uint32_t host_dist = 2;
     std::uint64_t min_total = 256;  ///< imbalance-check warmup per binding
+    /// Also start the drill-down on a sketch heavy-changer digest (a flow
+    /// whose count changed sharply between interval windows).
+    bool accept_heavy_changer = false;
   };
 
   DrillDownController(netsim::ControlChannel& channel,
@@ -60,6 +78,11 @@ class DrillDownController {
 
   /// Wire this as the channel's digest handler (done by the constructor).
   void on_digest(const p4sim::Digest& digest);
+
+  /// ML-ensemble trigger: a consensus anomaly on `metric` observed at
+  /// `time` starts the same per-/24 drill-down a rate-spike digest would
+  /// (ignored outside the WatchingRate state).
+  void on_consensus_anomaly(std::string_view metric, TimeNs time);
 
   [[nodiscard]] const DrillDownResult& result() const noexcept {
     return result_;
@@ -73,6 +96,10 @@ class DrillDownController {
     kWatchingHost,
     kDone,
   };
+
+  /// The shared first reaction: reset the subnet distribution and install
+  /// the per-/24 binding, advancing to WatchingSubnet.
+  void react_with_per24(TimeNs handled_at);
 
   netsim::ControlChannel* channel_;
   stat4p4::MonitorApp* app_;

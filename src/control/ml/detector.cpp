@@ -1,0 +1,285 @@
+#include "control/ml/detector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace control::ml {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kSeedMix = 0x9E3779B97F4A7C15ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+std::uint64_t saturate64(U128 v) noexcept {
+  constexpr U128 cap = ~std::uint64_t{0};
+  return v > cap ? ~std::uint64_t{0} : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+AnomalyDetector::Metric::Metric(MetricId metric_id, std::string metric_name,
+                                std::uint64_t root_seed)
+    : id(metric_id),
+      name(std::move(metric_name)),
+      rng(root_seed ^ (kSeedMix * (std::uint64_t{metric_id} + 1))) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  t_anomalies = &reg.counter("ml." + name + ".anomalies");
+  t_score = &reg.gauge("ml." + name + ".score_q16");
+  t_bits = &reg.gauge("ml." + name + ".anomaly_bits");
+}
+
+AnomalyDetector::AnomalyDetector(DetectorConfig cfg) : cfg_(cfg) {
+  if (cfg_.models == 0) {
+    throw std::invalid_argument("ml: ensemble needs at least one model");
+  }
+  if (cfg_.train_window < kFeatureHistory) {
+    throw std::invalid_argument("ml: train_window below feature history");
+  }
+  if (cfg_.train_stagger == 0 || cfg_.lloyd_iterations == 0) {
+    throw std::invalid_argument("ml: stagger and iterations must be positive");
+  }
+  if (cfg_.threshold_q16 == 0) {
+    throw std::invalid_argument("ml: threshold must be positive");
+  }
+  auto& reg = telemetry::MetricsRegistry::global();
+  t_samples_ = &reg.counter("ml.samples");
+  t_anomalies_ = &reg.counter("ml.anomalies");
+  t_scores_ = &reg.histogram("ml.score_q16");
+}
+
+MetricId AnomalyDetector::register_metric_locked(std::string name) {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<MetricId>(metrics_.size());
+  metrics_.push_back(std::make_unique<Metric>(id, name, cfg_.seed));
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+MetricId AnomalyDetector::register_metric(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return register_metric_locked(std::move(name));
+}
+
+FeedResult AnomalyDetector::feed_locked(Metric& m, std::uint64_t sample) {
+  ++m.samples;
+  ++total_samples_;
+  t_samples_->add();
+  m.window.push(sample);
+
+  FeedResult result;
+  result.metric = m.id;
+  if (!m.window.ready()) return result;
+  const FeatureVector f = m.window.features();
+  ++m.features_seen;
+
+  // Score BEFORE this feature can join any training window: the pool is
+  // strictly older than the sample it judges.
+  if (m.pool.size() == cfg_.models) {
+    result.scored = true;
+    std::uint32_t consensus = kScoreCap;
+    bool unanimous = true;
+    for (const KMeans2& model : m.pool) {
+      const std::uint32_t s = model.score_q16(f);
+      if (s < consensus) consensus = s;
+      if (s < cfg_.threshold_q16) unanimous = false;
+    }
+    result.score_q16 = consensus;
+    result.anomaly = unanimous;
+    ++m.scored;
+    m.last_score_q16 = consensus;
+    m.anomaly_bits = (m.anomaly_bits << 1) | (unanimous ? 1u : 0u);
+    if (unanimous) {
+      ++m.anomalies;
+      ++total_anomalies_;
+      m.t_anomalies->add();
+      t_anomalies_->add();
+    }
+    t_scores_->record(consensus);
+    const auto score_now = static_cast<std::int64_t>(consensus);
+    m.t_score->add(score_now - m.exported_score);
+    m.exported_score = score_now;
+    const auto bits_now = static_cast<std::int64_t>(m.anomaly_bits);
+    m.t_bits->add(bits_now - m.exported_bits);
+    m.exported_bits = bits_now;
+  }
+
+  m.features.push_back(f);
+  if (m.features.size() > cfg_.train_window) {
+    m.features.erase(m.features.begin());
+  }
+  if (m.features_seen >= cfg_.train_window &&
+      (m.features_seen - cfg_.train_window) % cfg_.train_stagger == 0) {
+    KMeans2 model;
+    model.train(m.features, m.rng, cfg_.lloyd_iterations);
+    m.pool.push_back(model);
+    if (m.pool.size() > cfg_.models) {
+      m.pool.erase(m.pool.begin());
+    }
+  }
+  return result;
+}
+
+void AnomalyDetector::notify(const FeedResult& result,
+                             const std::string& name) {
+  std::function<void(const FeedResult&, const std::string&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = callback_;
+  }
+  if (cb) cb(result, name);
+}
+
+FeedResult AnomalyDetector::feed(MetricId metric, std::uint64_t sample) {
+  FeedResult result;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Metric& m = *metrics_.at(metric);
+    result = feed_locked(m, sample);
+    if (result.anomaly) name = m.name;
+  }
+  if (result.anomaly) notify(result, name);
+  return result;
+}
+
+MetricId AnomalyDetector::watch_digest(control::SwitchId sw,
+                                       std::uint32_t digest_id,
+                                       std::string name, bool match_payload0,
+                                       std::uint64_t payload0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MetricId id = register_metric_locked(std::move(name));
+  digest_watch_[{sw, digest_id}] = DigestWatch{id, match_payload0, payload0};
+  return id;
+}
+
+FeedResult AnomalyDetector::on_digest(control::SwitchId sw,
+                                      const p4sim::Digest& digest) {
+  FeedResult result;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = digest_watch_.find({sw, digest.id});
+    if (it == digest_watch_.end() ||
+        (it->second.match_payload0 &&
+         digest.payload[0] != it->second.payload0)) {
+      ++ignored_digests_;
+      return result;
+    }
+    Metric& m = *metrics_.at(it->second.metric);
+    result = feed_locked(m, digest.payload[1]);
+    if (result.anomaly) name = m.name;
+  }
+  if (result.anomaly) notify(result, name);
+  return result;
+}
+
+MetricId AnomalyDetector::watch_counter(std::string counter_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MetricId id = register_metric_locked(counter_name);
+  counter_watch_.emplace(std::move(counter_name), CounterWatch{id, false, 0});
+  return id;
+}
+
+std::size_t AnomalyDetector::feed_snapshot(
+    const telemetry::Snapshot& snapshot) {
+  std::size_t fed = 0;
+  std::vector<std::pair<FeedResult, std::string>> anomalies;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& sample : snapshot.counters) {
+      const auto it = counter_watch_.find(sample.name);
+      if (it == counter_watch_.end()) continue;
+      CounterWatch& watch = it->second;
+      if (watch.seen && sample.value >= watch.last) {
+        Metric& m = *metrics_.at(watch.metric);
+        const FeedResult r = feed_locked(m, sample.value - watch.last);
+        ++fed;
+        if (r.anomaly) anomalies.emplace_back(r, m.name);
+      }
+      // First sighting (or a registry restart) only establishes a baseline.
+      watch.seen = true;
+      watch.last = sample.value;
+    }
+  }
+  for (const auto& [result, name] : anomalies) notify(result, name);
+  return fed;
+}
+
+DetectorState AnomalyDetector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DetectorState state;
+  state.samples = total_samples_;
+  state.anomalies = total_anomalies_;
+  state.ignored_digests = ignored_digests_;
+  state.metrics.reserve(metrics_.size());
+  for (const auto& m : metrics_) {
+    MetricState ms;
+    ms.id = m->id;
+    ms.name = m->name;
+    ms.samples = m->samples;
+    ms.scored = m->scored;
+    ms.anomalies = m->anomalies;
+    ms.last_score_q16 = m->last_score_q16;
+    ms.anomaly_bits = m->anomaly_bits;
+    ms.models.reserve(m->pool.size());
+    for (const KMeans2& model : m->pool) {
+      ModelState model_state;
+      model_state.centroids = {model.centroid(0), model.centroid(1)};
+      model_state.min_distance = saturate64(model.min_distance());
+      model_state.max_distance = saturate64(model.max_distance());
+      ms.models.push_back(model_state);
+    }
+    state.metrics.push_back(std::move(ms));
+  }
+  return state;
+}
+
+void AnomalyDetector::mix_metric(std::uint64_t& h, const Metric& m) const {
+  mix(h, m.id);
+  mix(h, m.name.size());
+  for (const char c : m.name) mix(h, static_cast<std::uint8_t>(c));
+  mix(h, m.samples);
+  mix(h, m.scored);
+  mix(h, m.anomalies);
+  mix(h, m.last_score_q16);
+  mix(h, m.anomaly_bits);
+  mix(h, m.pool.size());
+  for (const KMeans2& model : m.pool) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      for (const std::int64_t v : model.centroid(c)) {
+        mix(h, static_cast<std::uint64_t>(v));
+      }
+    }
+    mix(h, static_cast<std::uint64_t>(model.min_distance()));
+    mix(h, static_cast<std::uint64_t>(model.min_distance() >> 64));
+    mix(h, static_cast<std::uint64_t>(model.max_distance()));
+    mix(h, static_cast<std::uint64_t>(model.max_distance() >> 64));
+  }
+}
+
+std::uint64_t AnomalyDetector::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t h = kFnvOffset;
+  mix(h, metrics_.size());
+  for (const auto& m : metrics_) mix_metric(h, *m);
+  mix(h, total_samples_);
+  mix(h, total_anomalies_);
+  return h;
+}
+
+std::uint64_t AnomalyDetector::fingerprint(MetricId metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t h = kFnvOffset;
+  mix_metric(h, *metrics_.at(metric));
+  return h;
+}
+
+}  // namespace control::ml

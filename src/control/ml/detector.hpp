@@ -1,0 +1,219 @@
+// Controller-side online anomaly-detection ensemble (docs/ML.md).
+//
+// Netdata-style design (SNIPPETS.md snippets 2-3) over the repo's integer
+// substrate: every registered metric keeps a ring of recent samples, lifts
+// each new sample to the 6-dim fixed-point feature vector (features.hpp),
+// and maintains a small pool of k=2 k-means models trained on staggered
+// sliding windows of those features (kmeans.hpp).  A sample is scored by
+// every model in the pool — min-max-normalized distance to the nearest
+// centroid — and an anomaly is raised only on UNANIMOUS consensus: every
+// model must score the sample beyond the configured threshold.  With N
+// independent models each at a per-model false-positive rate p, consensus
+// false positives happen at ~p^N (netdata: 18 models, p=0.01 -> ~10^-36).
+//
+// Feeds arrive from three directions, all funnelled through one mutex (the
+// detector lives on the controller thread boundary, never the packet hot
+// path):
+//   * feed(metric, sample)        — direct per-window samples;
+//   * on_digest(sw, digest)       — the FleetRunner MPSC digest channel
+//                                   (set_digest_sink), routed by a
+//                                   (switch, digest-id) watch table;
+//   * feed_snapshot(snapshot)     — telemetry::Snapshot counter deltas,
+//                                   routed by a counter-name watch table.
+//
+// Everything is deterministic: per-metric RNG streams are derived from the
+// config seed and the metric id, training draws exactly one RNG value per
+// rotation, and all arithmetic is integer — same seed + same sample stream
+// implies bit-identical centroids, scores and anomaly bits (fingerprint()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "control/fleet.hpp"
+#include "control/ml/features.hpp"
+#include "control/ml/kmeans.hpp"
+#include "netsim/rng.hpp"
+#include "p4sim/action.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace control::ml {
+
+using MetricId = std::uint32_t;
+
+struct DetectorConfig {
+  /// Models per metric; an anomaly needs unanimous consensus across all.
+  std::size_t models = 4;
+  /// Feature vectors per training window.
+  std::size_t train_window = 96;
+  /// New model every this many features (windows overlap by
+  /// train_window - train_stagger features).
+  std::size_t train_stagger = 32;
+  /// Per-model anomaly threshold in Q16; kScoreOne (65536) sits exactly at
+  /// the training-distance maximum, so the default demands the sample land
+  /// 12.5% beyond everything every model saw in training.
+  std::uint32_t threshold_q16 = kScoreOne + kScoreOne / 8;
+  /// Root seed; each metric derives an independent RNG stream from it.
+  std::uint64_t seed = 1;
+  /// Lloyd's iteration budget per training run.
+  std::size_t lloyd_iterations = 32;
+};
+
+/// Outcome of one feed() (or one routed digest / counter delta).
+struct FeedResult {
+  MetricId metric = 0;
+  bool scored = false;   ///< model pool was full, a score was produced
+  bool anomaly = false;  ///< unanimous consensus above threshold
+  /// Consensus score: the MINIMUM over the pool's per-model scores (the
+  /// score every model is willing to vouch for), Q16.
+  std::uint32_t score_q16 = 0;
+};
+
+/// Plain-data view of one trained model (for snapshot / determinism tests).
+struct ModelState {
+  std::array<FeatureVector, 2> centroids{};
+  std::uint64_t min_distance = 0;  ///< saturated to 64 bits
+  std::uint64_t max_distance = 0;  ///< saturated to 64 bits
+};
+
+struct MetricState {
+  MetricId id = 0;
+  std::string name;
+  std::uint64_t samples = 0;
+  std::uint64_t scored = 0;
+  std::uint64_t anomalies = 0;
+  std::uint32_t last_score_q16 = 0;
+  /// Timeline of the last 64 scored windows, newest in bit 0 (1 = anomaly).
+  std::uint64_t anomaly_bits = 0;
+  std::vector<ModelState> models;  ///< oldest first
+};
+
+struct DetectorState {
+  std::uint64_t samples = 0;
+  std::uint64_t anomalies = 0;
+  std::uint64_t ignored_digests = 0;
+  std::vector<MetricState> metrics;  ///< ordered by id
+};
+
+class AnomalyDetector {
+ public:
+  /// Throws std::invalid_argument on a nonsensical config (zero models,
+  /// window smaller than the feature history, zero stagger/iterations).
+  explicit AnomalyDetector(DetectorConfig cfg = {});
+
+  AnomalyDetector(const AnomalyDetector&) = delete;
+  AnomalyDetector& operator=(const AnomalyDetector&) = delete;
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
+
+  /// Idempotent by name: re-registering returns the existing id.
+  MetricId register_metric(std::string name);
+
+  /// Record one sample of `metric`.  Returns the scoring outcome; scored
+  /// stays false until the model pool is full (train_window +
+  /// (models-1)*train_stagger features).  Thread-safe; feeds to DISTINCT
+  /// metrics from concurrent threads leave each metric's state exactly as
+  /// single-threaded feeding would (metrics are independent).
+  FeedResult feed(MetricId metric, std::uint64_t sample);
+
+  /// Route digests with this (switch, digest-id) to a metric named `name`
+  /// (registered on demand); payload[0] must equal `payload0` when
+  /// `match_payload0` is set (digest ids are shared across distributions —
+  /// payload[0] carries the distribution for the stat4p4 digests).
+  MetricId watch_digest(control::SwitchId sw, std::uint32_t digest_id,
+                        std::string name, bool match_payload0 = false,
+                        std::uint64_t payload0 = 0);
+
+  /// Feed a routed digest (payload[1] is the sample — the magnitude slot of
+  /// every stat4p4/sketch digest).  Unwatched digests are counted and
+  /// ignored.  Safe to install directly as a FleetRunner digest sink.
+  FeedResult on_digest(control::SwitchId sw, const p4sim::Digest& digest);
+
+  /// Watch a telemetry counter by exact name; each feed_snapshot() call
+  /// then feeds the counter's delta since the previous snapshot.  The first
+  /// sighting only establishes the baseline; a decreasing value re-baselines
+  /// without feeding (registry restart).
+  MetricId watch_counter(std::string counter_name);
+
+  /// Returns the number of samples fed from this snapshot.
+  std::size_t feed_snapshot(const telemetry::Snapshot& snapshot);
+
+  /// Invoked (outside the detector lock) for every consensus anomaly.
+  void set_anomaly_callback(
+      std::function<void(const FeedResult&, const std::string& name)> cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    callback_ = std::move(cb);
+  }
+
+  [[nodiscard]] DetectorState snapshot() const;
+
+  /// FNV-1a fingerprint over the complete integer state of one metric /
+  /// all metrics — two detectors fed the same streams with the same seed
+  /// produce identical fingerprints (bit-identical centroids and scores).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] std::uint64_t fingerprint(MetricId metric) const;
+
+ private:
+  struct Metric {
+    MetricId id = 0;
+    std::string name;
+    FeatureWindow window;
+    std::vector<FeatureVector> features;  ///< most recent <= train_window
+    std::vector<KMeans2> pool;            ///< oldest first
+    netsim::Rng rng;
+    std::uint64_t features_seen = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t scored = 0;
+    std::uint64_t anomalies = 0;
+    std::uint32_t last_score_q16 = 0;
+    std::uint64_t anomaly_bits = 0;
+    telemetry::Counter* t_anomalies = nullptr;
+    telemetry::Gauge* t_score = nullptr;
+    telemetry::Gauge* t_bits = nullptr;
+    std::int64_t exported_score = 0;
+    std::int64_t exported_bits = 0;
+
+    explicit Metric(MetricId metric_id, std::string metric_name,
+                    std::uint64_t root_seed);
+  };
+
+  struct DigestWatch {
+    MetricId metric = 0;
+    bool match_payload0 = false;
+    std::uint64_t payload0 = 0;
+  };
+
+  struct CounterWatch {
+    MetricId metric = 0;
+    bool seen = false;
+    std::uint64_t last = 0;
+  };
+
+  FeedResult feed_locked(Metric& m, std::uint64_t sample);
+  MetricId register_metric_locked(std::string name);
+  void mix_metric(std::uint64_t& h, const Metric& m) const;
+  void notify(const FeedResult& result, const std::string& name);
+
+  DetectorConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::map<std::string, MetricId, std::less<>> by_name_;
+  std::map<std::pair<control::SwitchId, std::uint32_t>, DigestWatch>
+      digest_watch_;
+  std::map<std::string, CounterWatch, std::less<>> counter_watch_;
+  std::function<void(const FeedResult&, const std::string& name)> callback_;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t total_anomalies_ = 0;
+  std::uint64_t ignored_digests_ = 0;
+  telemetry::Counter* t_samples_ = nullptr;
+  telemetry::Counter* t_anomalies_ = nullptr;
+  telemetry::Histogram* t_scores_ = nullptr;
+};
+
+}  // namespace control::ml

@@ -1,0 +1,32 @@
+#include "control/ml/features.hpp"
+
+namespace control::ml {
+
+void FeatureWindow::push(std::uint64_t sample) noexcept {
+  const std::uint64_t clamped = sample > kMaxSample ? kMaxSample : sample;
+  head_ = (head_ + 1) % kFeatureHistory;
+  ring_[head_] = static_cast<std::int64_t>(clamped);
+  if (count_ < kFeatureHistory) ++count_;
+  ++total_;
+}
+
+std::int64_t FeatureWindow::latest() const noexcept {
+  return count_ == 0 ? 0 : ring_[head_];
+}
+
+FeatureVector FeatureWindow::features() const noexcept {
+  // lag(0) = newest sample, lag(k) = k samples back.
+  const auto lag = [this](std::size_t k) {
+    return ring_[(head_ + kFeatureHistory - k) % kFeatureHistory];
+  };
+  FeatureVector f{};
+  f[0] = (lag(0) - lag(1)) * kFracOne;                     // first difference
+  f[1] = ((lag(2) + lag(1) + lag(0)) * kFracOne) / 3;      // 3-point SMA
+  f[2] = lag(1) * kFracOne;
+  f[3] = lag(2) * kFracOne;
+  f[4] = lag(3) * kFracOne;
+  f[5] = lag(4) * kFracOne;
+  return f;
+}
+
+}  // namespace control::ml

@@ -1,0 +1,68 @@
+// Fixed-point feature extraction for the controller-side ML ensemble.
+//
+// Follows the netdata design (SNIPPETS.md snippets 2-3): each raw sample
+// x_t of a metric is lifted to a 6-dimensional feature vector
+//
+//   [ diff(x_t), sma3(x_t), x_{t-1}, x_{t-2}, x_{t-3}, x_{t-4} ]
+//
+// where diff is the first difference x_t - x_{t-1} and sma3 the 3-point
+// simple moving average over {x_{t-2}, x_{t-1}, x_t}.  The preprocessing
+// makes the k-means models sensitive to both level shifts (lags) and
+// rate-of-change anomalies (diff / smoothed) at once.
+//
+// All arithmetic is integer fixed-point: raw samples (already integers —
+// packet counts, digest payloads, counter deltas) are scaled by 2^8 so the
+// /3 in the moving average keeps sub-integer resolution without floating
+// point.  This mirrors the repo-wide "everything the pipeline computes is
+// integer" rule and makes every downstream centroid/distance/score value
+// bit-reproducible across platforms.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace control::ml {
+
+/// Fixed-point scale: 8 fractional bits (Q8).
+inline constexpr std::int64_t kFracBits = 8;
+inline constexpr std::int64_t kFracOne = std::int64_t{1} << kFracBits;
+
+/// Raw samples are clamped to this before scaling, bounding every feature
+/// dimension to |f| <= 2^39 and every squared distance to < 2^83 — safely
+/// inside the unsigned 128-bit accumulator used by the k-means scorer.
+inline constexpr std::uint64_t kMaxSample = (std::uint64_t{1} << 31) - 1;
+
+inline constexpr std::size_t kFeatureDims = 6;
+inline constexpr std::size_t kFeatureLags = 4;
+/// Samples needed before the first feature vector exists (x_{t-4}..x_t).
+inline constexpr std::size_t kFeatureHistory = kFeatureLags + 1;
+
+using FeatureVector = std::array<std::int64_t, kFeatureDims>;
+
+/// Ring buffer of the most recent raw samples of one metric, emitting a
+/// feature vector per sample once kFeatureHistory samples have arrived.
+class FeatureWindow {
+ public:
+  /// Record one raw sample (clamped to kMaxSample).
+  void push(std::uint64_t sample) noexcept;
+
+  /// True once enough history exists for features().
+  [[nodiscard]] bool ready() const noexcept { return count_ >= kFeatureHistory; }
+
+  /// Feature vector for the newest sample; only valid when ready().
+  [[nodiscard]] FeatureVector features() const noexcept;
+
+  [[nodiscard]] std::uint64_t samples_seen() const noexcept { return total_; }
+
+  /// Newest raw (clamped) sample; 0 before any push.
+  [[nodiscard]] std::int64_t latest() const noexcept;
+
+ private:
+  std::array<std::int64_t, kFeatureHistory> ring_{};
+  std::size_t head_ = 0;   ///< index of the newest sample
+  std::size_t count_ = 0;  ///< valid entries, saturates at kFeatureHistory
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace control::ml

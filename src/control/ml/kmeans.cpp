@@ -1,0 +1,117 @@
+#include "control/ml/kmeans.hpp"
+
+namespace control::ml {
+
+U128 squared_distance(const FeatureVector& a, const FeatureVector& b) noexcept {
+  U128 acc = 0;
+  for (std::size_t i = 0; i < kFeatureDims; ++i) {
+    const std::int64_t d = a[i] - b[i];
+    const auto mag = static_cast<std::uint64_t>(d < 0 ? -d : d);
+    acc += static_cast<U128>(mag) * mag;
+  }
+  return acc;
+}
+
+namespace {
+
+/// Index of the point farthest from `from` (first index on ties).
+std::size_t farthest(const std::vector<FeatureVector>& points,
+                     const FeatureVector& from) {
+  std::size_t best = 0;
+  U128 best_d = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const U128 d = squared_distance(points[i], from);
+    if (d > best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void KMeans2::train(const std::vector<FeatureVector>& points, netsim::Rng& rng,
+                    std::size_t max_iters) {
+  const std::size_t n = points.size();
+  // Exactly one RNG draw per train() call, even for degenerate windows, so
+  // the per-metric RNG stream advances identically on every run.
+  const auto seed_idx = static_cast<std::size_t>(rng.below(n));
+  centroids_[0] = points[seed_idx];
+  centroids_[1] = points[farthest(points, centroids_[0])];
+
+  std::vector<std::uint8_t> assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    assign[i] = squared_distance(points[i], centroids_[1]) <
+                        squared_distance(points[i], centroids_[0])
+                    ? std::uint8_t{1}
+                    : std::uint8_t{0};
+  }
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // Update: integer centroid means (truncating division — deterministic).
+    for (std::size_t c = 0; c < 2; ++c) {
+      std::array<std::int64_t, kFeatureDims> sum{};
+      std::int64_t count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assign[i] != c) continue;
+        for (std::size_t dim = 0; dim < kFeatureDims; ++dim) {
+          sum[dim] += points[i][dim];
+        }
+        ++count;
+      }
+      if (count == 0) {
+        // Re-seed an emptied cluster at the point farthest from its peer.
+        centroids_[c] = points[farthest(points, centroids_[c ^ 1])];
+        continue;
+      }
+      for (std::size_t dim = 0; dim < kFeatureDims; ++dim) {
+        centroids_[c][dim] = sum[dim] / count;
+      }
+    }
+    // Reassign; converged when nothing moves.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t a = squared_distance(points[i], centroids_[1]) <
+                                     squared_distance(points[i], centroids_[0])
+                                 ? std::uint8_t{1}
+                                 : std::uint8_t{0};
+      if (a != assign[i]) {
+        assign[i] = a;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  min_dist_ = 0;
+  max_dist_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const U128 d0 = squared_distance(points[i], centroids_[0]);
+    const U128 d1 = squared_distance(points[i], centroids_[1]);
+    const U128 d = d1 < d0 ? d1 : d0;
+    if (i == 0 || d < min_dist_) min_dist_ = d;
+    if (d > max_dist_) max_dist_ = d;
+  }
+  trained_ = true;
+}
+
+U128 KMeans2::distance(const FeatureVector& f) const noexcept {
+  const U128 d0 = squared_distance(f, centroids_[0]);
+  const U128 d1 = squared_distance(f, centroids_[1]);
+  return d1 < d0 ? d1 : d0;
+}
+
+std::uint32_t KMeans2::score_q16(const FeatureVector& f) const noexcept {
+  if (!trained_) return 0;
+  const U128 d = distance(f);
+  if (max_dist_ == min_dist_) {
+    return d <= max_dist_ ? 0 : kScoreCap;
+  }
+  if (d <= min_dist_) return 0;
+  const U128 scaled = (d - min_dist_) << 16;
+  const U128 score = scaled / (max_dist_ - min_dist_);
+  return score >= kScoreCap ? kScoreCap : static_cast<std::uint32_t>(score);
+}
+
+}  // namespace control::ml

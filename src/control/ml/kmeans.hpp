@@ -1,0 +1,70 @@
+// k=2 Lloyd's k-means over fixed-point feature vectors, with the netdata
+// min-max-normalized anomaly score.
+//
+// Training partitions a window of feature vectors into two clusters and
+// records the min/max squared distance-to-nearest-centroid seen across the
+// training set.  Scoring a new vector maps its distance onto that range:
+//
+//   score = (d - dmin) / (dmax - dmin)        (Q16 fixed point)
+//
+// A score of 1.0 (65536 in Q16) means the point sits exactly at the worst
+// distance observed during training; anything above is outside everything
+// the model has seen.  Integer-only throughout: squared distances are
+// accumulated in unsigned 128-bit (6 dims x (2^40)^2 < 2^83), so the model
+// is bit-reproducible given the same window and seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "control/ml/features.hpp"
+#include "netsim/rng.hpp"
+
+namespace control::ml {
+
+__extension__ typedef unsigned __int128 U128;
+
+/// Q16 score equal to 1.0 — a point at the training-distance maximum.
+inline constexpr std::uint32_t kScoreOne = std::uint32_t{1} << 16;
+/// Scores are clamped here (16x the training range) to keep them in 32 bits.
+inline constexpr std::uint32_t kScoreCap = kScoreOne << 4;
+
+/// Squared Euclidean distance between two feature vectors.
+[[nodiscard]] U128 squared_distance(const FeatureVector& a,
+                                    const FeatureVector& b) noexcept;
+
+class KMeans2 {
+ public:
+  /// Lloyd's algorithm over `points` (must be non-empty): seed centroid 0
+  /// uniformly from the window via `rng` (exactly one draw — keeps the
+  /// detector's RNG stream deterministic), centroid 1 at the farthest point,
+  /// then iterate assign/update until stable or `max_iters` rounds.  An
+  /// emptied cluster is re-seeded at the point farthest from the other
+  /// centroid.  Records the min/max training distance for score().
+  void train(const std::vector<FeatureVector>& points, netsim::Rng& rng,
+             std::size_t max_iters);
+
+  /// Distance of `f` to the nearest centroid.  Valid after train().
+  [[nodiscard]] U128 distance(const FeatureVector& f) const noexcept;
+
+  /// Min-max-normalized anomaly score of `f` in Q16, clamped to kScoreCap.
+  /// A degenerate model (dmax == dmin: constant training window) scores 0
+  /// within the envelope and kScoreCap beyond it.
+  [[nodiscard]] std::uint32_t score_q16(const FeatureVector& f) const noexcept;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+  [[nodiscard]] const FeatureVector& centroid(std::size_t i) const noexcept {
+    return centroids_[i];
+  }
+  [[nodiscard]] U128 min_distance() const noexcept { return min_dist_; }
+  [[nodiscard]] U128 max_distance() const noexcept { return max_dist_; }
+
+ private:
+  std::array<FeatureVector, 2> centroids_{};
+  U128 min_dist_ = 0;
+  U128 max_dist_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace control::ml

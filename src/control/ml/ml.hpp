@@ -1,0 +1,6 @@
+// Umbrella header for the controller-side ML ensemble (docs/ML.md).
+#pragma once
+
+#include "control/ml/detector.hpp"  // IWYU pragma: export
+#include "control/ml/features.hpp"  // IWYU pragma: export
+#include "control/ml/kmeans.hpp"    // IWYU pragma: export

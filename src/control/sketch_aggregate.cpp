@@ -61,6 +61,18 @@ void SketchAggregator::aggregate(std::uint64_t epoch) {
   const sketch::DecodeResult decoded = merged.decode();
   if (!decoded.complete) ++incomplete_decodes_;
 
+  // ML gate: feed this epoch's network-wide decoded volume; a consensus
+  // anomaly escalates every heavy flow reported below (docs/ML.md).
+  bool ml_escalate = false;
+  if (detector_ != nullptr) {
+    std::uint64_t total = 0;
+    for (const sketch::DecodedFlow& flow : decoded.flows) total += flow.count;
+    if (detector_->feed(detector_metric_, total).anomaly) {
+      ml_escalate = true;
+      ++ml_anomalous_epochs_;
+    }
+  }
+
   for (const sketch::DecodedFlow& flow : decoded.flows) {
     if (flow.count < cfg_.heavy_threshold) continue;
     NetHeavyFlow out;
@@ -71,13 +83,16 @@ void SketchAggregator::aggregate(std::uint64_t epoch) {
       const std::uint64_t local = snaps[i].query(flow.key);
       if (local > 0) out.per_switch.emplace_back(members_[i].first, local);
     }
-    // Drill down: block the decoded key network-wide, once.
-    if (cfg_.escalate_threshold > 0 && flow.count >= cfg_.escalate_threshold &&
-        blocked_.insert(flow.key).second) {
+    // Drill down: block the decoded key network-wide, once.  Either the
+    // static threshold or an ML-anomalous epoch justifies the escalation.
+    const bool static_escalate = cfg_.escalate_threshold > 0 &&
+                                 flow.count >= cfg_.escalate_threshold;
+    if ((static_escalate || ml_escalate) && blocked_.insert(flow.key).second) {
       for (const auto& [id, app] : members_) {
         app->install_drop_exact(static_cast<std::uint32_t>(flow.key));
       }
       out.escalated = true;
+      if (!static_escalate) ++ml_escalations_;
     }
     flows_.push_back(out);
     if (sink_) sink_(out);

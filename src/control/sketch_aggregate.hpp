@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "control/fleet.hpp"
+#include "control/ml/detector.hpp"
 #include "sketch/apps.hpp"
 
 namespace control {
@@ -69,6 +70,18 @@ class SketchAggregator {
     sink_ = std::move(sink);
   }
 
+  /// ML-gated escalation (docs/ML.md): each aggregated epoch feeds its
+  /// network-wide decoded volume into `detector` under `metric`; on a
+  /// consensus anomaly EVERY heavy flow reported that epoch is escalated
+  /// (drops installed fleet-wide) even below escalate_threshold — the
+  /// ensemble vouching that this epoch's volume is abnormal lowers the
+  /// evidence bar for mitigation.  `detector` must outlive the aggregator.
+  void attach_anomaly_detector(ml::AnomalyDetector& detector,
+                               ml::MetricId metric) {
+    detector_ = &detector;
+    detector_metric_ = metric;
+  }
+
   /// All flows reported so far, in report order.
   [[nodiscard]] const std::vector<NetHeavyFlow>& flows() const noexcept {
     return flows_;
@@ -87,6 +100,15 @@ class SketchAggregator {
   [[nodiscard]] std::uint64_t ignored_digests() const noexcept {
     return ignored_digests_;
   }
+  /// Epochs the attached detector flagged as consensus-anomalous.
+  [[nodiscard]] std::uint64_t ml_anomalous_epochs() const noexcept {
+    return ml_anomalous_epochs_;
+  }
+  /// Flows escalated ONLY because of an ML-anomalous epoch (below the
+  /// static escalate_threshold).
+  [[nodiscard]] std::uint64_t ml_escalations() const noexcept {
+    return ml_escalations_;
+  }
 
  private:
   void aggregate(std::uint64_t epoch);
@@ -101,6 +123,10 @@ class SketchAggregator {
   std::uint64_t epochs_aggregated_ = 0;
   std::uint64_t incomplete_decodes_ = 0;
   std::uint64_t ignored_digests_ = 0;
+  ml::AnomalyDetector* detector_ = nullptr;
+  ml::MetricId detector_metric_ = 0;
+  std::uint64_t ml_anomalous_epochs_ = 0;
+  std::uint64_t ml_escalations_ = 0;
 };
 
 }  // namespace control

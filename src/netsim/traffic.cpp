@@ -1,5 +1,6 @@
 #include "netsim/traffic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -13,8 +14,15 @@ struct FlowState {
   TimeNs stop = 0;
   TimeNs gap = 0;
   Rng* rng = nullptr;  ///< non-null = Poisson arrivals with mean `gap`
+  RateModulator modulator;  ///< non-null = time-varying rate multiplier
   PacketFactory factory;
   std::uint64_t seq = 0;
+  // Modulated flows only: emission bookkeeping.  The pump re-polls at
+  // least every base gap so a RISING rate takes effect immediately — a
+  // naive "gap = base/factor(now)" would freeze a slow-start ramp at its
+  // initial near-zero rate.
+  TimeNs last_emit = 0;
+  double exp_scale = 1.0;  ///< exponential inter-arrival multiplier
 };
 
 void PacketPump::launch(TimeNs start, TimeNs stop, TimeNs gap,
@@ -30,9 +38,7 @@ void PacketPump::launch(TimeNs start, TimeNs stop, TimeNs gap,
   sim_->schedule_at(at, [this, flow]() { step(flow); });
 }
 
-void PacketPump::step(std::shared_ptr<FlowState> flow) {
-  if (stopped_) return;
-  if (flow->stop != 0 && sim_->now() >= flow->stop) return;
+void PacketPump::emit_packet(FlowState& flow) {
   STAT4_TELEMETRY_ONLY(
       static telemetry::Counter& t_generated =
           telemetry::MetricsRegistry::global().counter(
@@ -45,9 +51,19 @@ void PacketPump::step(std::shared_ptr<FlowState> flow) {
   {
     STAT4_TELEMETRY_ONLY(
         telemetry::SampledSpan t_span(t_factory, t_gate, 64);)
-    emit_(flow->factory(flow->seq++));
+    emit_(flow.factory(flow.seq++));
   }
   ++emitted_;
+}
+
+void PacketPump::step(std::shared_ptr<FlowState> flow) {
+  if (stopped_) return;
+  if (flow->stop != 0 && sim_->now() >= flow->stop) return;
+  if (flow->modulator) {
+    modulated_step(flow);
+    return;
+  }
+  emit_packet(*flow);
   TimeNs gap = flow->gap;
   if (flow->rng != nullptr) {
     // Exponential inter-arrival: -mean * ln(U), U in (0, 1].
@@ -57,6 +73,38 @@ void PacketPump::step(std::shared_ptr<FlowState> flow) {
                                std::log(u)));
   }
   sim_->schedule_after(gap, [this, flow]() { step(flow); });
+}
+
+void PacketPump::modulated_step(const std::shared_ptr<FlowState>& flow) {
+  const TimeNs now = sim_->now();
+  double factor = flow->modulator(now);
+  if (!(factor > 0.0)) {
+    // Silenced: poll again one base gap later; no backlog accrues while
+    // the rate is zero.
+    flow->last_emit = now;
+    sim_->schedule_after(flow->gap, [this, flow]() { step(flow); });
+    return;
+  }
+  factor = std::min(1e6, std::max(1e-6, factor));
+  const double mean_gap = static_cast<double>(flow->gap) / factor;
+  // exp_scale is the (pre-drawn) exponential multiplier of this interval;
+  // 1.0 on the deterministic grid.
+  const auto interval = std::max<TimeNs>(
+      1, static_cast<TimeNs>(mean_gap * flow->exp_scale));
+  if (now >= flow->last_emit + interval) {
+    emit_packet(*flow);
+    flow->last_emit = now;
+    if (flow->rng != nullptr) {
+      flow->exp_scale = -std::log(1.0 - flow->rng->uniform01());
+    }
+  }
+  // Re-poll no later than one base gap out, so a rate that climbs between
+  // emissions is noticed without waiting out a stale (long) interval.
+  const auto next_interval = std::max<TimeNs>(
+      1, static_cast<TimeNs>(mean_gap * flow->exp_scale));
+  const TimeNs due = flow->last_emit + next_interval - now;
+  const TimeNs wait = std::max<TimeNs>(1, std::min(due, flow->gap));
+  sim_->schedule_after(wait, [this, flow]() { step(flow); });
 }
 
 void PacketPump::launch_poisson(TimeNs start, TimeNs stop, TimeNs mean_gap,
@@ -71,6 +119,76 @@ void PacketPump::launch_poisson(TimeNs start, TimeNs stop, TimeNs mean_gap,
   flow->factory = std::move(factory);
   const TimeNs at = std::max(start, sim_->now());
   sim_->schedule_at(at, [this, flow]() { step(flow); });
+}
+
+void PacketPump::launch_modulated(TimeNs start, TimeNs stop, TimeNs base_gap,
+                                  RateModulator modulator,
+                                  PacketFactory factory, Rng* rng) {
+  if (base_gap <= 0) {
+    throw std::invalid_argument("netsim: base gap must be positive");
+  }
+  if (!modulator) {
+    throw std::invalid_argument("netsim: modulator must be callable");
+  }
+  auto flow = std::make_shared<FlowState>();
+  flow->stop = stop;
+  flow->gap = base_gap;
+  flow->rng = rng;
+  flow->modulator = std::move(modulator);
+  flow->factory = std::move(factory);
+  const TimeNs at = std::max(start, sim_->now());
+  flow->last_emit = at - base_gap;  // first emission due immediately
+  sim_->schedule_at(at, [this, flow]() { step(flow); });
+}
+
+RateModulator diurnal_modulator(TimeNs period, double amplitude) {
+  if (period <= 0) {
+    throw std::invalid_argument("netsim: diurnal period must be positive");
+  }
+  if (amplitude < 0.0 || amplitude >= 1.0) {
+    throw std::invalid_argument("netsim: diurnal amplitude must be in [0,1)");
+  }
+  constexpr double kTwoPi = 6.283185307179586;
+  return [period, amplitude](TimeNs now) {
+    const double phase =
+        kTwoPi * static_cast<double>(now) / static_cast<double>(period);
+    return 1.0 + amplitude * std::sin(phase);
+  };
+}
+
+RateModulator drift_modulator(double growth_per_second, double max_factor) {
+  if (max_factor <= 0.0) {
+    throw std::invalid_argument("netsim: drift cap must be positive");
+  }
+  return [growth_per_second, max_factor](TimeNs now) {
+    const double seconds = static_cast<double>(now) * 1e-9;
+    return std::min(max_factor, 1.0 + growth_per_second * seconds);
+  };
+}
+
+RateModulator ramp_modulator(TimeNs ramp_start, TimeNs ramp_duration,
+                             double peak_factor) {
+  if (ramp_duration <= 0) {
+    throw std::invalid_argument("netsim: ramp duration must be positive");
+  }
+  if (peak_factor <= 0.0) {
+    throw std::invalid_argument("netsim: ramp peak must be positive");
+  }
+  return [ramp_start, ramp_duration, peak_factor](TimeNs now) {
+    if (now < ramp_start) return 0.0;
+    if (now >= ramp_start + ramp_duration) return peak_factor;
+    return peak_factor * static_cast<double>(now - ramp_start) /
+           static_cast<double>(ramp_duration);
+  };
+}
+
+RateModulator combine_modulators(RateModulator a, RateModulator b) {
+  if (!a || !b) {
+    throw std::invalid_argument("netsim: combined modulators must be callable");
+  }
+  return [a = std::move(a), b = std::move(b)](TimeNs now) {
+    return a(now) * b(now);
+  };
 }
 
 PacketFactory uniform_udp_factory(Rng& rng, std::uint32_t src_ip,

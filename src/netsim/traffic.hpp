@@ -21,6 +21,13 @@ namespace netsim {
 
 using PacketFactory = std::function<p4sim::Packet(std::uint64_t seq)>;
 
+/// Multiplies a flow's base rate as a function of simulation time: a
+/// modulator value of 2.0 doubles the packet rate (halves the gap), 0.5
+/// halves it, and <= 0 silences the flow for that moment (the pump polls
+/// again one base gap later).  Pure functions of time keep flows
+/// seed-deterministic.
+using RateModulator = std::function<double(TimeNs now)>;
+
 /// Emits factory-made packets on a fixed inter-arrival grid.
 class PacketPump {
  public:
@@ -41,6 +48,16 @@ class PacketPump {
   void launch_poisson(TimeNs start, TimeNs stop, TimeNs mean_gap, Rng& rng,
                       PacketFactory factory);
 
+  /// Like launch / launch_poisson, but the instantaneous rate is
+  /// `modulator(now)` times the base rate implied by `base_gap`.  With a
+  /// non-null `rng` the inter-arrival times are exponential around the
+  /// modulated gap (a time-varying Poisson process); with nullptr they sit
+  /// on the modulated grid.  Drives the ML scenarios: diurnal load swings,
+  /// baseline drift, and slow-ramp attacks (docs/ML.md).
+  void launch_modulated(TimeNs start, TimeNs stop, TimeNs base_gap,
+                        RateModulator modulator, PacketFactory factory,
+                        Rng* rng = nullptr);
+
   /// Stop all flows at the next emission opportunity.
   void stop_all() noexcept { stopped_ = true; }
 
@@ -50,6 +67,8 @@ class PacketPump {
 
  private:
   void step(std::shared_ptr<struct FlowState> flow);
+  void modulated_step(const std::shared_ptr<struct FlowState>& flow);
+  void emit_packet(struct FlowState& flow);
 
   Simulator* sim_;
   Emit emit_;
@@ -76,5 +95,28 @@ class PacketPump {
 [[nodiscard]] PacketFactory zipf_udp_factory(
     Rng& rng, std::uint32_t src_ip, std::vector<std::uint32_t> destinations,
     double s, std::size_t pad_to = 0);
+
+// ---- rate modulators for the ML anomaly scenarios -------------------------
+
+/// Diurnal load: 1 + amplitude * sin(2*pi*t / period) — the day/night swing
+/// a static threshold must not alarm on.  `amplitude` in [0, 1).
+[[nodiscard]] RateModulator diurnal_modulator(TimeNs period, double amplitude);
+
+/// Baseline drift: rate grows by `growth_per_second` every simulated second
+/// (linear in time), capped at `max_factor`.  Models organic load growth.
+[[nodiscard]] RateModulator drift_modulator(double growth_per_second,
+                                            double max_factor);
+
+/// Slow-ramp attack envelope: 0 before `ramp_start`, then a linear climb to
+/// `peak_factor` over `ramp_duration`, holding the peak afterwards.  Slow
+/// enough a self-adapting mean+k*sigma window absorbs it; the consensus
+/// ensemble does not (examples/adaptive_anomaly).
+[[nodiscard]] RateModulator ramp_modulator(TimeNs ramp_start,
+                                           TimeNs ramp_duration,
+                                           double peak_factor);
+
+/// Pointwise product of two modulators (diurnal * drift, ...).
+[[nodiscard]] RateModulator combine_modulators(RateModulator a,
+                                               RateModulator b);
 
 }  // namespace netsim

@@ -3,6 +3,7 @@
 
 #include "control/control.hpp"
 #include "p4sim/craft.hpp"
+#include "sketch/programs.hpp"
 
 namespace control {
 namespace {
@@ -79,6 +80,64 @@ TEST(DrillDownController, IgnoresWrongDistribution) {
   f.sim.run();
   EXPECT_EQ(f.controller.result().identified_subnet, 0u);
   EXPECT_FALSE(f.controller.done());
+}
+
+TEST(DrillDownController, HeavyChangerDigestTriggersWhenAccepted) {
+  ControllerFixture f;
+  // Default config: changer digests are NOT a trigger.
+  f.push(sketch::kDigestHeavyChanger, 0xC0FFEE, 90, 0);
+  f.sim.run();
+  EXPECT_FALSE(f.controller.result().spike_handled_time.has_value());
+
+  // Opt in: the changer digest starts the same per-/24 drill-down.
+  Simulator sim2;
+  stat4p4::MonitorApp app2;
+  ControlChannel channel2(sim2);
+  auto cfg = ControllerFixture::make_cfg();
+  cfg.accept_heavy_changer = true;
+  DrillDownController controller2(channel2, app2, cfg);
+  p4sim::Digest d;
+  d.id = sketch::kDigestHeavyChanger;
+  d.payload = {0xC0FFEE, 90, 1};
+  d.time = 7;
+  channel2.push_digest(d);
+  sim2.run();
+  EXPECT_TRUE(controller2.result().spike_handled_time.has_value());
+  ASSERT_TRUE(controller2.result().changer_digest_time.has_value());
+  EXPECT_EQ(*controller2.result().changer_digest_time, 7u);
+  EXPECT_FALSE(controller2.result().spike_digest_time.has_value());
+  EXPECT_EQ(app2.sw().table(app2.binding_table()).entry_count(), 1u);
+
+  // The state machine continues exactly as after a rate-spike trigger.
+  d.id = stat4p4::kDigestImbalance;
+  d.payload = {1, 5, 0};
+  d.time = sim2.now();
+  channel2.push_digest(d);
+  sim2.run();
+  EXPECT_EQ(controller2.result().identified_subnet, 5u);
+}
+
+TEST(DrillDownController, ConsensusAnomalyTriggersDrillDown) {
+  ControllerFixture f;
+  f.controller.on_consensus_anomaly("sw0.delivered", 42);
+  f.sim.run();  // table ops ride the latency-modeled channel
+  EXPECT_TRUE(f.controller.result().spike_handled_time.has_value());
+  ASSERT_TRUE(f.controller.result().ml_trigger_time.has_value());
+  EXPECT_EQ(*f.controller.result().ml_trigger_time, 42u);
+  EXPECT_EQ(f.controller.result().ml_metric, "sw0.delivered");
+  EXPECT_EQ(f.app.sw().table(f.app.binding_table()).entry_count(), 1u);
+
+  // A second consensus anomaly mid-drill-down is ignored.
+  f.controller.on_consensus_anomaly("sw1.delivered", 99);
+  f.sim.run();
+  EXPECT_EQ(*f.controller.result().ml_trigger_time, 42u);
+  EXPECT_EQ(f.controller.result().ml_metric, "sw0.delivered");
+  EXPECT_EQ(f.app.sw().table(f.app.binding_table()).entry_count(), 1u);
+
+  // The drill-down proceeds to the subnet stage as usual.
+  f.push(stat4p4::kDigestImbalance, 1, 9, f.sim.now());
+  f.sim.run();
+  EXPECT_EQ(f.controller.result().identified_subnet, 9u);
 }
 
 TEST(DrillDownController, TableOpsGoThroughChannelLatency) {

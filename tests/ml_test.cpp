@@ -1,0 +1,510 @@
+// Tests for the controller-side ML anomaly ensemble (src/control/ml/):
+// fixed-point feature extraction, the k=2 k-means scorer, the consensus
+// detector (feeds, routing, determinism), the SketchAggregator ML gate,
+// and the multi-thread feed contract (a TSan target).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/ml/ml.hpp"
+#include "control/sketch_aggregate.hpp"
+#include "netsim/rng.hpp"
+#include "p4sim/craft.hpp"
+#include "sketch/apps.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace control::ml {
+namespace {
+
+using p4sim::ipv4;
+
+// ------------------------------------------------------------------ features
+
+TEST(FeatureWindow, NotReadyUntilHistoryFills) {
+  FeatureWindow w;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(w.ready()) << "after " << i << " samples";
+    w.push(100);
+  }
+  EXPECT_FALSE(w.ready());
+  w.push(100);
+  EXPECT_TRUE(w.ready());
+  EXPECT_EQ(w.samples_seen(), 5u);
+}
+
+TEST(FeatureWindow, FeatureVectorIsExact) {
+  FeatureWindow w;
+  // x_{t-4}..x_t = 10, 20, 40, 70, 110.
+  for (const std::uint64_t s : {10u, 20u, 40u, 70u, 110u}) w.push(s);
+  ASSERT_TRUE(w.ready());
+  const FeatureVector f = w.features();
+  EXPECT_EQ(f[0], (110 - 70) * kFracOne);                 // diff
+  EXPECT_EQ(f[1], (40 + 70 + 110) * kFracOne / 3);        // sma3
+  EXPECT_EQ(f[2], 70 * kFracOne);                         // lag 1
+  EXPECT_EQ(f[3], 40 * kFracOne);                         // lag 2
+  EXPECT_EQ(f[4], 20 * kFracOne);                         // lag 3
+  EXPECT_EQ(f[5], 10 * kFracOne);                         // lag 4
+}
+
+TEST(FeatureWindow, ClampsHugeSamples) {
+  FeatureWindow w;
+  for (int i = 0; i < 5; ++i) w.push(~std::uint64_t{0});
+  const FeatureVector f = w.features();
+  EXPECT_EQ(f[0], 0);  // clamped to the same value -> zero diff
+  EXPECT_EQ(f[2], static_cast<std::int64_t>(kMaxSample) * kFracOne);
+  EXPECT_EQ(w.latest(), static_cast<std::int64_t>(kMaxSample));
+}
+
+// ------------------------------------------------------------------- k-means
+
+std::vector<FeatureVector> two_blobs() {
+  // Two tight clusters around 0 and 1000 (scaled), small spread.
+  std::vector<FeatureVector> pts;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    FeatureVector lo{};
+    FeatureVector hi{};
+    for (std::size_t d = 0; d < kFeatureDims; ++d) {
+      lo[d] = (i % 3) * kFracOne;
+      hi[d] = (1000 + i % 3) * kFracOne;
+    }
+    pts.push_back(lo);
+    pts.push_back(hi);
+  }
+  return pts;
+}
+
+TEST(KMeans2, SeparatesTwoBlobsAndScoresOutliers) {
+  netsim::Rng rng(7);
+  KMeans2 model;
+  model.train(two_blobs(), rng, 32);
+  ASSERT_TRUE(model.trained());
+
+  // One centroid near each blob (order unspecified).
+  const std::int64_t c0 = model.centroid(0)[2];
+  const std::int64_t c1 = model.centroid(1)[2];
+  const std::int64_t lo = std::min(c0, c1);
+  const std::int64_t hi = std::max(c0, c1);
+  EXPECT_LT(lo, 10 * kFracOne);
+  EXPECT_GT(hi, 990 * kFracOne);
+
+  // A point inside a blob scores within the envelope; a far point blows
+  // past it.
+  FeatureVector inside{};
+  FeatureVector outside{};
+  for (std::size_t d = 0; d < kFeatureDims; ++d) {
+    inside[d] = 1 * kFracOne;
+    outside[d] = 5000 * kFracOne;
+  }
+  EXPECT_LE(model.score_q16(inside), kScoreOne);
+  EXPECT_GT(model.score_q16(outside), 4 * kScoreOne);
+}
+
+TEST(KMeans2, TrainingIsDeterministic) {
+  netsim::Rng rng_a(99);
+  netsim::Rng rng_b(99);
+  KMeans2 a;
+  KMeans2 b;
+  a.train(two_blobs(), rng_a, 32);
+  b.train(two_blobs(), rng_b, 32);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(a.centroid(c), b.centroid(c));
+  }
+  EXPECT_TRUE(a.min_distance() == b.min_distance());
+  EXPECT_TRUE(a.max_distance() == b.max_distance());
+}
+
+TEST(KMeans2, DegenerateConstantWindow) {
+  // All training points identical: dmax == dmin == 0.  Inside scores 0,
+  // anything else scores the cap.
+  std::vector<FeatureVector> pts(10);
+  for (auto& p : pts) p.fill(42 * kFracOne);
+  netsim::Rng rng(1);
+  KMeans2 model;
+  model.train(pts, rng, 8);
+  FeatureVector same{};
+  same.fill(42 * kFracOne);
+  FeatureVector other{};
+  other.fill(43 * kFracOne);
+  EXPECT_EQ(model.score_q16(same), 0u);
+  EXPECT_EQ(model.score_q16(other), kScoreCap);
+}
+
+// ------------------------------------------------------------------ detector
+
+DetectorConfig small_config() {
+  DetectorConfig cfg;
+  cfg.models = 2;
+  cfg.train_window = 8;
+  cfg.train_stagger = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(AnomalyDetector, RejectsNonsenseConfig) {
+  DetectorConfig cfg;
+  cfg.models = 0;
+  EXPECT_THROW(AnomalyDetector{cfg}, std::invalid_argument);
+  cfg = DetectorConfig{};
+  cfg.train_window = kFeatureHistory - 1;
+  EXPECT_THROW(AnomalyDetector{cfg}, std::invalid_argument);
+  cfg = DetectorConfig{};
+  cfg.train_stagger = 0;
+  EXPECT_THROW(AnomalyDetector{cfg}, std::invalid_argument);
+  cfg = DetectorConfig{};
+  cfg.threshold_q16 = 0;
+  EXPECT_THROW(AnomalyDetector{cfg}, std::invalid_argument);
+}
+
+TEST(AnomalyDetector, RegisterIsIdempotentByName) {
+  AnomalyDetector det(small_config());
+  const MetricId a = det.register_metric("cpu");
+  const MetricId b = det.register_metric("mem");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(det.register_metric("cpu"), a);
+  EXPECT_EQ(det.snapshot().metrics.size(), 2u);
+}
+
+TEST(AnomalyDetector, ScoredOnlyOncePoolIsFull) {
+  // models=2, window=8, stagger=4: features start at sample 5, the pool
+  // fills at feature 12 (sample 16, trained after scoring), so the first
+  // scored feed is sample 17.
+  AnomalyDetector det(small_config());
+  const MetricId m = det.register_metric("m");
+  int first_scored = -1;
+  for (int i = 1; i <= 24; ++i) {
+    const FeedResult r =
+        det.feed(m, 100 + static_cast<std::uint64_t>(i % 4));
+    if (r.scored && first_scored < 0) first_scored = i;
+  }
+  EXPECT_EQ(first_scored, 17);
+  const DetectorState st = det.snapshot();
+  EXPECT_EQ(st.metrics[0].samples, 24u);
+  EXPECT_EQ(st.metrics[0].scored, 24u - 16u);
+  EXPECT_EQ(st.metrics[0].models.size(), 2u);
+}
+
+/// Periodic "normal" sample: integer wave the training window covers fully.
+std::uint64_t normal_sample(int i) {
+  return 1000 + static_cast<std::uint64_t>((i % 8) * 25);
+}
+
+TEST(AnomalyDetector, LevelShiftRaisesConsensusThenAdapts) {
+  DetectorConfig cfg;
+  cfg.models = 2;
+  cfg.train_window = 16;
+  cfg.train_stagger = 8;
+  cfg.seed = 11;
+  AnomalyDetector det(cfg);
+  const MetricId m = det.register_metric("m");
+
+  std::vector<std::pair<FeedResult, std::string>> hits;
+  det.set_anomaly_callback(
+      [&](const FeedResult& r, const std::string& name) {
+        hits.emplace_back(r, name);
+        // Documented contract: the callback runs OUTSIDE the detector
+        // lock, so re-entrant reads are safe (a regression deadlocks).
+        (void)det.snapshot();
+      });
+
+  // Quiet phase: the pool trains on the wave; no consensus anomalies.
+  for (int i = 1; i <= 60; ++i) {
+    const FeedResult r = det.feed(m, normal_sample(i));
+    EXPECT_FALSE(r.anomaly) << "false positive at feed " << i;
+  }
+  EXPECT_TRUE(hits.empty());
+
+  // Level shift: 1000-ish -> 50000.  Every model in the pool predates the
+  // shift, so the first scored shifted windows are unanimous anomalies.
+  std::uint64_t shift_anomalies = 0;
+  std::uint64_t tail_anomalies = 0;
+  for (int i = 1; i <= 80; ++i) {
+    const FeedResult r = det.feed(m, 50000);
+    if (r.anomaly) {
+      ++shift_anomalies;
+      if (i > 60) ++tail_anomalies;
+    }
+  }
+  EXPECT_GE(shift_anomalies, 1u);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front().second, "m");
+  EXPECT_GE(hits.front().first.score_q16, cfg.threshold_q16);
+  // Adaptation: once every model has retrained on the (now constant)
+  // shifted level, consensus collapses and the alerts stop.
+  EXPECT_EQ(tail_anomalies, 0u);
+  const DetectorState st = det.snapshot();
+  EXPECT_EQ(st.metrics[0].anomalies, shift_anomalies);
+  EXPECT_EQ(st.anomalies, shift_anomalies);
+}
+
+TEST(AnomalyDetector, SameSeedSameStreamBitIdentical) {
+  AnomalyDetector a(small_config());
+  AnomalyDetector b(small_config());
+  DetectorConfig other = small_config();
+  other.seed = 6;
+  AnomalyDetector c(other);
+  const MetricId ma = a.register_metric("m");
+  const MetricId mb = b.register_metric("m");
+  const MetricId mc = c.register_metric("m");
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 300; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;  // LCG
+    const std::uint64_t s = 500 + (x >> 56);
+    a.feed(ma, s);
+    b.feed(mb, s);
+    c.feed(mc, s);
+  }
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(ma), b.fingerprint(mb));
+  EXPECT_NE(a.fingerprint(), c.fingerprint()) << "seed must matter";
+}
+
+TEST(AnomalyDetector, RoutesWatchedDigestsAndCountsIgnored) {
+  AnomalyDetector det(small_config());
+  const MetricId hh = det.watch_digest(1, 7, "sw1.heavy_hitter");
+  // payload[0]-filtered watch: only distribution 0 feeds the metric.
+  const MetricId rate = det.watch_digest(3, 1, "sw3.rate", true, 0);
+
+  p4sim::Digest d;
+  d.id = 7;
+  d.payload = {0, 777, 0};
+  d.time = 0;
+  EXPECT_FALSE(det.on_digest(2, d).scored);  // wrong switch -> ignored
+  det.on_digest(1, d);                       // watched -> fed payload[1]
+  d.id = 9;
+  det.on_digest(1, d);  // unwatched digest id -> ignored
+
+  d.id = 1;
+  d.payload = {1, 42, 0};
+  det.on_digest(3, d);  // payload[0] mismatch -> ignored
+  d.payload = {0, 42, 0};
+  det.on_digest(3, d);  // match -> fed
+
+  const DetectorState st = det.snapshot();
+  EXPECT_EQ(st.ignored_digests, 3u);
+  EXPECT_EQ(st.metrics[hh].samples, 1u);
+  EXPECT_EQ(st.metrics[rate].samples, 1u);
+}
+
+TEST(AnomalyDetector, SnapshotFeedUsesDeltasAndRebaselines) {
+  AnomalyDetector det(small_config());
+  const MetricId m = det.watch_counter("fleet.delivered");
+
+  telemetry::Snapshot snap;
+  snap.counters.push_back({"fleet.delivered", 1000});
+  snap.counters.push_back({"unwatched", 5});
+  EXPECT_EQ(det.feed_snapshot(snap), 0u) << "first sighting = baseline only";
+
+  snap.counters[0].value = 1200;
+  EXPECT_EQ(det.feed_snapshot(snap), 1u);  // delta 200 fed
+
+  snap.counters[0].value = 300;  // registry restart: value went DOWN
+  EXPECT_EQ(det.feed_snapshot(snap), 0u) << "decrease re-baselines";
+
+  snap.counters[0].value = 350;
+  EXPECT_EQ(det.feed_snapshot(snap), 1u);  // delta 50 fed
+
+  EXPECT_EQ(det.snapshot().metrics[m].samples, 2u);
+}
+
+#if STAT4_TELEMETRY_ENABLED
+TEST(AnomalyDetector, ExportsCountersAndTimelineGauges) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  const auto counter_value = [&](const std::string& name) {
+    for (const auto& c : reg.snapshot().counters) {
+      if (c.name == name) return c.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t before = counter_value("ml.samples");
+
+  AnomalyDetector det(small_config());
+  const MetricId m = det.register_metric("telemetry.probe");
+  for (int i = 1; i <= 20; ++i) {
+    det.feed(m, 100 + static_cast<std::uint64_t>(i % 4));
+  }
+  EXPECT_EQ(counter_value("ml.samples"), before + 20);
+
+  // Per-metric score/timeline gauges track the latest scored window.
+  const DetectorState st = det.snapshot();
+  bool saw_score = false;
+  for (const auto& g : reg.snapshot().gauges) {
+    if (g.name == "ml.telemetry.probe.score_q16") {
+      saw_score = true;
+      EXPECT_EQ(g.value,
+                static_cast<std::int64_t>(st.metrics[m].last_score_q16));
+    }
+  }
+  EXPECT_TRUE(saw_score);
+}
+#endif  // STAT4_TELEMETRY_ENABLED
+
+// Concurrent feeds to DISTINCT metrics must leave each metric exactly as
+// single-threaded feeding would.  Run under TSan to validate the locking.
+TEST(AnomalyDetector, ConcurrentDistinctMetricFeedsMatchSerial) {
+  constexpr int kThreads = 4;
+  constexpr int kFeeds = 1500;
+  const auto sample_at = [](int metric, int i) {
+    return 200 + static_cast<std::uint64_t>((metric * 31 + i * 7) % 97);
+  };
+
+  AnomalyDetector serial(small_config());
+  AnomalyDetector concurrent(small_config());
+  std::vector<MetricId> ids;
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string name = "m" + std::to_string(t);
+    ids.push_back(serial.register_metric(name));
+    ASSERT_EQ(concurrent.register_metric(name), ids.back());
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kFeeds; ++i) {
+      serial.feed(ids[static_cast<std::size_t>(t)], sample_at(t, i));
+    }
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < kFeeds; ++i) {
+        concurrent.feed(ids[static_cast<std::size_t>(t)], sample_at(t, i));
+      }
+    });
+  }
+  // A concurrent reader exercises snapshot()/fingerprint() against the
+  // feeding threads.
+  std::thread reader([&]() {
+    for (int i = 0; i < 200; ++i) {
+      (void)concurrent.snapshot();
+      (void)concurrent.fingerprint();
+    }
+  });
+  for (auto& w : workers) w.join();
+  reader.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(concurrent.fingerprint(ids[static_cast<std::size_t>(t)]),
+              serial.fingerprint(ids[static_cast<std::size_t>(t)]))
+        << "metric " << t;
+  }
+}
+
+// ------------------------------------------- SketchAggregator escalation gate
+
+/// One epoch of traffic through a SketchApp, digests into the aggregator.
+void drive_epoch(sketch::SketchApp& app, control::SketchAggregator& agg,
+                 const std::vector<std::uint32_t>& dsts, stat4::TimeNs& t) {
+  for (const std::uint32_t dst : dsts) {
+    p4sim::Packet pkt = p4sim::make_udp_packet(ipv4(2, 2, 2, 2), dst, 7, 7);
+    pkt.ingress_ts = t++;
+    for (const p4sim::Digest& d : app.sw().process(std::move(pkt)).digests) {
+      agg.on_digest(0, d);
+    }
+  }
+}
+
+/// `heavy_count` packets to `heavy` plus background from a 40-key pool —
+/// few enough distinct keys that the invertible decode completes.
+std::vector<std::uint32_t> epoch_mix(std::uint32_t heavy, int heavy_count,
+                                     int total) {
+  std::vector<std::uint32_t> dsts;
+  for (int i = 0; i < heavy_count; ++i) dsts.push_back(heavy);
+  int k = 0;
+  while (static_cast<int>(dsts.size()) < total) {
+    dsts.push_back(ipv4(10, 9, 1, static_cast<unsigned>(k++ % 40)));
+  }
+  return dsts;
+}
+
+/// Pre-trains `det` on `metric` with a tight envelope around `level`, so
+/// the pool is full and a real epoch's volume is judged against `level`.
+void warm_detector(AnomalyDetector& det, MetricId metric,
+                   std::uint64_t level) {
+  for (int i = 1; i <= 14; ++i) {
+    det.feed(metric, level + static_cast<std::uint64_t>(i % 2));
+  }
+}
+
+DetectorConfig gate_config() {
+  DetectorConfig cfg;
+  cfg.models = 2;
+  cfg.train_window = 6;
+  cfg.train_stagger = 2;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(SketchAggregatorML, AnomalousEpochEscalatesBelowStaticThreshold) {
+  sketch::SketchConfig cfg;  // width 256, 256-packet epochs
+  sketch::SketchApp app(sketch::SketchKind::kInvertible, cfg);
+  app.install_forward(0, 0, 1);
+  app.install_sketch(0, 0, 0, 0xFFFFFFFFull, 0);
+
+  control::SketchAggregator::Config acfg;
+  acfg.heavy_threshold = 50;
+  acfg.escalate_threshold = 0;  // static escalation OFF
+  control::SketchAggregator agg(acfg);
+  agg.add_switch(0, app);
+
+  // Detector warmed on a ~50-packet envelope: a 256-packet epoch volume is
+  // far outside everything every model saw.
+  AnomalyDetector det(gate_config());
+  const MetricId vol = det.register_metric("net.volume");
+  warm_detector(det, vol, 50);
+  agg.attach_anomaly_detector(det, vol);
+
+  const std::uint32_t hot = ipv4(10, 9, 9, 9);
+  stat4::TimeNs t = 0;
+  drive_epoch(app, agg, epoch_mix(hot, 60, 256), t);
+
+  ASSERT_EQ(agg.epochs_aggregated(), 1u);
+  EXPECT_EQ(agg.ml_anomalous_epochs(), 1u);
+  ASSERT_FALSE(agg.flows().empty());
+  EXPECT_EQ(agg.flows().front().key, hot);
+  EXPECT_TRUE(agg.flows().front().escalated)
+      << "ML-anomalous epoch must escalate despite escalate_threshold=0";
+  EXPECT_EQ(agg.ml_escalations(), 1u);
+  EXPECT_EQ(agg.blocked_keys().count(hot), 1u);
+
+  // The drop is installed on the switch.
+  p4sim::Packet pkt = p4sim::make_udp_packet(ipv4(2, 2, 2, 2), hot, 7, 7);
+  pkt.ingress_ts = t;
+  EXPECT_TRUE(app.sw().process(std::move(pkt)).dropped);
+}
+
+TEST(SketchAggregatorML, NormalEpochDoesNotEscalate) {
+  sketch::SketchConfig cfg;
+  sketch::SketchApp app(sketch::SketchKind::kInvertible, cfg);
+  app.install_forward(0, 0, 1);
+  app.install_sketch(0, 0, 0, 0xFFFFFFFFull, 0);
+
+  control::SketchAggregator::Config acfg;
+  acfg.heavy_threshold = 50;
+  acfg.escalate_threshold = 0;
+  control::SketchAggregator agg(acfg);
+  agg.add_switch(0, app);
+
+  // Warmed around the true epoch volume (256): the epoch is unremarkable.
+  AnomalyDetector det(gate_config());
+  const MetricId vol = det.register_metric("net.volume");
+  warm_detector(det, vol, 255);
+  agg.attach_anomaly_detector(det, vol);
+
+  const std::uint32_t hot = ipv4(10, 9, 9, 9);
+  stat4::TimeNs t = 0;
+  drive_epoch(app, agg, epoch_mix(hot, 60, 256), t);
+
+  ASSERT_EQ(agg.epochs_aggregated(), 1u);
+  EXPECT_EQ(agg.ml_anomalous_epochs(), 0u);
+  ASSERT_FALSE(agg.flows().empty());
+  EXPECT_FALSE(agg.flows().front().escalated);
+  EXPECT_EQ(agg.ml_escalations(), 0u);
+  EXPECT_TRUE(agg.blocked_keys().empty());
+}
+
+}  // namespace
+}  // namespace control::ml

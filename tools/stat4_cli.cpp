@@ -12,6 +12,11 @@
 // per atomic handshake (the FleetRunner drain burst, default 64); larger
 // bursts amortize synchronization, smaller ones cut per-packet latency.
 //
+// `--ml` attaches the controller-side anomaly ensemble (docs/ML.md): every
+// rate-spike digest and (in fleet mode) every per-switch delivered delta
+// feeds a consensus k-means detector; consensus anomalies print as they
+// fire, and the `ml` command dumps the detector state per metric.
+//
 // `--metrics[=FILE]` turns on the telemetry reporter: the process-wide
 // metrics registry (packet counts, ring occupancy, digest latency, ...) is
 // snapshotted every `--metrics-interval-ms` (default 1000) and written to
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "cli/runtime_cli.hpp"
+#include "control/ml/ml.hpp"
 #include "p4sim/craft.hpp"
 #include "p4sim/parser.hpp"
 #include "p4sim/trace.hpp"
@@ -34,6 +40,30 @@
 #include "telemetry/telemetry.hpp"
 
 namespace {
+
+/// `ml` command output: the detector's full state, one line per metric.
+std::string ml_report(const control::ml::AnomalyDetector& det) {
+  const control::ml::DetectorState st = det.snapshot();
+  std::ostringstream out;
+  out << "ml: samples=" << st.samples << " anomalies=" << st.anomalies
+      << " ignored_digests=" << st.ignored_digests;
+  for (const auto& m : st.metrics) {
+    out << "\n  [" << m.id << "] " << m.name << ": samples=" << m.samples
+        << " scored=" << m.scored << " anomalies=" << m.anomalies
+        << " last_score_q16=" << m.last_score_q16
+        << " models=" << m.models.size() << " bits=0x" << std::hex
+        << m.anomaly_bits << std::dec;
+  }
+  return out.str();
+}
+
+/// Prints every consensus anomaly as it fires (wired as the detector's
+/// anomaly callback in --ml mode).
+void print_anomaly(const control::ml::FeedResult& r,
+                   const std::string& name) {
+  std::cout << "ML CONSENSUS ANOMALY metric=" << name
+            << " score_q16=" << r.score_q16 << '\n';
+}
 
 /// Reporter wiring shared by single-switch and fleet mode.
 std::unique_ptr<telemetry::Reporter> start_metrics_reporter(
@@ -50,7 +80,7 @@ std::unique_ptr<telemetry::Reporter> start_metrics_reporter(
 }
 
 struct Fleet {
-  Fleet(std::size_t n, std::size_t batch_size) {
+  Fleet(std::size_t n, std::size_t batch_size, bool ml) {
     runtime::FleetRunner::Config cfg;
     cfg.queue_capacity = 4096;
     cfg.policy = runtime::FleetRunner::Policy::kBlock;  // CLI replay: lossless
@@ -61,13 +91,41 @@ struct Fleet {
       shells.push_back(std::make_unique<cli::RuntimeCli>(*apps.back()));
       runner->add_switch(*apps.back());
     }
-    runner->set_digest_sink([](control::SwitchId sw,
-                               const p4sim::Digest& d) {
+    if (ml) {
+      // Every rate-spike digest and every per-switch delivered delta feeds
+      // the consensus ensemble; anomalies print as they fire (docs/ML.md).
+      detector =
+          std::make_unique<control::ml::AnomalyDetector>();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string sw = "sw" + std::to_string(i);
+        detector->watch_digest(static_cast<control::SwitchId>(i),
+                               stat4p4::kDigestRateSpike,
+                               sw + ".rate_spike");
+        detector->watch_counter(sw + ".delivered");
+      }
+      detector->set_anomaly_callback(print_anomaly);
+    }
+    runner->set_digest_sink([this](control::SwitchId sw,
+                                   const p4sim::Digest& d) {
       std::cout << "[sw " << sw << "] digest id=" << d.id
                 << " value=" << d.payload[1] << " t_us=" << d.time / 1000
                 << '\n';
+      if (detector) detector->on_digest(sw, d);
     });
     runner->start();
+  }
+
+  /// --ml: one detector sample per switch from the delivered counters
+  /// (called after each traffic command, behind the flush barrier).
+  void feed_ml() {
+    if (!detector) return;
+    telemetry::Snapshot snap;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      snap.counters.push_back(
+          {"sw" + std::to_string(i) + ".delivered",
+           runner->counters(static_cast<control::SwitchId>(i)).delivered});
+    }
+    detector->feed_snapshot(snap);
   }
 
   /// Destination-hash routing, the way an ECMP fabric spreads flows.
@@ -82,10 +140,11 @@ struct Fleet {
   std::unique_ptr<runtime::FleetRunner> runner;
   std::vector<std::unique_ptr<stat4p4::MonitorApp>> apps;
   std::vector<std::unique_ptr<cli::RuntimeCli>> shells;
+  std::unique_ptr<control::ml::AnomalyDetector> detector;
 };
 
-int run_fleet(std::size_t threads, std::size_t batch_size) {
-  Fleet fleet(threads, batch_size);
+int run_fleet(std::size_t threads, std::size_t batch_size, bool ml) {
+  Fleet fleet(threads, batch_size, ml);
   std::cout << "stat4 runtime CLI — fleet mode, " << threads
             << " switch threads; 'help' for commands\n";
   std::string line;
@@ -115,6 +174,7 @@ int run_fleet(std::size_t threads, std::size_t batch_size) {
       fleet.runner->inject(sw, std::move(pkt));
       fleet.runner->flush();
       fleet.runner->poll_digests();
+      fleet.feed_ml();
       std::cout << "injected to switch " << sw << '\n';
       continue;
     }
@@ -137,10 +197,20 @@ int run_fleet(std::size_t threads, std::size_t batch_size) {
       }
       fleet.runner->flush();
       fleet.runner->poll_digests();
+      fleet.feed_ml();
       const auto totals = fleet.runner->totals();
       std::cout << "replayed " << packets << " packets across " << threads
                 << " switches: " << totals.delivered << " delivered, "
                 << totals.digests << " digest(s) so far\n";
+      continue;
+    }
+    if (cmd == "ml") {
+      if (!fleet.detector) {
+        std::cout << "error: run with --ml to enable the anomaly ensemble\n";
+      } else {
+        fleet.runner->flush();
+        std::cout << ml_report(*fleet.detector) << '\n';
+      }
       continue;
     }
     if (cmd == "counters") {
@@ -192,6 +262,7 @@ int run_fleet(std::size_t threads, std::size_t batch_size) {
 int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::size_t batch_size = 64;
+  bool ml = false;
   bool metrics = false;
   std::string metrics_path;
   std::uint64_t metrics_interval_ms = 1000;
@@ -206,6 +277,8 @@ int main(int argc, char** argv) {
         std::cerr << "stat4_cli: --batch-size must be >= 1\n";
         return 2;
       }
+    } else if (arg == "--ml") {
+      ml = true;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -216,7 +289,7 @@ int main(int argc, char** argv) {
       metrics_interval_ms = std::strtoull(argv[++i], nullptr, 10);
       if (metrics_interval_ms == 0) metrics_interval_ms = 1;
     } else {
-      std::cerr << "usage: stat4_cli [--threads N] [--batch-size N] "
+      std::cerr << "usage: stat4_cli [--threads N] [--batch-size N] [--ml] "
                    "[--metrics[=FILE]] [--metrics-interval-ms N]\n";
       return 2;
     }
@@ -234,15 +307,38 @@ int main(int argc, char** argv) {
   // The reporter outlives the fleet/shell scope below; its destructor
   // (stop()) writes the final snapshot after the workers are joined.
 
-  if (threads > 1) return run_fleet(threads, batch_size);
+  if (threads > 1) return run_fleet(threads, batch_size, ml);
 
   stat4p4::MonitorApp app;
   cli::RuntimeCli shell(app);
+  std::unique_ptr<control::ml::AnomalyDetector> detector;
+  if (ml) {
+    detector = std::make_unique<control::ml::AnomalyDetector>();
+    detector->watch_digest(0, stat4p4::kDigestRateSpike, "sw0.rate_spike");
+    detector->set_anomaly_callback(print_anomaly);
+  }
   std::cout << "stat4 runtime CLI — 'help' for commands\n";
   std::string line;
+  std::size_t digests_fed = 0;
   while (!shell.done() && std::getline(std::cin, line)) {
+    std::istringstream tokens(line);
+    std::string cmd;
+    tokens >> cmd;
+    if (cmd == "ml") {
+      std::cout << (detector
+                        ? ml_report(*detector)
+                        : std::string(
+                              "error: run with --ml to enable the anomaly "
+                              "ensemble"))
+                << '\n';
+      continue;
+    }
     const std::string out = shell.execute(line);
     if (!out.empty()) std::cout << out << '\n';
+    // --ml: digests raised by injected packets feed the ensemble.
+    for (; digests_fed < shell.digests().size(); ++digests_fed) {
+      if (detector) detector->on_digest(0, shell.digests()[digests_fed]);
+    }
   }
   return 0;
 }
