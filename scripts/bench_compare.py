@@ -165,6 +165,21 @@ def compare_static(args):
     if not base:
         return skip_note(args.baseline, "cost")
     cand = load_static_costs(args.candidate)
+    # An app the baseline tracks but the candidate report lacks is not a
+    # "retirement" to wave through: either the catalog lost an app or the
+    # candidate run is incomplete.  Hard input error, named per app.
+    base_apps = {name.split("/", 1)[0] for name in base}
+    cand_apps = {name.split("/", 1)[0] for name in cand}
+    missing = sorted(base_apps - cand_apps)
+    if missing:
+        for app in missing:
+            print(
+                f"bench_compare: baseline app '{app}' is missing from "
+                f"{args.candidate} (catalog lost an app, or the candidate "
+                "report is incomplete)",
+                file=sys.stderr,
+            )
+        return 2
     limit = 1.0 + args.threshold / 100.0
     failures = []
     width = max(len(n) for n in set(base) | set(cand))

@@ -10,4 +10,6 @@
 #include "analysis/overflow.hpp"      // IWYU pragma: export
 #include "analysis/pass_manager.hpp"  // IWYU pragma: export
 #include "analysis/passes.hpp"        // IWYU pragma: export
+#include "analysis/symbolic.hpp"      // IWYU pragma: export
+#include "analysis/validate.hpp"      // IWYU pragma: export
 #include "analysis/verifier.hpp"      // IWYU pragma: export

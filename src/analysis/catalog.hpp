@@ -7,6 +7,7 @@
 // error diagnostics over all example programs" means something.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,10 @@ namespace analysis {
 struct ExampleApp {
   std::string name;
   std::string description;
+  /// Verifier observation bound (AnalysisOptions::max_observations) the
+  /// app is certified against — the single source both stat4_lint and
+  /// stat4_opt must resolve through, so the tools can never drift apart.
+  std::uint64_t max_observations = std::uint64_t{1} << 20;
 };
 
 /// Every lintable example configuration, in catalog order.

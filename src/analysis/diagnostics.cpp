@@ -84,6 +84,20 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "suppressed for the action"},
       {"S4-OPT-007", Severity::kWarning,
        "optimizer stopped before reaching a fixpoint (iteration budget)"},
+      {"S4-TV-001", Severity::kError,
+       "translation validation refuted an optimizer rewrite; a concrete "
+       "counterexample valuation is attached and the rewrite was reverted"},
+      {"S4-TV-002", Severity::kWarning,
+       "equivalence established only by randomized sampling of a residual "
+       "obligation, not by canonicalization proof (error under strict)"},
+      {"S4-TV-003", Severity::kError,
+       "stage-packing validation failed: the packed stage is not equivalent "
+       "to running the original stages in sequence"},
+      {"S4-TV-004", Severity::kNote,
+       "translation validation summary (checked/proved/sampled/refuted)"},
+      {"S4-TV-005", Severity::kWarning,
+       "symbolic execution node budget exceeded before the pass could be "
+       "validated (error under strict)"},
   };
   return kRules;
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/dataflow.hpp"
+#include "analysis/validate.hpp"
 #include "p4sim/register_file.hpp"
 #include "p4sim/table.hpp"
 
@@ -122,6 +124,7 @@ ActionContexts compute_contexts(const P4Switch& sw) {
     }
   }
   for (ActionId id = 0; id < n; ++id) {
+    out.ctx[id].registers = &sw.registers();
     // "Shared" = the context actually constrains rewrites: the action reads
     // temps an earlier stage may have written, or a later stage reads temps
     // past this one.  Self-contained builder programs never trip this.
@@ -141,6 +144,123 @@ void add_register_costs(const P4Switch& sw, const std::set<RegisterId>& regs,
                         ((static_cast<std::size_t>(info.width_bits) + 7) / 8);
   }
 }
+
+/// Per-pass translation validation: re-proves each pass's output against
+/// its input, reverts refuted rewrites, tallies evidence tiers, and turns
+/// outcomes into S4-TV diagnostics (strict mode escalates the sampling
+/// fallback and budget exhaustion from warning to error).
+class PassValidator {
+ public:
+  PassValidator(const PassManagerOptions& options,
+                const p4sim::RegisterFile* registers, OptimizeResult& res)
+      : options_(options), registers_(registers), res_(res) {}
+
+  [[nodiscard]] bool enabled() const {
+    return options_.validate != ValidateMode::kOff ||
+           static_cast<bool>(options_.post_pass_mutation);
+  }
+
+  /// Validates `after` (the pass output, possibly test-mutated via the
+  /// post_pass_mutation hook) against `before`.  Returns false when the
+  /// rewrite was refuted — the caller must revert to `before`.
+  [[nodiscard]] bool check_rewrite(const Program& before, Program& after,
+                                   const PassContext& ctx,
+                                   const std::string& pass) {
+    if (options_.post_pass_mutation) options_.post_pass_mutation(after, pass);
+    const ValidationOutcome out =
+        validate_rewrite(before, after, make_opts(ctx));
+    record(out, pass, after.name, "S4-TV-001");
+    return out.method != ValidationMethod::kRefuted;
+  }
+
+  /// Validates one stage-pack merge: the packed program against first-then-
+  /// second concatenation, plus the commutation claim when the stages are
+  /// state-disjoint.  Returns false when the concatenation was refuted.
+  [[nodiscard]] bool check_pack(const Program& first, const Program& second,
+                                const Program& packed, const PassContext& ctx) {
+    ++res_.validation.packs;
+    Program subject = packed;
+    if (options_.post_pass_mutation) {
+      options_.post_pass_mutation(subject, "pack");
+    }
+    const ValidationOutcome conc =
+        validate_pack(first, second, subject, make_opts(ctx));
+    record(conc, "pack", subject.name, "S4-TV-003");
+    const ValidationOutcome comm =
+        validate_commute(first, second, make_opts(ctx));
+    record(comm, "pack(commute)", subject.name, "S4-TV-003");
+    return conc.method != ValidationMethod::kRefuted;
+  }
+
+  void note_summary() {
+    if (!enabled()) return;
+    const ValidationStats& v = res_.validation;
+    res_.diags.report(
+        "S4-TV-004", Severity::kNote,
+        "translation validation: " + std::to_string(v.checked) +
+            " rewrite(s) checked, " + std::to_string(v.proved) + " proved, " +
+            std::to_string(v.sampled) + " sampled, " +
+            std::to_string(v.refuted) + " refuted, " +
+            std::to_string(v.budget) + " budget-capped (" +
+            std::to_string(v.packs) + " pack merge(s))",
+        SourceLoc{});
+  }
+
+ private:
+  [[nodiscard]] ValidateOptions make_opts(const PassContext& ctx) const {
+    ValidateOptions v;
+    v.registers = registers_;
+    v.dirty_on_entry = ctx.dirty_on_entry;
+    v.live_out = ctx.live_out;
+    v.samples = options_.validate_samples;
+    return v;
+  }
+
+  void record(const ValidationOutcome& out, const std::string& pass,
+              const std::string& program, const char* refute_rule) {
+    if (out.method == ValidationMethod::kInapplicable) return;  // no claim
+    ++res_.validation.checked;
+    SourceLoc loc;
+    loc.program = program;
+    const bool strict = options_.validate == ValidateMode::kStrict;
+    switch (out.method) {
+      case ValidationMethod::kProved:
+        ++res_.validation.proved;
+        break;
+      case ValidationMethod::kSampled:
+        ++res_.validation.sampled;
+        res_.diags.report(
+            "S4-TV-002", strict ? Severity::kError : Severity::kWarning,
+            pass + ": equivalence established only by randomized sampling (" +
+                std::to_string(out.residual) +
+                " residual obligation(s) of " +
+                std::to_string(out.obligations) + ")",
+            loc);
+        break;
+      case ValidationMethod::kRefuted:
+        ++res_.validation.refuted;
+        res_.diags.report(refute_rule, Severity::kError,
+                          pass + ": rewrite refuted, reverted — " +
+                              out.counterexample->render(),
+                          loc);
+        break;
+      case ValidationMethod::kBudget:
+        ++res_.validation.budget;
+        res_.diags.report(
+            "S4-TV-005", strict ? Severity::kError : Severity::kWarning,
+            pass + ": symbolic execution budget exceeded (" +
+                std::to_string(out.dag_nodes) + " DAG nodes); nothing proven",
+            loc);
+        break;
+      case ValidationMethod::kInapplicable:
+        break;
+    }
+  }
+
+  const PassManagerOptions& options_;
+  const p4sim::RegisterFile* registers_;
+  OptimizeResult& res_;
+};
 
 void note_pass_totals(
     const std::map<std::pair<std::string, std::string>, std::size_t>& counts,
@@ -214,6 +334,7 @@ OptimizeResult optimize_switch(P4Switch& sw,
   const PassSet enabled = resolve_passes(options.passes);
   OptimizeResult res;
   res.before = measure_cost(sw);
+  PassValidator validator(options, &sw.registers(), res);
 
   // (pass, program) -> cumulative rewrites, for the S4-OPT notes.
   std::map<std::pair<std::string, std::string>, std::size_t> counts;
@@ -246,31 +367,73 @@ OptimizeResult optimize_switch(P4Switch& sw,
       Program program = sw.action(id);  // work on a copy, install on change
       const PassContext& ctx = actx.ctx[id];
       std::size_t n = 0;
-      if (enabled.constprop) {
-        const std::size_t k = run_constprop(program, ctx);
-        account("constprop", program.name, k);
+      // Runs one pass, then (when validation is on) re-proves its output;
+      // a refuted rewrite is reverted and contributes no rewrites.
+      auto run_checked = [&](const char* pass,
+                             std::size_t (*fn)(Program&, const PassContext&)) {
+        std::optional<Program> snapshot;
+        if (validator.enabled()) snapshot = program;
+        std::size_t k = fn(program, ctx);
+        if (snapshot && (k != 0 || options.post_pass_mutation) &&
+            !validator.check_rewrite(*snapshot, program, ctx, pass)) {
+          program = std::move(*snapshot);
+          k = 0;
+        }
+        account(pass, program.name, k);
         n += k;
-      }
-      if (enabled.strength) {
-        const std::size_t k = run_strength_reduction(program, ctx);
-        account("strength", program.name, k);
-        n += k;
-      }
-      if (enabled.cse) {
-        const std::size_t k = run_cse(program, ctx);
-        account("cse", program.name, k);
-        n += k;
-      }
-      if (enabled.dce) {
-        const std::size_t k = run_dce(program, ctx);
-        account("dce", program.name, k);
-        n += k;
-      }
+      };
+      if (enabled.constprop) run_checked("constprop", run_constprop);
+      if (enabled.strength) run_checked("strength", run_strength_reduction);
+      if (enabled.cse) run_checked("cse", run_cse);
+      if (enabled.dce) run_checked("dce", run_dce);
       if (n != 0) sw.replace_action(id, std::move(program));
       round_rewrites += n;
     }
     if (enabled.pack) {
-      const std::size_t k = run_stage_packing(sw, options.profile);
+      // Snapshot the pre-pack pipeline so each merged stage can be diffed
+      // back to the pair of stages it replaced — and recompute contexts
+      // first: the per-action rewrites above may have renamed temps, so the
+      // round-start contexts are stale for the packing proof.
+      std::optional<std::vector<P4Switch::Stage>> pre_pipe;
+      std::optional<ActionContexts> pre_ctx;
+      std::size_t pre_actions = 0;
+      if (validator.enabled()) {
+        pre_pipe = sw.pipeline();
+        pre_actions = sw.action_count();
+        pre_ctx = compute_contexts(sw);
+      }
+      std::size_t k = run_stage_packing(sw, options.profile);
+      if (k != 0 && validator.enabled()) {
+        // Diff walk: stage packing only creates pairwise merges per call,
+        // so a new stage dispatching an action registered by this call maps
+        // to exactly the next two pre-pack stages.
+        bool revert = false;
+        std::size_t old_i = 0;
+        for (const P4Switch::Stage& st : sw.pipeline()) {
+          if (st.action && *st.action >= pre_actions) {
+            const P4Switch::Stage& s1 = (*pre_pipe)[old_i];
+            const P4Switch::Stage& s2 = (*pre_pipe)[old_i + 1];
+            PassContext pack_ctx;
+            pack_ctx.dirty_on_entry = pre_ctx->ctx[*s1.action].dirty_on_entry;
+            pack_ctx.live_out = pre_ctx->ctx[*s2.action].live_out;
+            pack_ctx.registers = &sw.registers();
+            if (!validator.check_pack(sw.action(*s1.action),
+                                      sw.action(*s2.action),
+                                      sw.action(*st.action), pack_ctx)) {
+              revert = true;
+            }
+            old_i += 2;
+          } else {
+            ++old_i;
+          }
+        }
+        if (revert) {
+          // A disproven merge never ships: restore the unpacked pipeline
+          // (the merged actions stay registered but undispatched).
+          sw.set_pipeline(std::move(*pre_pipe));
+          k = 0;
+        }
+      }
       account("pack", sw.name(), k);
       round_rewrites += k;
     }
@@ -289,6 +452,7 @@ OptimizeResult optimize_switch(P4Switch& sw,
                      SourceLoc{});
   }
   note_pass_totals(counts, res.diags);
+  validator.note_summary();
   res.diags.sort();
 
   for (const std::string& pass : pass_names()) {
@@ -303,16 +467,21 @@ OptimizeResult optimize_switch(P4Switch& sw,
   return res;
 }
 
-OptimizeResult optimize_program(Program& program,
-                                const PassManagerOptions& options) {
+namespace {
+
+OptimizeResult optimize_program_impl(Program& program,
+                                     const p4sim::RegisterFile* registers,
+                                     const PassManagerOptions& options) {
   PassSet enabled = resolve_passes(options.passes);
   enabled.pack = false;  // pipeline-level; meaningless for one program
   OptimizeResult res;
   res.before = measure_cost(program);
+  PassValidator validator(options, registers, res);
 
   std::map<std::pair<std::string, std::string>, std::size_t> counts;
   std::map<std::string, std::size_t> totals;
-  const PassContext ctx;  // standalone: zero on entry, nothing live out
+  PassContext ctx;  // standalone: zero on entry, nothing live out
+  ctx.registers = registers;
   auto account = [&](const char* pass, std::size_t n) {
     if (n == 0) return;
     counts[{pass, program.name}] += n;
@@ -321,26 +490,23 @@ OptimizeResult optimize_program(Program& program,
 
   for (std::size_t round = 0; round < options.max_iterations; ++round) {
     std::size_t round_rewrites = 0;
-    if (enabled.constprop) {
-      const std::size_t k = run_constprop(program, ctx);
-      account("constprop", k);
+    auto run_checked = [&](const char* pass,
+                           std::size_t (*fn)(Program&, const PassContext&)) {
+      std::optional<Program> snapshot;
+      if (validator.enabled()) snapshot = program;
+      std::size_t k = fn(program, ctx);
+      if (snapshot && (k != 0 || options.post_pass_mutation) &&
+          !validator.check_rewrite(*snapshot, program, ctx, pass)) {
+        program = std::move(*snapshot);
+        k = 0;
+      }
+      account(pass, k);
       round_rewrites += k;
-    }
-    if (enabled.strength) {
-      const std::size_t k = run_strength_reduction(program, ctx);
-      account("strength", k);
-      round_rewrites += k;
-    }
-    if (enabled.cse) {
-      const std::size_t k = run_cse(program, ctx);
-      account("cse", k);
-      round_rewrites += k;
-    }
-    if (enabled.dce) {
-      const std::size_t k = run_dce(program, ctx);
-      account("dce", k);
-      round_rewrites += k;
-    }
+    };
+    if (enabled.constprop) run_checked("constprop", run_constprop);
+    if (enabled.strength) run_checked("strength", run_strength_reduction);
+    if (enabled.cse) run_checked("cse", run_cse);
+    if (enabled.dce) run_checked("dce", run_dce);
     ++res.iterations;
     if (round_rewrites == 0) {
       res.fixpoint = true;
@@ -358,6 +524,7 @@ OptimizeResult optimize_program(Program& program,
                      loc);
   }
   note_pass_totals(counts, res.diags);
+  validator.note_summary();
   res.diags.sort();
 
   for (const std::string& pass : pass_names()) {
@@ -369,6 +536,19 @@ OptimizeResult optimize_program(Program& program,
   }
   res.after = measure_cost(program);
   return res;
+}
+
+}  // namespace
+
+OptimizeResult optimize_program(Program& program,
+                                const PassManagerOptions& options) {
+  return optimize_program_impl(program, nullptr, options);
+}
+
+OptimizeResult optimize_program(Program& program,
+                                const p4sim::RegisterFile& registers,
+                                const PassManagerOptions& options) {
+  return optimize_program_impl(program, &registers, options);
 }
 
 void render_cost_json(std::ostream& os, const CostSummary& before,

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -34,6 +36,13 @@ namespace analysis {
 /// of how they are listed.
 [[nodiscard]] const std::vector<std::string>& pass_names();
 
+/// Per-pass translation validation (validate.hpp) as a post-condition.
+enum class ValidateMode : std::uint8_t {
+  kOff,
+  kOn,      ///< validate every pass; sampling fallback is a warning
+  kStrict,  ///< sampling fallback and budget exhaustion are errors
+};
+
 struct PassManagerOptions {
   TargetProfile profile = TargetProfile::bmv2();
   /// Subset of pass_names() to run; empty = all.  Unknown names throw
@@ -41,6 +50,15 @@ struct PassManagerOptions {
   std::vector<std::string> passes;
   /// Fixpoint iteration budget; exceeded => S4-OPT-007 warning.
   std::size_t max_iterations = 8;
+  /// Re-prove every pass's output equivalent to its input (S4-TV-*
+  /// diagnostics); refuted rewrites are reverted, not installed.
+  ValidateMode validate = ValidateMode::kOff;
+  /// Concrete valuations drawn per residual obligation set.
+  std::size_t validate_samples = 4096;
+  /// TEST HOOK: runs on each pass's output (program, pass name) before it
+  /// is validated — lets tests break a pass (drop a store, flip an opcode)
+  /// and assert the validator refutes it.  Setting it forces validation on.
+  std::function<void(p4sim::Program&, const std::string&)> post_pass_mutation;
 };
 
 /// Static cost of a pipeline — the resource axes the paper budgets.
@@ -64,11 +82,22 @@ struct PassStats {
   std::size_t rewrites = 0;
 };
 
+/// Evidence-tier tally of the per-pass translation validation.
+struct ValidationStats {
+  std::size_t checked = 0;  ///< (pass, program) pairs validated
+  std::size_t proved = 0;   ///< closed by canonicalization alone
+  std::size_t sampled = 0;  ///< needed the randomized-valuation fallback
+  std::size_t refuted = 0;  ///< disproven (rewrite reverted, S4-TV error)
+  std::size_t budget = 0;   ///< DAG budget exhausted, nothing proven
+  std::size_t packs = 0;    ///< stage-pack merges validated
+};
+
 struct OptimizeResult {
-  DiagnosticEngine diags;              ///< S4-OPT notes/warnings, sorted
+  DiagnosticEngine diags;              ///< S4-OPT/S4-TV diagnostics, sorted
   std::vector<PassStats> pass_stats;   ///< canonical order, enabled passes
   CostSummary before;
   CostSummary after;
+  ValidationStats validation;          ///< zeros when validation is off
   std::size_t iterations = 0;
   bool fixpoint = false;
 
@@ -86,6 +115,13 @@ OptimizeResult optimize_switch(p4sim::P4Switch& sw,
 /// Optimizes one standalone program (context: all temps zero on entry,
 /// nothing live out — the contract of a program that fills a whole stage).
 OptimizeResult optimize_program(p4sim::Program& program,
+                                const PassManagerOptions& options = {});
+
+/// Same, with the register declarations the program runs against — enables
+/// width/bounds-aware rewrites (CSE store-to-load forwarding) and gives
+/// validation the exact register model.
+OptimizeResult optimize_program(p4sim::Program& program,
+                                const p4sim::RegisterFile& registers,
                                 const PassManagerOptions& options = {});
 
 /// Renders `{"instructions":{"before":N,"after":M},...}` for the cost pair —

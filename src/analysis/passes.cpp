@@ -161,9 +161,15 @@ bool commutative(Op op) {
 
 std::size_t run_cse(Program& program, const PassContext& ctx) {
   std::vector<std::uint32_t> vn(kTempCount, kZeroVn);
+  // Per-value-number over-approximation of the possibly-set bits, used to
+  // gate store-to-load forwarding on width masks and array bounds.
+  std::vector<Word> vnbits{0};
   std::uint32_t next_vn = kZeroVn + 1;
   for (std::size_t t = 0; t < kTempCount; ++t) {
-    if (ctx.dirty_on_entry.test(t)) vn[t] = next_vn++;
+    if (ctx.dirty_on_entry.test(t)) {
+      vn[t] = next_vn++;
+      vnbits.push_back(~Word{0});
+    }
   }
 
   // holder[v]: the earliest temp still holding value v (validity checked
@@ -180,6 +186,35 @@ std::size_t run_cse(Program& program, const PassContext& ctx) {
 
   std::array<std::uint32_t, p4sim::kFieldCount> field_ver{};
   std::unordered_map<p4sim::RegisterId, std::uint32_t> reg_ver;
+
+  auto width_mask = [](std::uint32_t bits) {
+    return bits >= 64 ? ~Word{0} : (Word{1} << bits) - 1;
+  };
+  auto bits_of = [&](const Instruction& ins) -> Word {
+    switch (ins.op) {
+      case Op::kConst: return ins.imm;
+      case Op::kLoadField:
+        return width_mask(p4sim::field_info(ins.field).width_bits);
+      case Op::kLoadReg:
+        if (ctx.registers != nullptr &&
+            ins.reg < ctx.registers->array_count()) {
+          return width_mask(
+              std::min(ctx.registers->info(ins.reg).width_bits, 64u));
+        }
+        return ~Word{0};
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kGt:
+      case Op::kLe:
+      case Op::kGe: return 1;
+      case Op::kAnd: return vnbits[vn[ins.a]] & vnbits[vn[ins.b]];
+      case Op::kOr:
+      case Op::kXor: return vnbits[vn[ins.a]] | vnbits[vn[ins.b]];
+      case Op::kSelect: return vnbits[vn[ins.b]] | vnbits[vn[ins.c]];
+      default: return ~Word{0};
+    }
+  };
 
   std::map<ExprKey, std::uint32_t> exprs;
   // Reading an untouched temp and `kConst 0` are the same value.
@@ -256,16 +291,38 @@ std::size_t run_cse(Program& program, const PassContext& ctx) {
     }
 
     if (ins.op == Op::kStoreField) {
-      const auto f = static_cast<std::size_t>(ins.field);
-      ++field_ver[f];
-      // Store-to-load forwarding: a load of this field now sees vn[a].
-      exprs[{static_cast<std::uint8_t>(Op::kLoadField),
-             static_cast<std::uint64_t>(ins.field), field_ver[f], 0, 0}] =
-          vn[ins.a];
+      const p4sim::FieldInfo& fi = p4sim::field_info(ins.field);
+      if (fi.writable) {
+        const auto f = static_cast<std::size_t>(ins.field);
+        ++field_ver[f];
+        // Store-to-load forwarding: a later load sees vn[a] — but only when
+        // the store provably round-trips: the field is unconditionally
+        // present (a store to an absent header is a no-op, and a load then
+        // returns 0, not the stored word) and the stored value already fits
+        // the field width (set() truncates to width_bits).
+        if (fi.always_valid &&
+            (vnbits[vn[ins.a]] & ~width_mask(fi.width_bits)) == 0) {
+          exprs[{static_cast<std::uint8_t>(Op::kLoadField),
+                 static_cast<std::uint64_t>(ins.field), field_ver[f], 0, 0}] =
+              vn[ins.a];
+        }
+      }
+      // Stores to read-only fields are no-ops: no version bump, earlier
+      // load keys stay valid.
     } else if (ins.op == Op::kStoreReg) {
       ++reg_ver[ins.reg];
-      exprs[{static_cast<std::uint8_t>(Op::kLoadReg), ins.reg, vn[ins.a],
-             reg_ver[ins.reg], 0}] = vn[ins.b];
+      // Forward only when the RegisterFile semantics provably preserve the
+      // word: value fits the declared cell width (writes mask) and the
+      // index is provably in bounds (OOB writes drop, OOB reads return 0).
+      if (ctx.registers != nullptr && ins.reg < ctx.registers->array_count()) {
+        const p4sim::RegisterArrayInfo& info = ctx.registers->info(ins.reg);
+        const Word cell_mask = width_mask(std::min(info.width_bits, 64u));
+        if ((vnbits[vn[ins.b]] & ~cell_mask) == 0 &&
+            vnbits[vn[ins.a]] < info.size) {
+          exprs[{static_cast<std::uint8_t>(Op::kLoadReg), ins.reg, vn[ins.a],
+                 reg_ver[ins.reg], 0}] = vn[ins.b];
+        }
+      }
     } else if (ins.op == Op::kMov) {
       vn[ins.dst] = vn[ins.a];
       claim(vn[ins.dst], ins.dst);
@@ -282,6 +339,7 @@ std::size_t run_cse(Program& program, const PassContext& ctx) {
         }
       } else {
         v = next_vn++;
+        vnbits.push_back(bits_of(ins));
         exprs.emplace(key, v);
       }
       vn[ins.dst] = v;

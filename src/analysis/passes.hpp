@@ -34,6 +34,10 @@ namespace analysis {
 struct PassContext {
   TempSet dirty_on_entry;
   TempSet live_out;
+  /// Register declarations of the owning switch, when known.  Passes use it
+  /// to reason about cell widths and array bounds (CSE's store-to-load
+  /// forwarding); nullptr disables those rewrites, which is always sound.
+  const p4sim::RegisterFile* registers = nullptr;
 };
 
 /// Constant propagation + folding: forward constant lattice seeded with

@@ -1,0 +1,245 @@
+// Bit-vector symbolic execution over the p4sim straight-line IR.
+//
+// The core object is a hash-consed expression DAG whose smart constructors
+// normalize as they build: wrapping add/sub/mul collapse into a linear
+// normal form (constant + sorted coefficient*term sum, all mod 2^64),
+// shifts by compile-time constants become coefficient scaling, the bitwise
+// ops flatten/sort/cancel, comparisons over identical nodes fold, and a
+// per-node "possible set bits" over-approximation discharges mask and
+// bounds obligations (x & m == x, idx < size).  Two IR computations are
+// PROVEN equal exactly when they normalize to the same node id — the
+// translation validator (validate.hpp) is built on that test.
+//
+// The machine-state model mirrors execute() bit for bit:
+//   temps      — clean temps enter as constant 0 (per-packet zeroing),
+//                temps in PassContext::dirty_on_entry as free variables;
+//   params     — kParam reads are free variables keyed by index (a missing
+//                action-data word reads 0, a subsumed valuation);
+//   fields     — each field carries what PacketView::get would return:
+//                width-masked, and gated on the owning header's validity
+//                bit where set() is conditional (p4sim::field_info);
+//   registers  — reads resolve through the recorded store sequence with
+//                RegisterFile semantics: out-of-bounds reads yield 0,
+//                out-of-bounds stores drop, stored values mask to the
+//                declared width.  Initial cells are per-register
+//                uninterpreted functions of the index;
+//   hash1/2    — uninterpreted in proofs, but evaluated with the real
+//                stat4::sparse_hash mixes under concrete valuations, so
+//                sampling can never diverge from the interpreter;
+//   digests    — an ordered event list (id, condition truthiness, payload).
+//
+// Nodes evaluate concretely under a Valuation (seeded assignment of the
+// free variables), which is how the validator samples residual pairs and
+// renders counterexample valuations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "p4sim/action.hpp"
+#include "p4sim/parser.hpp"
+#include "p4sim/register_file.hpp"
+
+namespace analysis::sym {
+
+using p4sim::Word;
+
+/// Index into the DAG's node table.  Node 0 is always constant 0.
+using NodeId = std::uint32_t;
+
+enum class Kind : std::uint8_t {
+  kConst,    // imm
+  kVar,      // free variable: var-table index in aux
+  kLinear,   // imm + sum(coeff_i * term_i), wrapping
+  kMul,      // product of >= 2 sorted non-constant terms
+  kAnd,      // imm & ops[0] & ops[1] ... (sorted, deduped)
+  kOr,       // imm | ops...
+  kXor,      // imm ^ ops...  (equal pairs cancelled)
+  kShl,      // ops[0] << (ops[1] & 63), ops[1] not constant
+  kShr,      // ops[0] >> (ops[1] & 63)
+  kEq,       // ops sorted; 0/1  (!= normalizes to 1 ^ (a == b))
+  kLt,       // unsigned; 0/1
+  kLe,       // unsigned; 0/1
+  kIte,      // ops[0] truthy ? ops[1] : ops[2]
+  kHash1,    // stat4::sparse_hash1(ops[0])
+  kHash2,    // stat4::sparse_hash2(ops[0])
+  kRegInit,  // initial cells of register `aux` at index ops[0], width-masked
+};
+
+/// What a free variable stands for — structured so tests can rebuild a
+/// concrete ExecutionContext from a counterexample valuation.
+struct VarRef {
+  enum class Origin : std::uint8_t {
+    kDirtyTemp,  ///< temp left over from an earlier stage; index = temp id
+    kParam,      ///< action_data word; index = param index
+    kField,      ///< initial header/metadata field; index = FieldRef
+    kValidity,   ///< header validity bit; index = the *Valid FieldRef
+  };
+  Origin origin = Origin::kDirtyTemp;
+  std::uint32_t index = 0;
+  Word mask = ~Word{0};  ///< values are always a subset of this mask
+
+  [[nodiscard]] std::string name() const;
+};
+
+struct Node {
+  Kind kind = Kind::kConst;
+  std::uint32_t aux = 0;  ///< var-table index (kVar) or register id (kRegInit)
+  Word imm = 0;           ///< constant / linear constant term / bitwise seed
+  std::vector<NodeId> ops;
+  std::vector<Word> coeffs;  ///< kLinear only, parallel to ops
+  Word bits = ~Word{0};      ///< over-approximation of possibly-set bits
+};
+
+/// Hash-consed DAG with normalizing constructors.  One Dag instance is
+/// shared by the two programs being compared so equal computations reach
+/// equal node ids.
+class Dag {
+ public:
+  Dag();
+
+  [[nodiscard]] NodeId constant(Word v);
+  /// Free variable; hash-consed on (origin, index) so both programs see the
+  /// same node.  `mask` bounds the representable values.
+  [[nodiscard]] NodeId variable(VarRef ref);
+
+  [[nodiscard]] NodeId add(NodeId a, NodeId b);
+  [[nodiscard]] NodeId sub(NodeId a, NodeId b);
+  [[nodiscard]] NodeId mul(NodeId a, NodeId b);
+  [[nodiscard]] NodeId shl(NodeId a, NodeId b);
+  [[nodiscard]] NodeId shr(NodeId a, NodeId b);
+  [[nodiscard]] NodeId band(NodeId a, NodeId b);
+  [[nodiscard]] NodeId bor(NodeId a, NodeId b);
+  [[nodiscard]] NodeId bxor(NodeId a, NodeId b);
+  [[nodiscard]] NodeId bnot(NodeId a);
+  [[nodiscard]] NodeId eq(NodeId a, NodeId b);
+  [[nodiscard]] NodeId ne(NodeId a, NodeId b);
+  [[nodiscard]] NodeId lt(NodeId a, NodeId b);
+  [[nodiscard]] NodeId gt(NodeId a, NodeId b) { return lt(b, a); }
+  [[nodiscard]] NodeId le(NodeId a, NodeId b);
+  [[nodiscard]] NodeId ge(NodeId a, NodeId b) { return le(b, a); }
+  [[nodiscard]] NodeId ite(NodeId c, NodeId t, NodeId e);
+  [[nodiscard]] NodeId hash1(NodeId a);
+  [[nodiscard]] NodeId hash2(NodeId a);
+  /// select-from-initial-cells of register `reg`; the result is already
+  /// masked to `width_mask` (cells can only ever hold masked values).
+  [[nodiscard]] NodeId reg_init(std::uint32_t reg, NodeId idx,
+                                Word width_mask);
+  /// 0/1 truthiness of `a` (identity when `a` is already 0/1-valued).
+  [[nodiscard]] NodeId truthy(NodeId a);
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::vector<VarRef>& variables() const noexcept {
+    return vars_;
+  }
+  /// Maximum value the node can take (the possible-bits mask read as a
+  /// number — every achievable value is <= it).
+  [[nodiscard]] Word max_value(NodeId id) const { return nodes_[id].bits; }
+
+  /// Debug/diagnostic rendering (prefix form, shared subtrees re-expanded).
+  [[nodiscard]] std::string render(NodeId id, std::size_t max_depth = 6) const;
+
+ private:
+  [[nodiscard]] NodeId intern(Node n);
+  [[nodiscard]] NodeId linear(Word c0, std::vector<std::pair<Word, NodeId>> terms);
+  void decompose(NodeId id, Word scale, Word& c0,
+                 std::vector<std::pair<Word, NodeId>>& terms) const;
+  [[nodiscard]] NodeId scaled(NodeId a, Word k);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, NodeId> interned_;
+  std::vector<VarRef> vars_;
+  std::unordered_map<std::uint64_t, std::uint32_t> var_index_;
+};
+
+/// Concrete assignment of the DAG's free variables and register cells,
+/// derived deterministically from a seed; every value actually used is
+/// recorded so counterexamples list exactly the relevant assignment.
+class Valuation {
+ public:
+  explicit Valuation(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] Word var_value(const VarRef& ref) const;
+  [[nodiscard]] Word reg_value(std::uint32_t reg, Word index,
+                               Word width_mask) const;
+
+  /// Pin an explicit value (used by counterexample minimization).
+  void pin_var(VarRef ref, Word value);
+  void pin_reg(std::uint32_t reg, Word index, Word value);
+
+  struct RegCell {
+    std::uint32_t reg = 0;
+    Word index = 0;
+    Word value = 0;
+  };
+  /// Everything read so far (lazily filled during evaluation, pins included).
+  [[nodiscard]] std::vector<std::pair<VarRef, Word>> used_vars() const;
+  [[nodiscard]] std::vector<RegCell> used_regs() const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  mutable std::unordered_map<std::uint64_t, std::pair<VarRef, Word>> vars_;
+  mutable std::unordered_map<std::uint64_t, RegCell> regs_;
+};
+
+/// Evaluates `id` under the valuation, memoizing across one call (pass a
+/// fresh cache sized dag.size(), or reuse between roots of one sample).
+[[nodiscard]] Word evaluate(const Dag& dag, NodeId id, const Valuation& val,
+                            std::vector<std::optional<Word>>& cache);
+
+/// One recorded digest emission point.
+struct DigestEvent {
+  std::uint32_t id = 0;
+  NodeId cond = 0;  ///< 0/1 truthiness of the gate temp
+  NodeId payload0 = 0;
+  NodeId payload1 = 0;
+  NodeId payload2 = 0;
+};
+
+/// One recorded register store (index, width-masked value).
+struct RegStore {
+  NodeId index = 0;
+  NodeId value = 0;
+};
+
+/// Machine state after symbolically executing a program.
+struct SymState {
+  std::vector<NodeId> temps;  ///< size p4sim::kTempCount
+  /// What PacketView::get would return per field, post-execution.
+  std::vector<NodeId> fields;  ///< size p4sim::kFieldCount
+  std::vector<std::pair<p4sim::RegisterId, std::vector<RegStore>>> stores;
+  std::vector<DigestEvent> digests;
+
+  [[nodiscard]] const std::vector<RegStore>* stores_for(
+      p4sim::RegisterId reg) const;
+};
+
+/// Static model of the register arrays the executor runs against.  When no
+/// RegisterFile is supplied, referenced arrays are modeled as unbounded
+/// width-64 (sound for structural proofs: both programs share the model,
+/// and node equality is preserved under any concrete semantics).
+struct SymEnv {
+  const p4sim::RegisterFile* registers = nullptr;
+  /// Temps an earlier stage may have written (free variables instead of 0).
+  TempSet dirty_on_entry;
+};
+
+/// Symbolically executes `program` from the entry state the environment
+/// describes.  Both programs of a validation pair must run against the SAME
+/// Dag (and the same env) so common computations hash-cons together.
+[[nodiscard]] SymState sym_execute(const p4sim::Program& program, Dag& dag,
+                                   const SymEnv& env);
+
+/// Continues execution from `state` (stage sequencing: run A then B).
+void sym_execute_onto(const p4sim::Program& program, Dag& dag,
+                      const SymEnv& env, SymState& state);
+
+}  // namespace analysis::sym

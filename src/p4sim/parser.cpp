@@ -2,6 +2,39 @@
 
 namespace p4sim {
 
+const FieldInfo& field_info(FieldRef f) noexcept {
+  // One entry per FieldRef, in enum order; every width/validity/writability
+  // statement here is mirrored bit-for-bit by PacketView::get/set below.
+  static const FieldInfo kTable[kFieldCount] = {
+      {"eth.type", 16, true, true, false, FieldRef::kEthType},
+      {"ipv4.src", 32, true, false, false, FieldRef::kIpv4Valid},
+      {"ipv4.dst", 32, true, false, false, FieldRef::kIpv4Valid},
+      {"ipv4.proto", 8, true, false, false, FieldRef::kIpv4Valid},
+      {"ipv4.ttl", 8, true, false, false, FieldRef::kIpv4Valid},
+      {"ipv4.$valid", 1, false, true, true, FieldRef::kIpv4Valid},
+      {"tcp.src_port", 16, true, false, false, FieldRef::kTcpValid},
+      {"tcp.dst_port", 16, true, false, false, FieldRef::kTcpValid},
+      {"tcp.flags", 8, true, false, false, FieldRef::kTcpValid},
+      {"tcp.$valid", 1, false, true, true, FieldRef::kTcpValid},
+      {"udp.src_port", 16, true, false, false, FieldRef::kUdpValid},
+      {"udp.dst_port", 16, true, false, false, FieldRef::kUdpValid},
+      {"udp.$valid", 1, false, true, true, FieldRef::kUdpValid},
+      {"echo.value", 64, true, false, false, FieldRef::kEchoValid},
+      {"echo.n", 64, true, false, false, FieldRef::kEchoValid},
+      {"echo.xsum", 64, true, false, false, FieldRef::kEchoValid},
+      {"echo.xsumsq", 64, true, false, false, FieldRef::kEchoValid},
+      {"echo.var", 64, true, false, false, FieldRef::kEchoValid},
+      {"echo.sd", 64, true, false, false, FieldRef::kEchoValid},
+      {"echo.$valid", 1, false, true, true, FieldRef::kEchoValid},
+      {"meta.ingress_port", 64, false, true, false, FieldRef::kMetaIngressPort},
+      {"meta.ingress_ts", 64, false, true, false, FieldRef::kMetaIngressTs},
+      {"meta.packet_length", 64, false, true, false,
+       FieldRef::kMetaPacketLength},
+      {"meta.egress_spec", 64, true, true, false, FieldRef::kMetaEgressSpec},
+  };
+  return kTable[static_cast<std::size_t>(f)];
+}
+
 ParsedPacket parse(const Packet& pkt) {
   ParsedPacket out;
   const auto eth = parse_ethernet(pkt.data);

@@ -55,6 +55,28 @@ enum class FieldRef : std::uint8_t {
 inline constexpr std::size_t kFieldCount =
     static_cast<std::size_t>(FieldRef::kMetaEgressSpec) + 1;
 
+/// Static description of one FieldRef, mirroring PacketView::get/set
+/// bit-exactly — the introspection surface the symbolic executor and any
+/// other IR-level analysis build their field models from:
+///   width_bits   — get() results fit in this many bits, and set() persists
+///                  only the low width_bits (the static_cast truncation);
+///   writable     — set() has an effect; false for the *Valid bits and the
+///                  read-only ingress metadata;
+///   always_valid — get/set are unconditional; when false, both are gated on
+///                  the owning header's validity bit (`validity`): get reads
+///                  0 and set is a no-op while the header is absent;
+///   is_validity  — the field IS a header validity bit (0/1, read-only).
+struct FieldInfo {
+  const char* name = "?";
+  std::uint32_t width_bits = 64;
+  bool writable = true;
+  bool always_valid = true;
+  bool is_validity = false;
+  FieldRef validity = FieldRef::kEthType;  ///< meaningful iff !always_valid
+};
+
+[[nodiscard]] const FieldInfo& field_info(FieldRef f) noexcept;
+
 /// Parse a packet buffer into headers (P4 parser semantics: stop at the
 /// first header that does not fit).
 [[nodiscard]] ParsedPacket parse(const Packet& pkt);

@@ -1,0 +1,47 @@
+// Docs-drift gate: the rule table in docs/ANALYSIS.md and the rule
+// catalogue in code (analysis::rule_catalogue) must list exactly the same
+// stable ids — a new rule without documentation, or a documented rule the
+// verifier can no longer emit, fails here.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "analysis/analysis.hpp"
+
+namespace {
+
+TEST(DocsDrift, RuleTableMatchesCatalogueBothWays) {
+  std::set<std::string> code_ids;
+  for (const analysis::RuleInfo& rule : analysis::rule_catalogue()) {
+    code_ids.insert(rule.id);
+  }
+
+  std::ifstream doc(STAT4_DOC_ANALYSIS);
+  ASSERT_TRUE(doc.is_open()) << STAT4_DOC_ANALYSIS;
+  const std::regex id_re("S4-[A-Z]+-[0-9]{3}");
+  std::set<std::string> doc_ids;
+  std::string line;
+  while (std::getline(doc, line)) {
+    if (line.empty() || line[0] != '|') continue;  // rule-table rows only
+    for (std::sregex_iterator it(line.begin(), line.end(), id_re), end;
+         it != end; ++it) {
+      doc_ids.insert(it->str());
+    }
+  }
+
+  for (const std::string& id : code_ids) {
+    EXPECT_TRUE(doc_ids.count(id) != 0)
+        << id << " is in rule_catalogue() but missing from the "
+        << "docs/ANALYSIS.md rule table";
+  }
+  for (const std::string& id : doc_ids) {
+    EXPECT_TRUE(code_ids.count(id) != 0)
+        << id << " is documented in docs/ANALYSIS.md but not in "
+        << "rule_catalogue()";
+  }
+}
+
+}  // namespace

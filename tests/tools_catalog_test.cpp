@@ -1,0 +1,86 @@
+// Cross-tool catalog contract: stat4_lint and stat4_opt must resolve every
+// example application through the ONE catalog (src/analysis/catalog.cpp) —
+// identical app-name sets and identical per-app verifier observation
+// bounds.  Runs the actual installed binaries (paths baked in by CMake), so
+// a tool growing its own app list or hardcoding a bound fails here, not in
+// production drift.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+
+namespace {
+
+std::string run_tool(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) != 0) out.append(buf, n);
+  const int status = pclose(pipe);
+  EXPECT_EQ(status, 0) << cmd << " exited with " << status;
+  return out;
+}
+
+/// (app, max_observations) pairs in output order, scanned from the shared
+/// `"app":"NAME"` ... `"max_observations":N` JSON schema.
+std::vector<std::pair<std::string, std::uint64_t>> app_bounds(
+    const std::string& json) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"app\":\"", pos)) != std::string::npos) {
+    pos += 7;
+    const std::size_t end = json.find('"', pos);
+    const std::string name = json.substr(pos, end - pos);
+    const std::size_t obs = json.find("\"max_observations\":", pos);
+    EXPECT_NE(obs, std::string::npos) << "no bound after app " << name;
+    if (obs == std::string::npos) break;
+    out.emplace_back(name, std::strtoull(json.c_str() + obs + 19, nullptr, 10));
+    pos = end;
+  }
+  return out;
+}
+
+TEST(ToolCatalog, ListAppsIdenticalAndMatchesLibraryCatalog) {
+  const std::string lint = run_tool(STAT4_TOOL_LINT " --list-apps");
+  const std::string opt = run_tool(STAT4_TOOL_OPT " --list-apps");
+  EXPECT_EQ(lint, opt);
+
+  // Same names, same order as the library catalog.
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos < lint.size()) {
+    const std::size_t nl = lint.find('\n', pos);
+    const std::string line = lint.substr(pos, nl - pos);
+    names.push_back(line.substr(0, line.find(' ')));
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  const std::vector<analysis::ExampleApp>& apps = analysis::example_apps();
+  ASSERT_EQ(names.size(), apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(names[i], apps[i].name);
+  }
+}
+
+TEST(ToolCatalog, PerAppVerifierBoundsIdenticalAcrossTools) {
+  const auto lint =
+      app_bounds(run_tool(STAT4_TOOL_LINT " --app=all --json"));
+  const auto opt = app_bounds(run_tool(STAT4_TOOL_OPT " --app=all --json"));
+  EXPECT_EQ(lint, opt);
+
+  const std::vector<analysis::ExampleApp>& apps = analysis::example_apps();
+  ASSERT_EQ(lint.size(), apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(lint[i].first, apps[i].name);
+    EXPECT_EQ(lint[i].second, apps[i].max_observations) << apps[i].name;
+  }
+}
+
+}  // namespace

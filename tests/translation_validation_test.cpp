@@ -1,0 +1,421 @@
+// Translation validation (src/analysis/symbolic.hpp, validate.hpp): unit
+// coverage of the evidence tiers — canonicalization proof, randomized
+// sampling of residual obligations, refutation with a minimized concrete
+// counterexample, budget exhaustion, commute applicability — plus the two
+// properties that make the validator trustworthy:
+//
+//   1. A 200-program fuzz loop: seeded random IR (tests/support/ir_gen.hpp)
+//      optimized to fixpoint with per-pass validation on must never be
+//      refuted, AND the optimized program must stay bit-exact against the
+//      original under concrete replay (4 input sets per program = 800
+//      replays), so the validator's verdict and the machine agree.  A
+//      failing seed is shrunk by instruction removal before reporting.
+//
+//   2. An intentionally broken pass (test-only post_pass_mutation hook
+//      dropping a register store) must be refuted with an S4-TV-001 error
+//      carrying a concrete counterexample valuation — and the sabotaged
+//      rewrite must be reverted, leaving the program still correct.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "p4sim/craft.hpp"
+#include "p4sim/p4sim.hpp"
+#include "support/ir_gen.hpp"
+
+namespace {
+
+using analysis::ValidateOptions;
+using analysis::ValidationMethod;
+using analysis::ValidationOutcome;
+using p4sim::FieldRef;
+using p4sim::Instruction;
+using p4sim::Op;
+using p4sim::Program;
+using p4sim::RegisterFile;
+using p4sim::TempId;
+using p4sim::Word;
+
+Instruction ins(Op op, TempId dst, TempId a = 0, TempId b = 0, TempId c = 0,
+                Word imm = 0) {
+  Instruction i;
+  i.op = op;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  i.c = c;
+  i.imm = imm;
+  return i;
+}
+
+Program make_program(std::string name, std::vector<Instruction> code) {
+  Program p;
+  p.name = std::move(name);
+  p.code = std::move(code);
+  return p;
+}
+
+// ---- evidence tiers --------------------------------------------------------
+
+TEST(Validator, ProvesAddSelfEqualsShift) {
+  // t1 = t0 + t0  vs  t1 = t0 << 1: both normalize to the linear form
+  // 2*param0, so the proof closes without sampling.
+  Program before = make_program(
+      "b", {ins(Op::kParam, 0), ins(Op::kAdd, 1, 0, 0)});
+  Program after = make_program(
+      "a", {ins(Op::kParam, 0), ins(Op::kConst, 2, 0, 0, 0, 1),
+            ins(Op::kShl, 1, 0, 2)});
+  ValidateOptions opts;
+  opts.live_out.set(1);
+  const ValidationOutcome out = analysis::validate_rewrite(before, after, opts);
+  EXPECT_EQ(out.method, ValidationMethod::kProved);
+  EXPECT_TRUE(out.equivalent());
+  EXPECT_GT(out.obligations, 0u);
+  EXPECT_EQ(out.residual, 0u);
+}
+
+TEST(Validator, SamplesResidualMaskIdentity) {
+  // (x & y) | (x & ~y) == x holds for all inputs but is beyond the
+  // canonicalizer (no boolean-algebra completion), so the validator must
+  // fall back to sampling — and the samples must all agree.
+  Program before = make_program(
+      "b", {ins(Op::kParam, 0), ins(Op::kParam, 1, 0, 0, 0, 1),
+            ins(Op::kAnd, 2, 0, 1), ins(Op::kNot, 3, 1),
+            ins(Op::kAnd, 4, 0, 3), ins(Op::kOr, 5, 2, 4)});
+  Program after = make_program(
+      "a", {ins(Op::kParam, 0), ins(Op::kMov, 5, 0)});
+  ValidateOptions opts;
+  opts.live_out.set(5);
+  const ValidationOutcome out = analysis::validate_rewrite(before, after, opts);
+  EXPECT_EQ(out.method, ValidationMethod::kSampled);
+  EXPECT_TRUE(out.equivalent());
+  EXPECT_GT(out.residual, 0u);
+}
+
+TEST(Validator, RefutesOffByOneWithMinimizedCounterexample) {
+  Program before = make_program("b", {ins(Op::kParam, 0), ins(Op::kMov, 1, 0)});
+  Program after = make_program(
+      "a", {ins(Op::kParam, 0), ins(Op::kConst, 2, 0, 0, 0, 1),
+            ins(Op::kAdd, 1, 0, 2)});
+  ValidateOptions opts;
+  opts.live_out.set(1);
+  const ValidationOutcome out = analysis::validate_rewrite(before, after, opts);
+  ASSERT_EQ(out.method, ValidationMethod::kRefuted);
+  EXPECT_FALSE(out.equivalent());
+  ASSERT_TRUE(out.counterexample.has_value());
+  EXPECT_NE(out.counterexample->before_value, out.counterexample->after_value);
+  // The minimizer zeroes every input here (0 vs 1 already disagree).
+  EXPECT_EQ(out.counterexample->before_value, 0u);
+  EXPECT_EQ(out.counterexample->after_value, 1u);
+  EXPECT_FALSE(out.counterexample->render().empty());
+}
+
+TEST(Validator, RefutesDroppedRegisterStore) {
+  RegisterFile rf;
+  const p4sim::RegisterId r = rf.declare("acc", 4);
+  Program before = make_program(
+      "b", {ins(Op::kParam, 0), ins(Op::kConst, 1),
+            Instruction{Op::kStoreReg, 0, 1, 0, 0, 0, FieldRef::kEthType, r}});
+  Program after = make_program(
+      "a", {ins(Op::kParam, 0), ins(Op::kConst, 1)});
+  ValidateOptions opts;
+  opts.registers = &rf;
+  const ValidationOutcome out = analysis::validate_rewrite(before, after, opts);
+  ASSERT_EQ(out.method, ValidationMethod::kRefuted);
+  ASSERT_TRUE(out.counterexample.has_value());
+  // The observable is the register cell, and minimization should shrink the
+  // distinguishing stored value down to a single bit.
+  EXPECT_NE(out.counterexample->before_value, out.counterexample->after_value);
+}
+
+TEST(Validator, BudgetExhaustionIsReportedNotMisjudged) {
+  // Squaring a value 8 times makes the DAG blow past a tiny node budget.
+  std::vector<Instruction> code{ins(Op::kParam, 0)};
+  for (int i = 0; i < 8; ++i) code.push_back(ins(Op::kMul, 0, 0, 0));
+  code.push_back(ins(Op::kHash1, 1, 0));
+  Program before = make_program("b", code);
+  Program after = before;
+  after.name = "a";
+  ValidateOptions opts;
+  opts.live_out.set(1);
+  opts.max_dag_nodes = 4;
+  const ValidationOutcome out = analysis::validate_rewrite(before, after, opts);
+  EXPECT_EQ(out.method, ValidationMethod::kBudget);
+  EXPECT_FALSE(out.equivalent());
+}
+
+// ---- commute ---------------------------------------------------------------
+
+TEST(Commute, DisjointStagesCommute) {
+  RegisterFile rf;
+  const p4sim::RegisterId r1 = rf.declare("one", 4);
+  const p4sim::RegisterId r2 = rf.declare("two", 4);
+  Program first = make_program(
+      "first", {ins(Op::kParam, 0), ins(Op::kConst, 1),
+                Instruction{Op::kStoreReg, 0, 1, 0, 0, 0, FieldRef::kEthType,
+                            r1}});
+  Program second = make_program(
+      "second", {ins(Op::kParam, 2, 0, 0, 0, 1), ins(Op::kConst, 3),
+                 Instruction{Op::kStoreReg, 0, 3, 2, 0, 0, FieldRef::kEthType,
+                             r2}});
+  ValidateOptions opts;
+  opts.registers = &rf;
+  const ValidationOutcome out =
+      analysis::validate_commute(first, second, opts);
+  EXPECT_TRUE(out.method == ValidationMethod::kProved ||
+              out.method == ValidationMethod::kSampled);
+}
+
+TEST(Commute, SharedRegisterIsInapplicableNotFalselyProved) {
+  RegisterFile rf;
+  const p4sim::RegisterId r = rf.declare("shared", 4);
+  Program first = make_program(
+      "first", {ins(Op::kParam, 0), ins(Op::kConst, 1),
+                Instruction{Op::kStoreReg, 0, 1, 0, 0, 0, FieldRef::kEthType,
+                            r}});
+  Program second = make_program(
+      "second", {ins(Op::kConst, 2, 0, 0, 0, 7), ins(Op::kConst, 3),
+                 Instruction{Op::kStoreReg, 0, 3, 2, 0, 0, FieldRef::kEthType,
+                             r}});
+  ValidateOptions opts;
+  opts.registers = &rf;
+  const ValidationOutcome out =
+      analysis::validate_commute(first, second, opts);
+  EXPECT_EQ(out.method, ValidationMethod::kInapplicable);
+}
+
+// ---- fuzz: validator verdict vs concrete replay ----------------------------
+
+struct ReplayState {
+  std::vector<std::vector<Word>> registers;
+  std::vector<p4sim::Digest> digests;
+  std::array<Word, p4sim::kFieldCount> fields{};
+};
+
+bool operator==(const ReplayState& x, const ReplayState& y) {
+  if (x.registers != y.registers || x.fields != y.fields) return false;
+  if (x.digests.size() != y.digests.size()) return false;
+  for (std::size_t i = 0; i < x.digests.size(); ++i) {
+    if (x.digests[i].id != y.digests[i].id ||
+        x.digests[i].payload != y.digests[i].payload) {
+      return false;
+    }
+  }
+  return true;
+}
+
+p4sim::Packet replay_packet(std::uint64_t input_seed) {
+  // Vary the header mix so validity-gated fields see present and absent
+  // headers.
+  switch (input_seed % 3) {
+    case 0:
+      return p4sim::make_echo_packet(static_cast<std::int64_t>(input_seed % 97));
+    case 1:
+      return p4sim::make_tcp_packet(
+          p4sim::ipv4(10, 0, 0, static_cast<unsigned>(input_seed % 251)),
+          p4sim::ipv4(10, 0, 1, 1), 1000, 80,
+          input_seed % 2 != 0 ? p4sim::kTcpSyn : p4sim::kTcpAck, 64);
+    default:
+      return p4sim::make_udp_packet(
+          p4sim::ipv4(192, 168, 0, static_cast<unsigned>(input_seed % 200)),
+          p4sim::ipv4(172, 16, 0, 1), 53, 53, 100);
+  }
+}
+
+/// Runs `p` concretely on a deterministic input set (packet headers,
+/// metadata, action data, pre-filled registers all derived from
+/// `input_seed`) and returns the full observable machine state.
+ReplayState replay(const Program& p, std::uint64_t input_seed) {
+  std::mt19937_64 rng(input_seed);
+  RegisterFile rf;
+  const std::vector<p4sim::RegisterId> regs =
+      test_support::declare_gen_registers(rf);
+  for (const p4sim::RegisterId r : regs) {
+    for (std::uint32_t i = 0; i < rf.info(r).size; ++i) rf.write(r, i, rng());
+  }
+  p4sim::Packet pkt = replay_packet(input_seed);
+  p4sim::ParsedPacket parsed = p4sim::parse(pkt);
+  p4sim::PacketView view;
+  view.parsed = &parsed;
+  view.meta_ingress_port = rng() % 16;
+  view.meta_ingress_ts = rng();
+  view.meta_packet_length = pkt.data.size();
+  const std::vector<Word> action_data{rng(), rng(), rng(), rng()};
+
+  ReplayState out;
+  p4sim::ExecutionContext ctx;
+  ctx.view = &view;
+  ctx.registers = &rf;
+  ctx.action_data = action_data;
+  ctx.digests = &out.digests;
+  ctx.now = 12345;
+  p4sim::execute(p, ctx);
+
+  for (const p4sim::RegisterId r : regs) {
+    std::vector<Word> cells;
+    for (std::uint32_t i = 0; i < rf.info(r).size; ++i) {
+      cells.push_back(rf.read(r, i));
+    }
+    out.registers.push_back(std::move(cells));
+  }
+  for (std::size_t f = 0; f < p4sim::kFieldCount; ++f) {
+    out.fields[f] = view.get(static_cast<FieldRef>(f));
+  }
+  return out;
+}
+
+/// Optimizes a copy of `original` with per-pass validation on.  Returns a
+/// non-empty failure description when the validator refutes a pass OR the
+/// optimized program diverges from the original under concrete replay —
+/// either means a bug (in a pass or in the validator itself).
+std::string check_program(const Program& original, std::uint64_t seed) {
+  RegisterFile rf;
+  (void)test_support::declare_gen_registers(rf);
+  Program optimized = original;
+  analysis::PassManagerOptions opt;
+  opt.validate = analysis::ValidateMode::kOn;
+  const analysis::OptimizeResult result =
+      analysis::optimize_program(optimized, rf, opt);
+  if (result.validation.refuted != 0) {
+    return "validator refuted an optimizer pass";
+  }
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    const std::uint64_t input_seed = seed * 1000 + k;
+    if (!(replay(original, input_seed) == replay(optimized, input_seed))) {
+      return "optimized program diverges under replay (input seed " +
+             std::to_string(input_seed) + ")";
+    }
+  }
+  return {};
+}
+
+TEST(TranslationValidationFuzz, RandomProgramsValidateAndReplayBitExact) {
+  RegisterFile proto;
+  const std::vector<p4sim::RegisterId> regs =
+      test_support::declare_gen_registers(proto);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Program p = test_support::random_program(seed, proto, regs);
+    std::string why = check_program(p, seed);
+    if (why.empty()) continue;
+    // Shrink: drop instructions one at a time while the failure persists,
+    // then report the minimal reproducer.
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (std::size_t i = 0; i < p.code.size(); ++i) {
+        Program candidate = p;
+        candidate.code.erase(candidate.code.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        const std::string cand_why = check_program(candidate, seed);
+        if (!cand_why.empty()) {
+          p = std::move(candidate);
+          why = cand_why;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    ADD_FAILURE() << "seed " << seed << ": " << why << "\nminimal reproducer ("
+                  << p.code.size() << " instruction(s)):\n"
+                  << p4sim::disassemble(p, &proto);
+    return;  // first failing seed is enough; the shrunk program names it
+  }
+}
+
+// ---- the killer test: a broken pass must be caught -------------------------
+
+TEST(TranslationValidation, BrokenPassRefutedRevertedAndDiagnosed) {
+  RegisterFile rf;
+  const p4sim::RegisterId r = rf.declare("acc", 4);
+  // acc[0] += param0 — the accumulate-in-place shape every Stat4 app uses.
+  Program p = make_program(
+      "accumulate",
+      {ins(Op::kConst, 0), ins(Op::kParam, 1),
+       Instruction{Op::kLoadReg, 2, 0, 0, 0, 0, FieldRef::kEthType, r},
+       ins(Op::kAdd, 3, 2, 1),
+       Instruction{Op::kStoreReg, 0, 0, 3, 0, 0, FieldRef::kEthType, r}});
+  const Program original = p;
+
+  analysis::PassManagerOptions opt;
+  opt.validate = analysis::ValidateMode::kOn;
+  bool sabotaged = false;
+  opt.post_pass_mutation = [&sabotaged](Program& prog,
+                                        const std::string& pass) {
+    if (pass != "dce" || sabotaged) return;
+    for (std::size_t i = prog.code.size(); i-- > 0;) {
+      if (prog.code[i].op == Op::kStoreReg) {
+        prog.code.erase(prog.code.begin() + static_cast<std::ptrdiff_t>(i));
+        sabotaged = true;
+        return;
+      }
+    }
+  };
+  const analysis::OptimizeResult result =
+      analysis::optimize_program(p, rf, opt);
+
+  ASSERT_TRUE(sabotaged);
+  EXPECT_GT(result.validation.refuted, 0u);
+  bool found = false;
+  for (const analysis::Diagnostic& d : result.diags.diagnostics()) {
+    if (d.rule != "S4-TV-001") continue;
+    found = true;
+    EXPECT_EQ(d.severity, analysis::Severity::kError);
+    // The diagnostic must carry the concrete counterexample rendering:
+    // observable, both values, and the minimized input bindings.
+    EXPECT_NE(d.message.find("before="), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("after="), std::string::npos) << d.message;
+  }
+  EXPECT_TRUE(found) << "no S4-TV-001 diagnostic reported";
+
+  // The sabotaged rewrite was reverted: the surviving program still
+  // accumulates correctly.
+  bool store_survives = false;
+  for (const Instruction& i : p.code) {
+    store_survives = store_survives || i.op == Op::kStoreReg;
+  }
+  EXPECT_TRUE(store_survives);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_TRUE(replay(original, k) == replay(p, k)) << "input seed " << k;
+  }
+}
+
+TEST(TranslationValidation, StrictModeEscalatesSamplingToError) {
+  // Force the sampled tier through a mask identity the canonicalizer cannot
+  // close, routed through a mutation that rewrites an action into an
+  // equivalent-but-alien form.
+  Program p = make_program(
+      "mask", {ins(Op::kParam, 0), ins(Op::kParam, 1, 0, 0, 0, 1),
+               ins(Op::kAnd, 2, 0, 1), ins(Op::kNot, 3, 1),
+               ins(Op::kAnd, 4, 0, 3), ins(Op::kOr, 5, 2, 4),
+               ins(Op::kConst, 6),
+               ins(Op::kDigest, 5, 5, 5, 5, 1)});
+  analysis::PassManagerOptions opt;
+  opt.validate = analysis::ValidateMode::kStrict;
+  bool mutated = false;
+  opt.post_pass_mutation = [&mutated](Program& prog, const std::string& pass) {
+    if (pass != "constprop" || mutated) return;
+    // Replace the or-of-masked-halves with the plain value: equivalent for
+    // all inputs, but only sampling can tell.
+    prog.code[5] = Instruction{Op::kMov, 5, 0, 0, 0, 0, FieldRef::kEthType, 0};
+    mutated = true;
+  };
+  const analysis::OptimizeResult result = analysis::optimize_program(p, opt);
+  ASSERT_TRUE(mutated);
+  EXPECT_GT(result.validation.sampled, 0u);
+  EXPECT_EQ(result.validation.refuted, 0u);
+  bool found = false;
+  for (const analysis::Diagnostic& d : result.diags.diagnostics()) {
+    if (d.rule == "S4-TV-002") {
+      found = true;
+      EXPECT_EQ(d.severity, analysis::Severity::kError);  // strict escalation
+    }
+  }
+  EXPECT_TRUE(found) << "no S4-TV-002 diagnostic reported";
+}
+
+}  // namespace

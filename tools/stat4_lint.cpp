@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   std::string app = "all";
   std::string profile_name = "bmv2";
   std::uint64_t max_observations = std::uint64_t{1} << 20;
+  bool max_observations_overridden = false;
   analysis::Severity min_severity = analysis::Severity::kNote;
   bool json = false;
   bool bounds = false;
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
                   << "'\n";
         return 2;
       }
+      max_observations_overridden = true;
     } else if (const char* sev_v = value("--min-severity=")) {
       if (!parse_severity(sev_v, &min_severity)) {
         std::cerr << "stat4_lint: bad --min-severity value '" << sev_v
@@ -127,6 +129,13 @@ int main(int argc, char** argv) {
       std::cerr << "stat4_lint: " << e.what() << " (see --list-apps)\n";
       return 2;
     }
+    // Each catalog app certifies against its own observation bound; an
+    // explicit --max-observations overrides it for every app.
+    if (!max_observations_overridden) {
+      for (const analysis::ExampleApp& a : analysis::example_apps()) {
+        if (a.name == name) options.max_observations = a.max_observations;
+      }
+    }
     const analysis::AnalysisResult result =
         analysis::verify_switch(*sw, options);
     any_errors = any_errors || !result.ok();
@@ -147,7 +156,9 @@ int main(int argc, char** argv) {
                 << "\",\"profile\":\""
                 << analysis::json_escape(options.profile.name)
                 << "\",\"fixpoint\":" << (result.fixpoint ? "true" : "false")
-                << ",\"iterations\":" << result.iterations << ",\"cost\":";
+                << ",\"iterations\":" << result.iterations
+                << ",\"max_observations\":" << options.max_observations
+                << ",\"cost\":";
       analysis::render_cost_json(std::cout, opt.before, opt.after);
       std::cout << ",\"report\":";
       result.diags.render_json(std::cout);

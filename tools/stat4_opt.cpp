@@ -9,12 +9,17 @@
 //
 // Usage:
 //   stat4_opt [--app=NAME|all] [--profile=bmv2|hardware-nomul|strict]
-//             [--passes=p1,p2,...] [--max-iterations=N]
+//             [--passes=p1,p2,...] [--max-iterations=N] [--validate[=strict]]
 //             [--report] [--json] [--emit-p4] [--list-passes] [--list-apps]
 //
+// --validate re-proves every pass bit-exact by symbolic translation
+// validation (S4-TV diagnostics); =strict makes the randomized-sampling
+// fallback an error, so exit 0 means every rewrite was PROVEN equivalent
+// by canonicalization alone.
+//
 // Exit codes: 0 = optimized and re-verified clean; 1 = a post-optimization
-// verifier error (the optimizer broke an invariant — always a bug);
-// 2 = usage / unknown app, profile, or pass.
+// verifier error or a translation-validation error (the optimizer broke an
+// invariant — always a bug); 2 = usage / unknown app, profile, or pass.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -31,8 +36,9 @@ void usage(std::ostream& os) {
   os << "usage: stat4_opt [--app=NAME|all] "
         "[--profile=bmv2|hardware-nomul|strict]\n"
         "                 [--passes=p1,p2,...] [--max-iterations=N]\n"
-        "                 [--report] [--json] [--emit-p4] [--list-passes] "
-        "[--list-apps]\n";
+        "                 [--validate[=strict]] [--report] [--json] "
+        "[--emit-p4]\n"
+        "                 [--list-passes] [--list-apps]\n";
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -87,6 +93,14 @@ int main(int argc, char** argv) {
                   << "'\n";
         return 2;
       }
+    } else if (arg == "--validate") {
+      opt.validate = analysis::ValidateMode::kOn;
+    } else if (arg == "--validate=strict") {
+      opt.validate = analysis::ValidateMode::kStrict;
+    } else if (const char* validate_v = value("--validate=")) {
+      std::cerr << "stat4_opt: bad --validate mode '" << validate_v
+                << "' (only 'strict')\n";
+      return 2;
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--json") {
@@ -157,13 +171,19 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    // The gate: the optimized pipeline must re-verify clean.  Any error here
-    // means a pass broke an invariant the verifier proves.
+    // The gate: the optimized pipeline must re-verify clean, and (with
+    // --validate) every pass must have been proven equivalent.  Any error
+    // means a pass broke an invariant.
     analysis::AnalysisOptions verify_opt;
     verify_opt.profile = opt.profile;
+    for (const analysis::ExampleApp& a : analysis::example_apps()) {
+      if (a.name == name) verify_opt.max_observations = a.max_observations;
+    }
     const analysis::AnalysisResult verified =
         analysis::verify_switch(*sw, verify_opt);
-    any_errors = any_errors || !verified.ok();
+    const bool validate_errors =
+        result.diags.count(analysis::Severity::kError) != 0;
+    any_errors = any_errors || !verified.ok() || validate_errors;
 
     if (json) {
       if (!first) std::cout << ",";
@@ -181,6 +201,18 @@ int main(int argc, char** argv) {
       }
       std::cout << "],\"cost\":";
       analysis::render_cost_json(std::cout, result.before, result.after);
+      std::cout << ",\"max_observations\":" << verify_opt.max_observations;
+      if (opt.validate != analysis::ValidateMode::kOff) {
+        const analysis::ValidationStats& v = result.validation;
+        std::cout << ",\"validation\":{\"mode\":\""
+                  << (opt.validate == analysis::ValidateMode::kStrict
+                          ? "strict"
+                          : "on")
+                  << "\",\"checked\":" << v.checked
+                  << ",\"proved\":" << v.proved << ",\"sampled\":" << v.sampled
+                  << ",\"refuted\":" << v.refuted << ",\"budget\":" << v.budget
+                  << ",\"packs\":" << v.packs << "}";
+      }
       std::cout << ",\"verify_errors\":"
                 << verified.diags.count(analysis::Severity::kError)
                 << ",\"report\":";
@@ -201,6 +233,15 @@ int main(int argc, char** argv) {
           << (result.fixpoint ? " (fixpoint)" : " (budget hit)")
           << ", post-opt verifier errors "
           << verified.diags.count(analysis::Severity::kError) << "\n";
+      if (opt.validate != analysis::ValidateMode::kOff) {
+        const analysis::ValidationStats& v = result.validation;
+        out << "  validation"
+            << (opt.validate == analysis::ValidateMode::kStrict ? " (strict)"
+                                                                : "")
+            << ": " << v.checked << " checked, " << v.proved << " proved, "
+            << v.sampled << " sampled, " << v.refuted << " refuted, "
+            << v.budget << " budget-capped\n";
+      }
       if (report) {
         result.diags.render_text(out);
         verified.diags.render_text(out, analysis::Severity::kWarning);
