@@ -14,6 +14,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -133,8 +135,9 @@ BENCHMARK(BM_StdDevEager);
 
 // ------------------------------------------------- switch-side programs
 
-void BM_SwitchTrackFreqPacket(benchmark::State& state) {
-  stat4p4::MonitorApp app;
+namespace {
+
+void track_freq_setup(stat4p4::MonitorApp& app) {
   app.install_forward(p4sim::ipv4(10, 0, 0, 0), 8, 1);
   stat4p4::FreqBindingSpec spec;
   spec.dst_prefix = p4sim::ipv4(10, 0, 0, 0);
@@ -142,7 +145,11 @@ void BM_SwitchTrackFreqPacket(benchmark::State& state) {
   spec.dist = 1;
   spec.shift = 8;
   app.install_freq_binding(spec);
+}
 
+/// Per-packet loop matching the committed-baseline structure: a freshly
+/// crafted packet and a fresh SwitchOutput per packet through process().
+void track_freq_loop(benchmark::State& state, stat4p4::MonitorApp& app) {
   netsim::Rng rng(1);
   for (auto _ : state) {
     const auto subnet = 1 + static_cast<unsigned>(rng.below(6));
@@ -151,7 +158,79 @@ void BM_SwitchTrackFreqPacket(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
+
+/// Steady-state drain loop — the structure FleetRunner's worker actually
+/// runs (fleet_runner.cpp): process_into() with ONE SwitchOutput whose
+/// vectors are reused, the forwarded packet's buffer recycled as the next
+/// input.  Same traffic as track_freq_loop (dst subnet varies 1..6), but
+/// zero per-packet allocation, so this isolates parse → match → action →
+/// deparse cost — the number the execution tiers compete on.
+void track_freq_drain_loop(benchmark::State& state, stat4p4::MonitorApp& app) {
+  // dst byte 2 lives at eth(14) + ipv4 dst offset(16) + 2.
+  constexpr std::size_t kDstSubnetByte = 14 + 16 + 2;
+  p4sim::Packet pkt = p4sim::make_udp_packet(
+      p4sim::ipv4(8, 8, 8, 8), p4sim::ipv4(10, 0, 1, 1), 1, 2);
+  p4sim::SwitchOutput out;
+  // The subnet sequence is pre-drawn so the timed region contains only the
+  // switch (the RNG draw is harness, not data path).
+  std::array<p4sim::Byte, 256> subnets;
+  netsim::Rng rng(1);
+  for (auto& b : subnets) b = static_cast<p4sim::Byte>(1 + rng.below(6));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pkt.data[kDstSubnetByte] = subnets[i++ & 255];
+    app.sw().process_into(std::move(pkt), out);
+    pkt = std::move(out.packets[0].second);  // recycle the buffer
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+void BM_SwitchTrackFreqPacket(benchmark::State& state) {
+  stat4p4::MonitorApp app;
+  track_freq_setup(app);
+  // Pinned to the interpreter tier: this is the baseline the Threaded/Jit
+  // variants (and the CI tier-speedup gate) divide against, so it must not
+  // silently ride the default tier.
+  app.sw().set_exec_tier(p4sim::ExecTier::kInterpreter);
+  track_freq_loop(state, app);
+}
 BENCHMARK(BM_SwitchTrackFreqPacket);
+
+void BM_SwitchTrackFreqPacketDrain(benchmark::State& state) {
+  // Interpreter tier, drain structure: the denominator for per-tier
+  // speedups with the allocation overhead already out of the picture.
+  stat4p4::MonitorApp app;
+  track_freq_setup(app);
+  app.sw().set_exec_tier(p4sim::ExecTier::kInterpreter);
+  track_freq_drain_loop(state, app);
+}
+BENCHMARK(BM_SwitchTrackFreqPacketDrain);
+
+void BM_SwitchTrackFreqPacketThreaded(benchmark::State& state) {
+  stat4p4::MonitorApp app;
+  track_freq_setup(app);
+  app.sw().set_exec_tier(p4sim::ExecTier::kThreaded);
+  track_freq_drain_loop(state, app);
+}
+BENCHMARK(BM_SwitchTrackFreqPacketThreaded);
+
+void BM_SwitchTrackFreqPacketJit(benchmark::State& state) {
+  stat4p4::MonitorApp app;
+  track_freq_setup(app);
+  app.sw().set_exec_tier(p4sim::ExecTier::kNative);
+  // One warm-up packet triggers the transpile + host-compile outside the
+  // timed loop (the unit is memoized process-wide afterwards).
+  (void)app.sw().process(p4sim::make_udp_packet(
+      p4sim::ipv4(8, 8, 8, 8), p4sim::ipv4(10, 0, 1, 1), 1, 2));
+  if (app.sw().active_tier() != p4sim::ExecTier::kNative) {
+    state.SkipWithError("native tier unavailable (no host compiler?)");
+    return;
+  }
+  track_freq_drain_loop(state, app);
+}
+BENCHMARK(BM_SwitchTrackFreqPacketJit);
 
 void BM_SwitchTrackFreqPacketOptimized(benchmark::State& state) {
   // The same workload after the dataflow optimizer (stat4_opt) rewrote the
@@ -298,14 +377,20 @@ void BM_EngineProcessBatch(benchmark::State& state) {
   stat4::Stat4Engine engine(stat4::OverflowPolicy::kSaturate);
   engine_bench_setup(engine);
   const auto trace = engine_bench_trace(256);
+  // Manual timing divides each 256-packet batch down to per-packet ns, so
+  // this reports in the same unit as BM_EngineProcessScalar and the
+  // per-packet switch benchmarks instead of per-batch time.
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     engine.process_batch(trace.data(), trace.size());
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           static_cast<double>(trace.size()));
   }
-  // items/s is the comparable number: one iteration here is 256 packets.
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(trace.size()));
 }
-BENCHMARK(BM_EngineProcessBatch);
+BENCHMARK(BM_EngineProcessBatch)->UseManualTime();
 
 // ------------------------------------------------ multi-threaded scaling
 

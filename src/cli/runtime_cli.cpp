@@ -285,7 +285,9 @@ std::string RuntimeCli::execute(std::string_view line) {
          << " Xsumsq=" << rf.read(regs.xsumsq, dist) << " var=" << var
          << " sd~=" << stat4::approx_sqrt(var)
          << " alerted=" << rf.read(regs.alerted, dist)
-         << " hot=" << rf.read(regs.hot_value, dist);
+         << " hot=" << rf.read(regs.hot_value, dist) << '\n'
+         << "tier: configured=" << p4sim::to_string(app_->sw().exec_tier())
+         << " active=" << p4sim::to_string(app_->sw().active_tier());
       return os.str();
     }
     if (cmd == "rearm" || cmd == "reset") {

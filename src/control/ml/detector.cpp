@@ -106,8 +106,13 @@ FeedResult AnomalyDetector::feed_locked(Metric& m, std::uint64_t sample) {
     const auto score_now = static_cast<std::int64_t>(consensus);
     m.t_score->add(score_now - m.exported_score);
     m.exported_score = score_now;
+    // The timeline delta must wrap: anomaly_bits is a rolling 64-bit mask
+    // whose sign (as the exported gauge) flips freely, so the subtraction
+    // is done in unsigned arithmetic and the two's-complement result is
+    // what the gauge needs to land on the new value.
     const auto bits_now = static_cast<std::int64_t>(m.anomaly_bits);
-    m.t_bits->add(bits_now - m.exported_bits);
+    m.t_bits->add(static_cast<std::int64_t>(
+        m.anomaly_bits - static_cast<std::uint64_t>(m.exported_bits)));
     m.exported_bits = bits_now;
   }
 

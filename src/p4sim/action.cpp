@@ -77,6 +77,82 @@ void execute(const Program& program, ExecutionContext& ctx) {
   }
 }
 
+void instruction_temps(const Instruction& ins, std::vector<TempId>& reads,
+                       std::vector<TempId>& writes) {
+  switch (ins.op) {
+    case Op::kConst:
+    case Op::kParam:
+    case Op::kLoadField:
+      writes.push_back(ins.dst);
+      break;
+    case Op::kMov:
+    case Op::kNot:
+    case Op::kHash1:
+    case Op::kHash2:
+      reads.push_back(ins.a);
+      writes.push_back(ins.dst);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+      reads.push_back(ins.a);
+      reads.push_back(ins.b);
+      writes.push_back(ins.dst);
+      break;
+    case Op::kSelect:
+      reads.push_back(ins.a);
+      reads.push_back(ins.b);
+      reads.push_back(ins.c);
+      writes.push_back(ins.dst);
+      break;
+    case Op::kStoreField:
+      reads.push_back(ins.a);
+      break;
+    case Op::kLoadReg:
+      reads.push_back(ins.a);
+      writes.push_back(ins.dst);
+      break;
+    case Op::kStoreReg:
+      reads.push_back(ins.a);
+      reads.push_back(ins.b);
+      break;
+    case Op::kDigest:
+      reads.push_back(ins.a);
+      reads.push_back(ins.b);
+      reads.push_back(ins.c);
+      reads.push_back(ins.dst);
+      break;
+  }
+}
+
+std::bitset<kTempCount> read_before_write(const Program& program) {
+  std::bitset<kTempCount> rbw;
+  std::bitset<kTempCount> written;
+  std::vector<TempId> reads;
+  std::vector<TempId> writes;
+  for (const Instruction& ins : program.code) {
+    reads.clear();
+    writes.clear();
+    instruction_temps(ins, reads, writes);
+    for (const TempId id : reads) {
+      if (!written[id]) rbw[id] = true;
+    }
+    for (const TempId id : writes) written[id] = true;
+  }
+  return rbw;
+}
+
 ProgramBuilder::ProgramBuilder(std::string name) {
   program_.name = std::move(name);
 }

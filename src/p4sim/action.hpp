@@ -14,6 +14,7 @@
 // sequence instead.  Program::validate() enforces the profile.
 #pragma once
 
+#include <bitset>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -107,6 +108,21 @@ struct ExecutionContext {
 
 /// Runs the program to completion (no branches, no loops: O(|code|)).
 void execute(const Program& program, ExecutionContext& ctx);
+
+/// Temps `ins` reads / writes, appended to the vectors.  Mirrors execute()
+/// exactly — in particular kDigest READS dst (third payload word) and the
+/// store ops write no temp at all.  Shared by the scratch-zeroing analysis
+/// (switch.cpp) and the native-tier transpiler so their liveness views can
+/// never drift.
+void instruction_temps(const Instruction& ins, std::vector<TempId>& reads,
+                       std::vector<TempId>& writes);
+
+/// Temps `program` reads before writing — the only temps whose
+/// pre-execution value (the per-packet zero fill, or an earlier stage's
+/// write) can flow into the program.  Everything else is written first and
+/// needs no initialization.
+[[nodiscard]] std::bitset<kTempCount> read_before_write(
+    const Program& program);
 
 /// Convenience builder producing SSA-ish programs: every helper allocates a
 /// fresh temp and returns its id.  Mirrors how one composes P4 primitive

@@ -1,0 +1,50 @@
+// Execution-tier selection for the compiled p4sim fast path.
+//
+// The fast path can run an installed pipeline at three tiers:
+//
+//   kInterpreter — the dispatch-vector interpreter (action.cpp execute()):
+//                  a switch over Op per instruction.  The reference tier
+//                  every other tier is differentially tested against.
+//   kThreaded    — threaded code: each action pre-decoded into a flat
+//                  stream of computed-goto handlers with pre-resolved
+//                  operands (register base pointers, folded masks), so the
+//                  per-op switch dispatch and ExecutionContext indirection
+//                  disappear (threaded.hpp).
+//   kNative      — each pipeline transpiled to a self-contained C++ TU,
+//                  compiled by the host toolchain and dlopen'ed
+//                  (jit/transpiler.hpp, jit/engine.hpp).  Falls back to
+//                  kThreaded when no compiler is available or a program
+//                  cannot be transpiled.
+//
+// All tiers hook the same invalidation protocol: any configuration write
+// bumps config_gen_ and the next packet re-lowers the pipeline for the
+// selected tier.  Tier selection never changes results — only speed
+// (tests/exec_tier_differential_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace p4sim {
+
+enum class ExecTier : std::uint8_t {
+  kInterpreter,
+  kThreaded,
+  kNative,
+};
+
+/// Stable names: "interp", "threaded", "native" (CLI flag / stats values).
+[[nodiscard]] const char* to_string(ExecTier tier) noexcept;
+
+/// Parses a tier name; std::nullopt for anything unknown.
+[[nodiscard]] std::optional<ExecTier> parse_exec_tier(
+    std::string_view name) noexcept;
+
+/// The tier newly constructed switches start on: the STAT4_EXEC_TIER
+/// environment variable ("interp" / "threaded" / "native", read once per
+/// process — the CI per-tier legs use this) or kThreaded when unset or
+/// unparseable.
+[[nodiscard]] ExecTier default_exec_tier() noexcept;
+
+}  // namespace p4sim

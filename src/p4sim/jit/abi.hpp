@@ -1,0 +1,50 @@
+// C ABI between the host switch and dlopen'ed transpiled pipelines.
+//
+// A transpiled unit is a self-contained C++ TU (no includes); it re-declares
+// these structs textually (jit/transpiler.cpp emits them), so the layouts
+// here and the emitted text must stay field-for-field identical.  The unit
+// exports three symbols:
+//
+//   const unsigned long long stat4_jit_abi;           // == kAbiVersion
+//   const unsigned long long stat4_jit_action_count;  // number of actions
+//   void (*const stat4_jit_actions[])(Stat4JitContext*);
+//
+// Everything dynamic crosses the boundary through Context: temps and
+// register cells as raw pointers (direct loads/stores in generated code),
+// packet fields and digests as host callbacks (PacketView validity gating
+// and Digest construction stay host-side, so the generated code can never
+// drift from parser.cpp semantics).  Bump kAbiVersion on any layout change;
+// the engine refuses units whose stat4_jit_abi mismatches.
+#pragma once
+
+#include <cstdint>
+
+namespace p4sim::jit {
+
+inline constexpr std::uint64_t kAbiVersion = 1;
+
+/// Mirror of RegisterWindow with fixed-width members (emitted text uses
+/// unsigned long long; same 64-bit representation).
+struct RegWindow {
+  std::uint64_t* base = nullptr;
+  std::uint64_t size = 0;
+  std::uint64_t mask = ~std::uint64_t{0};
+};
+
+struct Context {
+  std::uint64_t* temps = nullptr;
+  const std::uint64_t* action_data = nullptr;
+  std::uint64_t action_data_len = 0;
+  void* view = nullptr;
+  std::uint64_t (*load_field)(void* view, std::uint32_t field) = nullptr;
+  void (*store_field)(void* view, std::uint32_t field,
+                      std::uint64_t value) = nullptr;
+  const RegWindow* regs = nullptr;
+  void* digest_sink = nullptr;
+  void (*emit_digest)(void* sink, std::uint32_t id, std::uint64_t w0,
+                      std::uint64_t w1, std::uint64_t w2) = nullptr;
+};
+
+using ActionFn = void (*)(Context*);
+
+}  // namespace p4sim::jit

@@ -1,24 +1,5 @@
 #include "p4sim/packet.hpp"
 
-namespace p4sim {
-
-std::uint64_t read_be(std::span<const Byte> buf, std::size_t offset,
-                      std::size_t width) {
-  if (width > 8 || offset + width > buf.size()) return 0;
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < width; ++i) {
-    v = (v << 8) | buf[offset + i];
-  }
-  return v;
-}
-
-void write_be(std::span<Byte> buf, std::size_t offset, std::size_t width,
-              std::uint64_t value) {
-  if (width > 8 || offset + width > buf.size()) return;
-  for (std::size_t i = 0; i < width; ++i) {
-    buf[offset + width - 1 - i] = static_cast<Byte>(value & 0xFF);
-    value >>= 8;
-  }
-}
-
-}  // namespace p4sim
+// read_be / write_be are defined inline in packet.hpp: they sit under every
+// per-packet parse/deparse and their constant-width calls unroll to plain
+// loads when visible to the caller.

@@ -19,14 +19,29 @@ using PortId = std::uint16_t;
 
 /// Reads a big-endian unsigned integer of `width` bytes at `offset`.
 /// Returns 0 if the read would run past the end (the parser checks sizes
-/// before trusting values).
-[[nodiscard]] std::uint64_t read_be(std::span<const Byte> buf,
-                                    std::size_t offset, std::size_t width);
+/// before trusting values).  Inline: callers pass constant widths, so the
+/// loop unrolls into straight loads — parse/deparse run per packet.
+[[nodiscard]] inline std::uint64_t read_be(std::span<const Byte> buf,
+                                           std::size_t offset,
+                                           std::size_t width) {
+  if (width > 8 || offset + width > buf.size()) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v = (v << 8) | buf[offset + i];
+  }
+  return v;
+}
 
 /// Writes `value` big-endian into `width` bytes at `offset`.
 /// No-op if the write would run past the end.
-void write_be(std::span<Byte> buf, std::size_t offset, std::size_t width,
-              std::uint64_t value);
+inline void write_be(std::span<Byte> buf, std::size_t offset,
+                     std::size_t width, std::uint64_t value) {
+  if (width > 8 || offset + width > buf.size()) return;
+  for (std::size_t i = 0; i < width; ++i) {
+    buf[offset + width - 1 - i] = static_cast<Byte>(value & 0xFF);
+    value >>= 8;
+  }
+}
 
 /// One frame traversing the switch.
 struct Packet {

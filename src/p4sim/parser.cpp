@@ -1,5 +1,8 @@
 #include "p4sim/parser.hpp"
 
+#include <bit>
+#include <cstring>
+
 namespace p4sim {
 
 const FieldInfo& field_info(FieldRef f) noexcept {
@@ -35,25 +38,106 @@ const FieldInfo& field_info(FieldRef f) noexcept {
   return kTable[static_cast<std::size_t>(f)];
 }
 
-ParsedPacket parse(const Packet& pkt) {
-  ParsedPacket out;
-  const auto eth = parse_ethernet(pkt.data);
-  if (!eth) return out;
-  out.eth = *eth;
+namespace {
 
-  std::size_t off = EthernetHeader::kSize;
+// Raw big-endian loads for the fused parse below: each header's size is
+// checked once up front, so these skip the per-field bounds test the
+// general read_be carries.  memcpy + byte-swap compiles to a single load
+// (plus bswap on little-endian hosts) instead of per-byte shift chains.
+inline std::uint64_t be16(const Byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__GNUC__) || defined(__clang__)
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap16(v);
+  }
+  return v;
+#else
+  return static_cast<std::uint64_t>(p[0]) << 8 | p[1];
+#endif
+}
+inline std::uint64_t be32(const Byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__GNUC__) || defined(__clang__)
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+#else
+  return static_cast<std::uint64_t>(p[0]) << 24 |
+         static_cast<std::uint64_t>(p[1]) << 16 |
+         static_cast<std::uint64_t>(p[2]) << 8 | p[3];
+#endif
+}
+inline std::uint64_t be64(const Byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__GNUC__) || defined(__clang__)
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+#else
+  return be32(p) << 32 | be32(p + 4);
+#endif
+}
+
+}  // namespace
+
+ParsedPacket parse(const Packet& pkt) {
+  // Fused parser: one size check per header, direct loads into the
+  // in-place header structs.  Accept/reject decisions are bit-identical to
+  // the per-header helpers in headers.cpp (parse_ethernet & co., which
+  // remain the reference implementation for external callers): stop at the
+  // first header that does not fit, reject IPv4 whose version nibble is
+  // not 4.  This runs once per packet ahead of every pipeline tier, so it
+  // is as lean as the hot loop itself.
+  ParsedPacket out;
+  const Byte* d = pkt.data.data();
+  const std::size_t n = pkt.data.size();
+  if (n < EthernetHeader::kSize) return out;
+  std::memcpy(out.eth.dst.data(), d, 6);
+  std::memcpy(out.eth.src.data(), d + 6, 6);
+  out.eth.ether_type = static_cast<std::uint16_t>(be16(d + 12));
+
+  constexpr std::size_t kEthEnd = EthernetHeader::kSize;
   if (out.eth.ether_type == kEtherTypeIpv4) {
-    out.ipv4 = parse_ipv4(pkt.data, off);
-    if (out.ipv4) {
-      off += Ipv4Header::kSize;
-      if (out.ipv4->protocol == kIpProtoTcp) {
-        out.tcp = parse_tcp(pkt.data, off);
-      } else if (out.ipv4->protocol == kIpProtoUdp) {
-        out.udp = parse_udp(pkt.data, off);
-      }
+    if (n < kEthEnd + Ipv4Header::kSize || (d[kEthEnd] >> 4) != 4) return out;
+    const Byte* ip = d + kEthEnd;
+    Ipv4Header& h = out.ipv4.emplace();
+    h.total_length = static_cast<std::uint16_t>(be16(ip + 2));
+    h.ttl = ip[8];
+    h.protocol = ip[9];
+    h.src = static_cast<std::uint32_t>(be32(ip + 12));
+    h.dst = static_cast<std::uint32_t>(be32(ip + 16));
+
+    constexpr std::size_t kL4 = kEthEnd + Ipv4Header::kSize;
+    const Byte* l4 = d + kL4;
+    if (h.protocol == kIpProtoTcp) {
+      if (n < kL4 + TcpHeader::kSize) return out;
+      TcpHeader& tcp = out.tcp.emplace();
+      tcp.src_port = static_cast<std::uint16_t>(be16(l4));
+      tcp.dst_port = static_cast<std::uint16_t>(be16(l4 + 2));
+      tcp.seq = static_cast<std::uint32_t>(be32(l4 + 4));
+      tcp.flags = l4[13];
+    } else if (h.protocol == kIpProtoUdp) {
+      if (n < kL4 + UdpHeader::kSize) return out;
+      UdpHeader& udp = out.udp.emplace();
+      udp.src_port = static_cast<std::uint16_t>(be16(l4));
+      udp.dst_port = static_cast<std::uint16_t>(be16(l4 + 2));
+      udp.length = static_cast<std::uint16_t>(be16(l4 + 4));
     }
   } else if (out.eth.ether_type == kEtherTypeStat4Echo) {
-    out.echo = parse_stat4_echo(pkt.data, off);
+    if (n < kEthEnd + Stat4EchoHeader::kSize) return out;
+    const Byte* e = d + kEthEnd;
+    Stat4EchoHeader& echo = out.echo.emplace();
+    echo.value = static_cast<std::int64_t>(be64(e));
+    echo.n = be64(e + 8);
+    echo.xsum = be64(e + 16);
+    echo.xsumsq = be64(e + 24);
+    echo.var_nx = be64(e + 32);
+    echo.sd_nx = be64(e + 40);
   }
   return out;
 }
@@ -68,103 +152,6 @@ void deparse(const ParsedPacket& parsed, Packet& pkt) {
     if (parsed.udp) serialize(*parsed.udp, pkt.data, off);
   } else if (parsed.echo) {
     serialize(*parsed.echo, pkt.data, off);
-  }
-}
-
-std::uint64_t PacketView::get(FieldRef f) const {
-  const ParsedPacket& p = *parsed;
-  switch (f) {
-    case FieldRef::kEthType: return p.eth.ether_type;
-    case FieldRef::kIpv4Src: return p.ipv4 ? p.ipv4->src : 0;
-    case FieldRef::kIpv4Dst: return p.ipv4 ? p.ipv4->dst : 0;
-    case FieldRef::kIpv4Proto: return p.ipv4 ? p.ipv4->protocol : 0;
-    case FieldRef::kIpv4Ttl: return p.ipv4 ? p.ipv4->ttl : 0;
-    case FieldRef::kIpv4Valid: return p.ipv4 ? 1 : 0;
-    case FieldRef::kTcpSrcPort: return p.tcp ? p.tcp->src_port : 0;
-    case FieldRef::kTcpDstPort: return p.tcp ? p.tcp->dst_port : 0;
-    case FieldRef::kTcpFlags: return p.tcp ? p.tcp->flags : 0;
-    case FieldRef::kTcpValid: return p.tcp ? 1 : 0;
-    case FieldRef::kUdpSrcPort: return p.udp ? p.udp->src_port : 0;
-    case FieldRef::kUdpDstPort: return p.udp ? p.udp->dst_port : 0;
-    case FieldRef::kUdpValid: return p.udp ? 1 : 0;
-    case FieldRef::kEchoValue:
-      return p.echo ? static_cast<std::uint64_t>(p.echo->value) : 0;
-    case FieldRef::kEchoN: return p.echo ? p.echo->n : 0;
-    case FieldRef::kEchoXsum: return p.echo ? p.echo->xsum : 0;
-    case FieldRef::kEchoXsumsq: return p.echo ? p.echo->xsumsq : 0;
-    case FieldRef::kEchoVar: return p.echo ? p.echo->var_nx : 0;
-    case FieldRef::kEchoSd: return p.echo ? p.echo->sd_nx : 0;
-    case FieldRef::kEchoValid: return p.echo ? 1 : 0;
-    case FieldRef::kMetaIngressPort: return meta_ingress_port;
-    case FieldRef::kMetaIngressTs: return meta_ingress_ts;
-    case FieldRef::kMetaPacketLength: return meta_packet_length;
-    case FieldRef::kMetaEgressSpec: return meta_egress_spec;
-  }
-  return 0;
-}
-
-void PacketView::set(FieldRef f, std::uint64_t v) {
-  ParsedPacket& p = *parsed;
-  switch (f) {
-    case FieldRef::kEthType:
-      p.eth.ether_type = static_cast<std::uint16_t>(v);
-      break;
-    case FieldRef::kIpv4Src:
-      if (p.ipv4) p.ipv4->src = static_cast<std::uint32_t>(v);
-      break;
-    case FieldRef::kIpv4Dst:
-      if (p.ipv4) p.ipv4->dst = static_cast<std::uint32_t>(v);
-      break;
-    case FieldRef::kIpv4Proto:
-      if (p.ipv4) p.ipv4->protocol = static_cast<std::uint8_t>(v);
-      break;
-    case FieldRef::kIpv4Ttl:
-      if (p.ipv4) p.ipv4->ttl = static_cast<std::uint8_t>(v);
-      break;
-    case FieldRef::kTcpSrcPort:
-      if (p.tcp) p.tcp->src_port = static_cast<std::uint16_t>(v);
-      break;
-    case FieldRef::kTcpDstPort:
-      if (p.tcp) p.tcp->dst_port = static_cast<std::uint16_t>(v);
-      break;
-    case FieldRef::kTcpFlags:
-      if (p.tcp) p.tcp->flags = static_cast<std::uint8_t>(v);
-      break;
-    case FieldRef::kUdpSrcPort:
-      if (p.udp) p.udp->src_port = static_cast<std::uint16_t>(v);
-      break;
-    case FieldRef::kUdpDstPort:
-      if (p.udp) p.udp->dst_port = static_cast<std::uint16_t>(v);
-      break;
-    case FieldRef::kEchoValue:
-      if (p.echo) p.echo->value = static_cast<std::int64_t>(v);
-      break;
-    case FieldRef::kEchoN:
-      if (p.echo) p.echo->n = v;
-      break;
-    case FieldRef::kEchoXsum:
-      if (p.echo) p.echo->xsum = v;
-      break;
-    case FieldRef::kEchoXsumsq:
-      if (p.echo) p.echo->xsumsq = v;
-      break;
-    case FieldRef::kEchoVar:
-      if (p.echo) p.echo->var_nx = v;
-      break;
-    case FieldRef::kEchoSd:
-      if (p.echo) p.echo->sd_nx = v;
-      break;
-    case FieldRef::kMetaEgressSpec:
-      meta_egress_spec = v;
-      break;
-    case FieldRef::kIpv4Valid:
-    case FieldRef::kTcpValid:
-    case FieldRef::kUdpValid:
-    case FieldRef::kEchoValid:
-    case FieldRef::kMetaIngressPort:
-    case FieldRef::kMetaIngressTs:
-    case FieldRef::kMetaPacketLength:
-      break;  // read-only fields
   }
 }
 

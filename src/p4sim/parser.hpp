@@ -84,16 +84,122 @@ struct FieldInfo {
 /// Write mutated headers back into the packet buffer (deparser).
 void deparse(const ParsedPacket& parsed, Packet& pkt);
 
-/// Field read/write over a ParsedPacket + metadata words.
+/// Field read/write over a ParsedPacket + metadata words.  get/set are
+/// inline: they sit on the per-packet hot path behind every guard check,
+/// table-key probe and kLoadField/kStoreField op.
 struct PacketView {
   ParsedPacket* parsed = nullptr;
   std::uint64_t meta_ingress_port = 0;
   std::uint64_t meta_ingress_ts = 0;
   std::uint64_t meta_packet_length = 0;
   std::uint64_t meta_egress_spec = 0;
+  /// Any set() other than egress-spec landed — the deparse gate: when no
+  /// header field was touched the buffer is forwarded byte-for-byte and
+  /// process_into() skips re-serialization entirely.
+  bool header_dirty = false;
 
-  [[nodiscard]] std::uint64_t get(FieldRef f) const;
-  void set(FieldRef f, std::uint64_t v);
+  [[nodiscard]] std::uint64_t get(FieldRef f) const {
+    const ParsedPacket& p = *parsed;
+    switch (f) {
+      case FieldRef::kEthType: return p.eth.ether_type;
+      case FieldRef::kIpv4Src: return p.ipv4 ? p.ipv4->src : 0;
+      case FieldRef::kIpv4Dst: return p.ipv4 ? p.ipv4->dst : 0;
+      case FieldRef::kIpv4Proto: return p.ipv4 ? p.ipv4->protocol : 0;
+      case FieldRef::kIpv4Ttl: return p.ipv4 ? p.ipv4->ttl : 0;
+      case FieldRef::kIpv4Valid: return p.ipv4 ? 1 : 0;
+      case FieldRef::kTcpSrcPort: return p.tcp ? p.tcp->src_port : 0;
+      case FieldRef::kTcpDstPort: return p.tcp ? p.tcp->dst_port : 0;
+      case FieldRef::kTcpFlags: return p.tcp ? p.tcp->flags : 0;
+      case FieldRef::kTcpValid: return p.tcp ? 1 : 0;
+      case FieldRef::kUdpSrcPort: return p.udp ? p.udp->src_port : 0;
+      case FieldRef::kUdpDstPort: return p.udp ? p.udp->dst_port : 0;
+      case FieldRef::kUdpValid: return p.udp ? 1 : 0;
+      case FieldRef::kEchoValue:
+        return p.echo ? static_cast<std::uint64_t>(p.echo->value) : 0;
+      case FieldRef::kEchoN: return p.echo ? p.echo->n : 0;
+      case FieldRef::kEchoXsum: return p.echo ? p.echo->xsum : 0;
+      case FieldRef::kEchoXsumsq: return p.echo ? p.echo->xsumsq : 0;
+      case FieldRef::kEchoVar: return p.echo ? p.echo->var_nx : 0;
+      case FieldRef::kEchoSd: return p.echo ? p.echo->sd_nx : 0;
+      case FieldRef::kEchoValid: return p.echo ? 1 : 0;
+      case FieldRef::kMetaIngressPort: return meta_ingress_port;
+      case FieldRef::kMetaIngressTs: return meta_ingress_ts;
+      case FieldRef::kMetaPacketLength: return meta_packet_length;
+      case FieldRef::kMetaEgressSpec: return meta_egress_spec;
+    }
+    return 0;
+  }
+
+  void set(FieldRef f, std::uint64_t v) {
+    if (f == FieldRef::kMetaEgressSpec) {
+      meta_egress_spec = v;
+      return;
+    }
+    // Every non-egress store arms the deparser, even a no-op one (invalid
+    // header, read-only field): pre-gate behavior was to always deparse,
+    // and a no-op store must keep producing the same normalized bytes.
+    header_dirty = true;
+    ParsedPacket& p = *parsed;
+    switch (f) {
+      case FieldRef::kEthType:
+        p.eth.ether_type = static_cast<std::uint16_t>(v);
+        break;
+      case FieldRef::kIpv4Src:
+        if (p.ipv4) p.ipv4->src = static_cast<std::uint32_t>(v);
+        break;
+      case FieldRef::kIpv4Dst:
+        if (p.ipv4) p.ipv4->dst = static_cast<std::uint32_t>(v);
+        break;
+      case FieldRef::kIpv4Proto:
+        if (p.ipv4) p.ipv4->protocol = static_cast<std::uint8_t>(v);
+        break;
+      case FieldRef::kIpv4Ttl:
+        if (p.ipv4) p.ipv4->ttl = static_cast<std::uint8_t>(v);
+        break;
+      case FieldRef::kTcpSrcPort:
+        if (p.tcp) p.tcp->src_port = static_cast<std::uint16_t>(v);
+        break;
+      case FieldRef::kTcpDstPort:
+        if (p.tcp) p.tcp->dst_port = static_cast<std::uint16_t>(v);
+        break;
+      case FieldRef::kTcpFlags:
+        if (p.tcp) p.tcp->flags = static_cast<std::uint8_t>(v);
+        break;
+      case FieldRef::kUdpSrcPort:
+        if (p.udp) p.udp->src_port = static_cast<std::uint16_t>(v);
+        break;
+      case FieldRef::kUdpDstPort:
+        if (p.udp) p.udp->dst_port = static_cast<std::uint16_t>(v);
+        break;
+      case FieldRef::kEchoValue:
+        if (p.echo) p.echo->value = static_cast<std::int64_t>(v);
+        break;
+      case FieldRef::kEchoN:
+        if (p.echo) p.echo->n = v;
+        break;
+      case FieldRef::kEchoXsum:
+        if (p.echo) p.echo->xsum = v;
+        break;
+      case FieldRef::kEchoXsumsq:
+        if (p.echo) p.echo->xsumsq = v;
+        break;
+      case FieldRef::kEchoVar:
+        if (p.echo) p.echo->var_nx = v;
+        break;
+      case FieldRef::kEchoSd:
+        if (p.echo) p.echo->sd_nx = v;
+        break;
+      case FieldRef::kMetaEgressSpec:  // handled above
+      case FieldRef::kIpv4Valid:
+      case FieldRef::kTcpValid:
+      case FieldRef::kUdpValid:
+      case FieldRef::kEchoValid:
+      case FieldRef::kMetaIngressPort:
+      case FieldRef::kMetaIngressTs:
+      case FieldRef::kMetaPacketLength:
+        break;  // read-only fields
+    }
+  }
 };
 
 }  // namespace p4sim

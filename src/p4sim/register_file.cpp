@@ -40,6 +40,14 @@ void RegisterFile::write(RegisterId id, std::uint64_t index, Word value) {
   a.cells[index] = value & a.mask;
 }
 
+RegisterWindow RegisterFile::window(RegisterId id) {
+  if (id >= arrays_.size()) {
+    throw std::out_of_range("p4sim: unknown register array");
+  }
+  Array& a = arrays_[id];
+  return RegisterWindow{a.cells.data(), a.cells.size(), a.mask};
+}
+
 const RegisterArrayInfo& RegisterFile::info(RegisterId id) const {
   if (id >= arrays_.size()) {
     throw std::out_of_range("p4sim: unknown register array");

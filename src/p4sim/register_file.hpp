@@ -24,6 +24,20 @@ struct RegisterArrayInfo {
   std::uint32_t size = 1;
 };
 
+/// Raw view of one array for the execution tiers (threaded / native): the
+/// cell base pointer plus the pre-resolved bounds check and width mask, so
+/// a compiled action touches the cells without going through read()/write()
+/// dispatch.  Accesses through a window follow the same semantics as
+/// read()/write(): out-of-bounds reads yield 0, out-of-bounds writes are
+/// dropped, in-bounds writes are masked to the declared width.  A window
+/// stays valid until the next declare() — P4Switch::declare_register bumps
+/// config_gen_ so every compiled tier re-resolves its windows.
+struct RegisterWindow {
+  Word* base = nullptr;
+  std::uint64_t size = 0;
+  Word mask = ~Word{0};
+};
+
 class RegisterFile {
  public:
   /// Declares an array; returns its id.  Width is capped at 64 bits (cells
@@ -34,6 +48,10 @@ class RegisterFile {
 
   [[nodiscard]] Word read(RegisterId id, std::uint64_t index) const;
   void write(RegisterId id, std::uint64_t index, Word value);
+
+  /// Raw view of array `id` for compiled execution tiers; throws
+  /// std::out_of_range for an unknown array like read()/write().
+  [[nodiscard]] RegisterWindow window(RegisterId id);
 
   [[nodiscard]] std::size_t array_count() const noexcept {
     return arrays_.size();

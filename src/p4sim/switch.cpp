@@ -3,13 +3,49 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "p4sim/jit/transpiler.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace p4sim {
+namespace {
+
+// Host callbacks the native tier crosses back through for packet fields and
+// digests: validity gating and Digest construction stay in parser.cpp /
+// this file, so generated code can never drift from interpreter semantics.
+std::uint64_t jit_load_field_cb(void* view, std::uint32_t field) {
+  return static_cast<PacketView*>(view)->get(static_cast<FieldRef>(field));
+}
+
+void jit_store_field_cb(void* view, std::uint32_t field, std::uint64_t value) {
+  static_cast<PacketView*>(view)->set(static_cast<FieldRef>(field), value);
+}
+
+struct JitDigestSink {
+  std::vector<Digest>* digests = nullptr;
+  stat4::TimeNs now = 0;
+};
+
+void jit_emit_digest_cb(void* sink, std::uint32_t id, std::uint64_t w0,
+                        std::uint64_t w1, std::uint64_t w2) {
+  auto* s = static_cast<JitDigestSink*>(sink);
+  Digest d;
+  d.id = id;
+  d.payload = {w0, w1, w2};
+  d.time = s->now;
+  s->digests->push_back(d);
+}
+
+}  // namespace
 
 P4Switch::P4Switch(std::string name, AluProfile profile)
     : name_(std::move(name)), profile_(profile) {}
 
 RegisterId P4Switch::declare_register(std::string reg_name, std::uint32_t size,
                                       std::uint32_t width_bits) {
+  // Compiled tiers hold raw RegisterWindow pointers and the native tier
+  // refuses programs over undeclared arrays, so a new declaration must
+  // re-lower the pipeline.
+  ++config_gen_;
   return registers_.declare(std::move(reg_name), size, width_bits);
 }
 
@@ -100,32 +136,103 @@ void P4Switch::compile_pipeline() {
   ++pipeline_compiles_;
   compiled_.clear();
   compiled_.reserve(pipeline_.size());
+  invariant_guards_.clear();
   for (const Stage& stage : pipeline_) {
     CompiledStage cs;
     if (stage.guard) {
       cs.guarded = true;
       cs.guard = *stage.guard;
+      // Guards over non-writable fields (validity bits, ingress metadata)
+      // are packet-invariant: no action can change them mid-pipeline, so
+      // the fast tiers evaluate each distinct guard once per packet.
+      if (!field_info(cs.guard.field).writable) {
+        std::size_t slot = invariant_guards_.size();
+        for (std::size_t i = 0; i < invariant_guards_.size(); ++i) {
+          const Guard& g = invariant_guards_[i];
+          if (g.field == cs.guard.field && g.cmp == cs.guard.cmp &&
+              g.value == cs.guard.value) {
+            slot = i;
+            break;
+          }
+        }
+        if (slot == invariant_guards_.size() &&
+            slot < kMaxInvariantGuards) {
+          invariant_guards_.push_back(cs.guard);
+        }
+        if (slot < invariant_guards_.size()) {
+          cs.guard_slot = static_cast<std::int8_t>(slot);
+        }
+      }
     }
     if (stage.table) {
       cs.table = &tables_[*stage.table];
     } else if (stage.action) {
       cs.program = &actions_[*stage.action];
+      cs.action = *stage.action;
     }
     compiled_.push_back(cs);
   }
   // The scratch context is zeroed per packet only up to the highest temp
-  // ANY installed action can read or write — bit-identical to zeroing the
-  // whole pool, because no instruction addresses beyond that index.
-  scratch_words_ = 0;
+  // ANY installed action reads before writing — bit-identical to zeroing
+  // the whole pool, because every other temp is (re)written before its
+  // first read, so a stale value from the previous packet can never flow
+  // into this one.
+  std::bitset<kTempCount> observable;
   for (const Program& prog : actions_) {
-    for (const Instruction& ins : prog.code) {
-      const std::size_t hi =
-          std::max(std::max<std::size_t>(ins.dst, ins.a),
-                   std::max<std::size_t>(ins.b, ins.c));
-      scratch_words_ = std::max(scratch_words_, hi + 1);
-    }
+    observable |= read_before_write(prog);
+  }
+  scratch_words_ = 0;
+  for (std::size_t id = 0; id < kTempCount; ++id) {
+    if (observable[id]) scratch_words_ = id + 1;
   }
   if (!scratch_) scratch_ = std::make_unique<ExecutionContext>();
+
+  // Lower the installed actions to the selected execution tier.  The
+  // threaded lowering always happens for the non-interpreter tiers: it is
+  // both the kThreaded program and the degradation target when the native
+  // compile cannot be used.
+  active_tier_ = ExecTier::kInterpreter;
+  threaded_actions_.clear();
+  reg_windows_.clear();
+  jit_unit_.reset();
+  if (exec_tier_ != ExecTier::kInterpreter) {
+    threaded_actions_.reserve(actions_.size());
+    for (const Program& prog : actions_) {
+      threaded_actions_.push_back(
+          threaded_compile(prog, registers_, observable));
+    }
+    active_tier_ = ExecTier::kThreaded;
+  }
+  if (exec_tier_ == ExecTier::kNative) {
+    const jit::TranspileResult transpiled =
+        jit::transpile(actions_, registers_, name_);
+    if (transpiled.ok) {
+      const jit::CompileOutcome outcome = jit::compile_unit(transpiled.source);
+      if (outcome.unit && outcome.unit->actions().size() == actions_.size()) {
+        jit_unit_ = outcome.unit;
+        reg_windows_.reserve(registers_.array_count());
+        for (std::size_t r = 0; r < registers_.array_count(); ++r) {
+          const RegisterWindow w =
+              registers_.window(static_cast<RegisterId>(r));
+          reg_windows_.push_back(jit::RegWindow{w.base, w.size, w.mask});
+        }
+        active_tier_ = ExecTier::kNative;
+        // Everything except the per-packet view and digest sink is fixed
+        // for the lifetime of this compiled pipeline.
+        jit_ctx_ = jit::Context{};
+        jit_ctx_.temps = scratch_->temps.data();
+        jit_ctx_.load_field = &jit_load_field_cb;
+        jit_ctx_.store_field = &jit_store_field_cb;
+        jit_ctx_.regs = reg_windows_.data();
+        jit_ctx_.emit_digest = &jit_emit_digest_cb;
+      }
+    }
+    if (active_tier_ != ExecTier::kNative) {
+      STAT4_TELEMETRY_ONLY(telemetry::MetricsRegistry::global()
+                               .counter("p4sim.jit.fallbacks")
+                               .add();)
+    }
+  }
   compiled_gen_ = config_gen_;
 }
 
@@ -153,6 +260,107 @@ void P4Switch::run_pipeline_reference(PacketView& view, SwitchOutput& out,
   }
 }
 
+void P4Switch::run_pipeline_interp(PacketView& view, SwitchOutput& out,
+                                   stat4::TimeNs now) {
+  ExecutionContext& ctx = *scratch_;
+  std::fill_n(ctx.temps.data(), scratch_words_, Word{0});
+  ctx.view = &view;
+  ctx.registers = &registers_;
+  ctx.digests = &out.digests;
+  ctx.now = now;
+  bool inv[kMaxInvariantGuards];
+  for (std::size_t i = 0; i < invariant_guards_.size(); ++i) {
+    inv[i] = invariant_guards_[i].holds(view);
+  }
+  for (const CompiledStage& cs : compiled_) {
+    if (cs.guarded) {
+      const bool ok = cs.guard_slot >= 0
+                          ? inv[static_cast<std::size_t>(cs.guard_slot)]
+                          : cs.guard.holds(view);
+      if (!ok) continue;
+    }
+    if (cs.table != nullptr) {
+      if (stage_is_noop(*cs.table)) continue;
+      const MatchResult m = cs.table->lookup(view);
+      const Program& prog = actions_.at(m.action);
+      ctx.action_data = m.action_data;
+      execute(prog, ctx);
+    } else if (cs.program != nullptr) {
+      ctx.action_data = {};
+      execute(*cs.program, ctx);
+    }
+  }
+}
+
+void P4Switch::run_pipeline_threaded(PacketView& view, SwitchOutput& out,
+                                     stat4::TimeNs now) {
+  ExecutionContext& ctx = *scratch_;
+  std::fill_n(ctx.temps.data(), scratch_words_, Word{0});
+  ThreadedState st;
+  st.temps = ctx.temps.data();
+  st.view = &view;
+  st.registers = &registers_;
+  st.digests = &out.digests;
+  st.now = now;
+  bool inv[kMaxInvariantGuards];
+  for (std::size_t i = 0; i < invariant_guards_.size(); ++i) {
+    inv[i] = invariant_guards_[i].holds(view);
+  }
+  for (const CompiledStage& cs : compiled_) {
+    if (cs.guarded) {
+      const bool ok = cs.guard_slot >= 0
+                          ? inv[static_cast<std::size_t>(cs.guard_slot)]
+                          : cs.guard.holds(view);
+      if (!ok) continue;
+    }
+    if (cs.table != nullptr) {
+      if (stage_is_noop(*cs.table)) continue;
+      const MatchResult m = cs.table->lookup(view);
+      const ThreadedProgram& prog = threaded_actions_.at(m.action);
+      st.action_data = m.action_data.data();
+      st.action_data_len = m.action_data.size();
+      threaded_execute(prog, st);
+    } else if (cs.program != nullptr) {
+      st.action_data = nullptr;
+      st.action_data_len = 0;
+      threaded_execute(threaded_actions_[cs.action], st);
+    }
+  }
+}
+
+void P4Switch::run_pipeline_native(PacketView& view, SwitchOutput& out,
+                                   stat4::TimeNs now) {
+  std::fill_n(scratch_->temps.data(), scratch_words_, Word{0});
+  JitDigestSink sink{&out.digests, now};
+  jit::Context& jc = jit_ctx_;
+  jc.view = &view;
+  jc.digest_sink = &sink;
+  const std::vector<jit::ActionFn>& fns = jit_unit_->actions();
+  bool inv[kMaxInvariantGuards];
+  for (std::size_t i = 0; i < invariant_guards_.size(); ++i) {
+    inv[i] = invariant_guards_[i].holds(view);
+  }
+  for (const CompiledStage& cs : compiled_) {
+    if (cs.guarded) {
+      const bool ok = cs.guard_slot >= 0
+                          ? inv[static_cast<std::size_t>(cs.guard_slot)]
+                          : cs.guard.holds(view);
+      if (!ok) continue;
+    }
+    if (cs.table != nullptr) {
+      if (stage_is_noop(*cs.table)) continue;
+      const MatchResult m = cs.table->lookup(view);
+      jc.action_data = m.action_data.data();
+      jc.action_data_len = m.action_data.size();
+      fns.at(m.action)(&jc);
+    } else if (cs.program != nullptr) {
+      jc.action_data = nullptr;
+      jc.action_data_len = 0;
+      fns[cs.action](&jc);
+    }
+  }
+}
+
 SwitchOutput P4Switch::process(Packet pkt) {
   SwitchOutput out;
   process_into(std::move(pkt), out);
@@ -175,23 +383,16 @@ void P4Switch::process_into(Packet pkt, SwitchOutput& out) {
 
   if (fast_path_) {
     if (compiled_gen_ != config_gen_) compile_pipeline();
-    ExecutionContext& ctx = *scratch_;
-    std::fill_n(ctx.temps.data(), scratch_words_, Word{0});
-    ctx.view = &view;
-    ctx.registers = &registers_;
-    ctx.digests = &out.digests;
-    ctx.now = pkt.ingress_ts;
-    for (const CompiledStage& cs : compiled_) {
-      if (cs.guarded && !cs.guard.holds(view)) continue;
-      if (cs.table != nullptr) {
-        const MatchResult m = cs.table->lookup(view);
-        const Program& prog = actions_.at(m.action);
-        ctx.action_data = m.action_data;
-        execute(prog, ctx);
-      } else if (cs.program != nullptr) {
-        ctx.action_data = {};
-        execute(*cs.program, ctx);
-      }
+    switch (active_tier_) {
+      case ExecTier::kInterpreter:
+        run_pipeline_interp(view, out, pkt.ingress_ts);
+        break;
+      case ExecTier::kThreaded:
+        run_pipeline_threaded(view, out, pkt.ingress_ts);
+        break;
+      case ExecTier::kNative:
+        run_pipeline_native(view, out, pkt.ingress_ts);
+        break;
     }
   } else {
     run_pipeline_reference(view, out, pkt.ingress_ts);
@@ -203,7 +404,9 @@ void P4Switch::process_into(Packet pkt, SwitchOutput& out) {
     out.dropped = true;
     return;
   }
-  deparse(parsed, pkt);
+  // The deparser only runs when some action stored to a header field; a
+  // purely observing pipeline forwards the buffer byte-for-byte.
+  if (view.header_dirty) deparse(parsed, pkt);
   const auto port = static_cast<PortId>(view.meta_egress_spec - 1);
   out.packets.emplace_back(port, std::move(pkt));
 }

@@ -16,10 +16,13 @@
 #include <vector>
 
 #include "p4sim/action.hpp"
+#include "p4sim/exec_tier.hpp"
+#include "p4sim/jit/engine.hpp"
 #include "p4sim/packet.hpp"
 #include "p4sim/parser.hpp"
 #include "p4sim/register_file.hpp"
 #include "p4sim/table.hpp"
+#include "p4sim/threaded.hpp"
 
 namespace p4sim {
 
@@ -107,6 +110,26 @@ class P4Switch {
   void set_fast_path(bool on) noexcept { fast_path_ = on; }
   [[nodiscard]] bool fast_path() const noexcept { return fast_path_; }
 
+  /// Which execution tier the fast path lowers installed actions to (see
+  /// exec_tier.hpp).  Orthogonal to set_fast_path: with the fast path OFF
+  /// the reference interpreter runs regardless of the tier.  Switching
+  /// tiers bumps config_gen_ so the next packet re-lowers the pipeline.
+  /// New switches start on default_exec_tier() (STAT4_EXEC_TIER env or
+  /// threaded).
+  void set_exec_tier(ExecTier tier) noexcept {
+    if (exec_tier_ != tier) {
+      exec_tier_ = tier;
+      ++config_gen_;
+    }
+  }
+  [[nodiscard]] ExecTier exec_tier() const noexcept { return exec_tier_; }
+  /// The tier the compiled pipeline actually runs on — differs from
+  /// exec_tier() when the native tier degraded to threaded (no host
+  /// compiler, dlopen failure, unsupported op; the degradation records a
+  /// p4sim.jit.fallbacks telemetry count).  Meaningful once a packet has
+  /// been processed (lowering is lazy); kInterpreter before that.
+  [[nodiscard]] ExecTier active_tier() const noexcept { return active_tier_; }
+
   // ---- controller-facing state --------------------------------------------
   [[nodiscard]] MatchActionTable& table(TableId id);
   [[nodiscard]] const MatchActionTable& table(TableId id) const;
@@ -144,13 +167,42 @@ class P4Switch {
   struct CompiledStage {
     Guard guard{};
     bool guarded = false;
+    /// Index into invariant_guards_ when the guard reads a non-writable
+    /// field (validity bits, ingress metadata): such guards cannot change
+    /// while a packet traverses the pipeline, so the fast tiers evaluate
+    /// each distinct one once per packet instead of once per stage.
+    /// -1 when the guard field is writable and must be re-evaluated.
+    std::int8_t guard_slot = -1;
     MatchActionTable* table = nullptr;  ///< table stage when non-null
     const Program* program = nullptr;   ///< direct-program stage otherwise
+    ActionId action = 0;  ///< the direct-program stage's action id
   };
+
+  /// Cap on distinct packet-invariant guards tracked per pipeline; stages
+  /// beyond it just re-evaluate (correct, merely slower).
+  static constexpr std::size_t kMaxInvariantGuards = 16;
+
+  /// A table stage with no live entries whose default action's program is
+  /// empty cannot affect the packet, the registers, or the digest stream —
+  /// the fast tiers skip its lookup+dispatch.  Checked per packet because
+  /// entries and the default action mutate at runtime without a
+  /// config_gen_ bump.  An out-of-range default ActionId falls through to
+  /// the normal path so the interpreter's .at() throw is preserved.
+  [[nodiscard]] bool stage_is_noop(const MatchActionTable& t) const {
+    if (!t.default_only()) return false;
+    const ActionId d = t.default_action();
+    return d < actions_.size() && actions_[d].code.empty();
+  }
 
   void compile_pipeline();
   void run_pipeline_reference(PacketView& view, SwitchOutput& out,
                               stat4::TimeNs now);
+  void run_pipeline_interp(PacketView& view, SwitchOutput& out,
+                           stat4::TimeNs now);
+  void run_pipeline_threaded(PacketView& view, SwitchOutput& out,
+                             stat4::TimeNs now);
+  void run_pipeline_native(PacketView& view, SwitchOutput& out,
+                           stat4::TimeNs now);
 
   std::string name_;
   AluProfile profile_;
@@ -166,8 +218,25 @@ class P4Switch {
   std::uint64_t compiled_gen_ = 0;  ///< config_gen_ the dispatch vector matches
   std::uint64_t pipeline_compiles_ = 0;  ///< compile_pipeline() invocations
   std::vector<CompiledStage> compiled_;
-  std::size_t scratch_words_ = 0;  ///< highest temp index touched + 1
+  /// Distinct guards over non-writable fields, deduplicated across stages;
+  /// the fast tiers evaluate these once per packet (see
+  /// CompiledStage::guard_slot).
+  std::vector<Guard> invariant_guards_;
+  /// Zeroed prefix of the scratch temps per packet: 1 + the highest temp
+  /// any installed action reads before writing.  Bit-identical to zeroing
+  /// the whole pool — every other temp is written before its first read.
+  std::size_t scratch_words_ = 0;
   std::unique_ptr<ExecutionContext> scratch_;  ///< persistent PHV scratch
+  // Execution-tier state, rebuilt by compile_pipeline() (see exec_tier.hpp).
+  ExecTier exec_tier_ = default_exec_tier();
+  ExecTier active_tier_ = ExecTier::kInterpreter;
+  std::vector<ThreadedProgram> threaded_actions_;
+  std::vector<jit::RegWindow> reg_windows_;
+  std::shared_ptr<const jit::CompiledUnit> jit_unit_;
+  /// Pre-filled native-tier ABI context: the compile-constant fields
+  /// (temps/callbacks/register windows) are set once by compile_pipeline();
+  /// run_pipeline_native() only patches the per-packet view and sink.
+  jit::Context jit_ctx_;
 };
 
 }  // namespace p4sim

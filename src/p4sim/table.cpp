@@ -214,30 +214,4 @@ void MatchActionTable::compile() const {
   ++compile_count_;
 }
 
-MatchResult MatchActionTable::lookup(const PacketView& view) const {
-  if (compiled_dirty_) compile();
-  for (const CompiledEntry& ce : compiled_) {
-    bool match = true;
-    for (const CompiledKey& ck : ce.keys) {
-      if ((view.get(ck.field) & ck.mask) != ck.value) {
-        match = false;
-        break;
-      }
-    }
-    if (match) {
-      MatchResult r;
-      r.action = ce.action;
-      r.action_data = *ce.action_data;
-      r.hit = true;
-      r.handle = ce.handle;
-      return r;
-    }
-  }
-  MatchResult r;
-  r.action = default_action_;
-  r.action_data = default_data_;
-  r.hit = false;
-  return r;
-}
-
 }  // namespace p4sim

@@ -81,6 +81,15 @@ class MatchActionTable {
   /// mid-stream table writes.
   [[nodiscard]] MatchResult lookup(const PacketView& view) const;
 
+  /// True when every possible lookup currently returns the default action:
+  /// the table has no live entries.  Inline and cheap (one dirty-flag
+  /// branch once compiled) — the pipeline loop uses it to skip guaranteed
+  /// no-op stages per packet, so the answer tracks runtime table mutation.
+  [[nodiscard]] bool default_only() const {
+    if (compiled_dirty_) compile();
+    return compiled_.empty();
+  }
+
   /// The reference lookup: the original full scoring scan over live
   /// entries, no caching.  Kept as the differential baseline for the
   /// compiled path (and used by P4Switch when the fast path is disabled).
@@ -154,5 +163,35 @@ class MatchActionTable {
   mutable bool compiled_dirty_ = true;
   mutable std::uint64_t compile_count_ = 0;
 };
+
+// Inline: one call per table stage per packet.  The scan itself is a few
+// compare-and-mask tests over the compiled entries; keeping it visible to
+// the pipeline loop removes the per-stage call and lets the compiler fold
+// the span/result plumbing.
+inline MatchResult MatchActionTable::lookup(const PacketView& view) const {
+  if (compiled_dirty_) compile();
+  for (const CompiledEntry& ce : compiled_) {
+    bool match = true;
+    for (const CompiledKey& ck : ce.keys) {
+      if ((view.get(ck.field) & ck.mask) != ck.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      MatchResult r;
+      r.action = ce.action;
+      r.action_data = *ce.action_data;
+      r.hit = true;
+      r.handle = ce.handle;
+      return r;
+    }
+  }
+  MatchResult r;
+  r.action = default_action_;
+  r.action_data = default_data_;
+  r.hit = false;
+  return r;
+}
 
 }  // namespace p4sim

@@ -18,6 +18,7 @@
 #include "analysis/catalog.hpp"
 #include "analysis/pass_manager.hpp"
 #include "p4gen/emitter.hpp"
+#include "p4sim/jit/transpiler.hpp"
 
 namespace {
 
@@ -133,6 +134,24 @@ TEST(P4GenGolden, SketchNetwideMatchesGolden) {
 TEST(P4GenGolden, OptimizedSketchChangerMatchesGolden) {
   check_optimized_golden("sketch_changer", "stat4_sketch_changer_opt",
                          "stat4_sketch_changer_opt.p4");
+}
+
+// What `stat4_opt --emit-cpp=FILE` writes: the native-tier C++ translation
+// unit for the optimized pipeline.  Golden-pinned like the P4 emissions so
+// transpiler output changes show up as reviewable diffs.
+TEST(P4GenGolden, OptimizedEchoCppMatchesGolden) {
+  const auto sw = analysis::build_example_mutable("echo");
+  const analysis::OptimizeResult result = analysis::optimize_switch(*sw);
+  ASSERT_TRUE(result.fixpoint);
+  std::vector<p4sim::Program> progs;
+  progs.reserve(sw->action_count());
+  for (std::size_t a = 0; a < sw->action_count(); ++a) {
+    progs.push_back(sw->action(static_cast<p4sim::ActionId>(a)));
+  }
+  const p4sim::jit::TranspileResult tr =
+      p4sim::jit::transpile(progs, sw->registers(), "stat4_echo_opt");
+  ASSERT_TRUE(tr.ok) << tr.reason;
+  expect_matches_golden(tr.source, "stat4_echo_opt.jit.cc");
 }
 
 TEST(P4GenGolden, EmissionIsDeterministic) {

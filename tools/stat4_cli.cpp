@@ -34,6 +34,7 @@
 #include "cli/runtime_cli.hpp"
 #include "control/ml/ml.hpp"
 #include "p4sim/craft.hpp"
+#include "p4sim/exec_tier.hpp"
 #include "p4sim/parser.hpp"
 #include "p4sim/trace.hpp"
 #include "runtime/runtime.hpp"
@@ -80,11 +81,13 @@ std::unique_ptr<telemetry::Reporter> start_metrics_reporter(
 }
 
 struct Fleet {
-  Fleet(std::size_t n, std::size_t batch_size, bool ml) {
+  Fleet(std::size_t n, std::size_t batch_size, bool ml,
+        p4sim::ExecTier tier) {
     runtime::FleetRunner::Config cfg;
     cfg.queue_capacity = 4096;
     cfg.policy = runtime::FleetRunner::Policy::kBlock;  // CLI replay: lossless
     cfg.drain_burst = batch_size;
+    cfg.exec_tier = tier;
     runner = std::make_unique<runtime::FleetRunner>(cfg);
     for (std::size_t i = 0; i < n; ++i) {
       apps.push_back(std::make_unique<stat4p4::MonitorApp>());
@@ -143,8 +146,9 @@ struct Fleet {
   std::unique_ptr<control::ml::AnomalyDetector> detector;
 };
 
-int run_fleet(std::size_t threads, std::size_t batch_size, bool ml) {
-  Fleet fleet(threads, batch_size, ml);
+int run_fleet(std::size_t threads, std::size_t batch_size, bool ml,
+              p4sim::ExecTier tier) {
+  Fleet fleet(threads, batch_size, ml, tier);
   std::cout << "stat4 runtime CLI — fleet mode, " << threads
             << " switch threads; 'help' for commands\n";
   std::string line;
@@ -263,6 +267,9 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::size_t batch_size = 64;
   bool ml = false;
+  // Which tier the switch data paths run on (docs/PERFORMANCE.md,
+  // "Execution tiers").  Default: threaded (or STAT4_EXEC_TIER).
+  p4sim::ExecTier exec_tier = p4sim::default_exec_tier();
   bool metrics = false;
   std::string metrics_path;
   std::uint64_t metrics_interval_ms = 1000;
@@ -279,6 +286,19 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--ml") {
       ml = true;
+    } else if (arg.rfind("--exec-tier=", 0) == 0 ||
+               (arg == "--exec-tier" && i + 1 < argc)) {
+      const std::string name =
+          arg == "--exec-tier"
+              ? std::string(argv[++i])
+              : arg.substr(std::string("--exec-tier=").size());
+      const auto parsed = p4sim::parse_exec_tier(name);
+      if (!parsed) {
+        std::cerr << "stat4_cli: bad --exec-tier '" << name
+                  << "' (interp, threaded, native)\n";
+        return 2;
+      }
+      exec_tier = *parsed;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -290,6 +310,7 @@ int main(int argc, char** argv) {
       if (metrics_interval_ms == 0) metrics_interval_ms = 1;
     } else {
       std::cerr << "usage: stat4_cli [--threads N] [--batch-size N] [--ml] "
+                   "[--exec-tier {interp,threaded,native}] "
                    "[--metrics[=FILE]] [--metrics-interval-ms N]\n";
       return 2;
     }
@@ -307,9 +328,10 @@ int main(int argc, char** argv) {
   // The reporter outlives the fleet/shell scope below; its destructor
   // (stop()) writes the final snapshot after the workers are joined.
 
-  if (threads > 1) return run_fleet(threads, batch_size, ml);
+  if (threads > 1) return run_fleet(threads, batch_size, ml, exec_tier);
 
   stat4p4::MonitorApp app;
+  app.sw().set_exec_tier(exec_tier);
   cli::RuntimeCli shell(app);
   std::unique_ptr<control::ml::AnomalyDetector> detector;
   if (ml) {

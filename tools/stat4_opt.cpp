@@ -10,7 +10,8 @@
 // Usage:
 //   stat4_opt [--app=NAME|all] [--profile=bmv2|hardware-nomul|strict]
 //             [--passes=p1,p2,...] [--max-iterations=N] [--validate[=strict]]
-//             [--report] [--json] [--emit-p4] [--list-passes] [--list-apps]
+//             [--report] [--json] [--emit-p4] [--emit-cpp=FILE]
+//             [--list-passes] [--list-apps]
 //
 // --validate re-proves every pass bit-exact by symbolic translation
 // validation (S4-TV diagnostics); =strict makes the randomized-sampling
@@ -27,8 +28,11 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "analysis/analysis.hpp"
 #include "p4gen/emitter.hpp"
+#include "p4sim/jit/transpiler.hpp"
 
 namespace {
 
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   bool report = false;
   bool json = false;
   bool emit_p4 = false;
+  std::string emit_cpp;  // --emit-cpp=FILE: write the native-tier C++ TU
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +112,12 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--emit-p4") {
       emit_p4 = true;
+    } else if (const char* cpp_v = value("--emit-cpp=")) {
+      if (*cpp_v == '\0') {
+        std::cerr << "stat4_opt: --emit-cpp needs a file path\n";
+        return 2;
+      }
+      emit_cpp = cpp_v;
     } else if (arg == "--list-passes") {
       for (const std::string& p : analysis::pass_names()) {
         std::cout << p << "\n";
@@ -144,6 +155,10 @@ int main(int argc, char** argv) {
   }
   if (emit_p4 && apps.size() != 1) {
     std::cerr << "stat4_opt: --emit-p4 needs a single --app=NAME\n";
+    return 2;
+  }
+  if (!emit_cpp.empty() && apps.size() != 1) {
+    std::cerr << "stat4_opt: --emit-cpp needs a single --app=NAME\n";
     return 2;
   }
   if (emit_p4 && json) {
@@ -248,6 +263,28 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!emit_cpp.empty()) {
+      // Mirror of --emit-p4 for the native execution tier: the exact C++
+      // translation unit the JIT engine would hand the host compiler for
+      // the OPTIMIZED pipeline, for offline inspection / golden diffing.
+      std::vector<p4sim::Program> progs;
+      progs.reserve(sw->action_count());
+      for (std::size_t a = 0; a < sw->action_count(); ++a) {
+        progs.push_back(sw->action(static_cast<p4sim::ActionId>(a)));
+      }
+      const p4sim::jit::TranspileResult tr = p4sim::jit::transpile(
+          progs, sw->registers(), "stat4_" + name + "_opt");
+      if (!tr.ok) {
+        std::cerr << "stat4_opt: --emit-cpp refused: " << tr.reason << "\n";
+        return 1;
+      }
+      std::ofstream out_file(emit_cpp, std::ios::binary);
+      if (!out_file.good()) {
+        std::cerr << "stat4_opt: cannot write " << emit_cpp << "\n";
+        return 2;
+      }
+      out_file << tr.source;
+    }
     if (emit_p4) {
       p4gen::EmitOptions emit;
       emit.program_name = "stat4_" + name + "_opt";
