@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # GCC static analyzer (-fanalyzer) over the static-analysis layer itself.
 #
-# Compiles every src/analysis/*.cpp translation unit with the interprocedural
-# path-sensitive analyzer and fails on any finding — the verifier that gates
-# everyone else's code gets a gate of its own.  Scoped to src/analysis/ on
-# purpose: GCC's C++ -fanalyzer support is young, and this layer is the one
-# with single-TU-provable memory/paths (no threads, no externs).
+# Compiles every src/analysis/*.cpp, src/sketch/*.cpp and src/control/ml/*.cpp
+# translation unit with the interprocedural path-sensitive analyzer and fails
+# on any finding — the verifier that gates everyone else's code gets a gate of
+# its own, and the sketch/ML layers ride along because they are likewise
+# single-TU-provable (no threads inside a TU, no externs, arithmetic-heavy
+# code where -fanalyzer's bounds/taint paths actually bite).
 #
-# Suppressions policy: add -Wno-analyzer-* flags to SUPPRESSIONS only with a
-# one-line triage comment naming the false-positive pattern.  The list is
-# empty today — all eleven TUs analyze clean on g++ 12.
+# Suppressions policy: add -Wno-analyzer-* flags to a SUPPRESSIONS array only
+# with a one-line triage comment naming the false-positive pattern.  The
+# src/analysis/ list is empty — all twelve TUs analyze clean on g++ 12 — and
+# must stay that way; the sketch/ML list carries two triaged entries below.
 #
 # Usage: scripts/analyzer.sh   (CXX overrides the compiler, default g++)
 set -euo pipefail
@@ -21,11 +23,30 @@ SUPPRESSIONS=(
   # (none — keep it that way; triage any addition here)
 )
 
+# g++ 12's -fanalyzer loses track of libstdc++ std::string internals once a
+# TU's path count grows: in src/sketch/programs.cpp the third ProgramBuilder
+# ("sketch_invertible") draws a malloc-leak and a use-of-uninitialized report
+# against the builder's std::string name moving through Program's destructor,
+# while the two identical builders earlier in the same TU analyze clean.
+# Both verified false by inspection (take() moves the Program out; nothing in
+# the flagged path reads uninitialized state) and by ASan/UBSan test runs.
+SKETCH_ML_SUPPRESSIONS=(
+  # std::string move through ~Program misread as leaking the SSO buffer.
+  -Wno-analyzer-malloc-leak
+  # same path reported as reading an uninitialized '<unknown>' in b.take().
+  -Wno-analyzer-use-of-uninitialized-value
+)
+
 status=0
-for src in src/analysis/*.cpp; do
+for src in src/analysis/*.cpp src/sketch/*.cpp src/control/ml/*.cpp; do
   echo "analyzer: ${src}"
+  extra=("${SUPPRESSIONS[@]+"${SUPPRESSIONS[@]}"}")
+  case "${src}" in
+    src/sketch/*|src/control/ml/*)
+      extra+=("${SKETCH_ML_SUPPRESSIONS[@]}") ;;
+  esac
   if ! "${CXX}" -std=c++20 -fanalyzer -Werror -Isrc \
-      "${SUPPRESSIONS[@]+"${SUPPRESSIONS[@]}"}" \
+      "${extra[@]+"${extra[@]}"}" \
       -c "${src}" -o /dev/null; then
     status=1
   fi

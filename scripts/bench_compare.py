@@ -23,6 +23,15 @@ costs are deterministic, so the default threshold is 0 in this mode —
 any growth is a real change someone must bless by regenerating the
 baseline (scripts/bench.sh writes BENCH_static_costs.json).
 
+With --precision the inputs are `stat4_lint --precision --json` reports:
+for every app present in BOTH files, the proven per-output error bounds
+(raw Q32 `err_q32`, per register array and per written field) are
+compared exactly.  These are proofs, not measurements — a bound that
+LOOSENS by even one Q32 unit fails the gate, a bound that tightens is
+reported as "better" and passes.  Regenerate the committed baseline to
+bless an intentional change:
+`build/tools/stat4_lint --app=all --precision --json > BENCH_precision_bounds.json`.
+
 Exit codes: 0 ok, 1 regression past threshold, 2 usage/input error.
 """
 
@@ -216,6 +225,101 @@ def compare_static(args):
     return 0
 
 
+def load_precision_bounds(path, allow_missing=False):
+    """Returns {"app/kind/name": err_q32} from a stat4_lint --precision JSON.
+
+    `kind` is "reg" or "field".  err_q32 is serialized as a decimal string
+    (it can exceed 2^63); parsed back to int here.  Same contract as the
+    other loaders: unreadable -> exit 2; readable but empty/malformed ->
+    exit 2, or {} with `allow_missing`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for entry in doc if isinstance(doc, list) else []:
+        if not isinstance(entry, dict):
+            continue
+        app = entry.get("app")
+        if not app:
+            continue
+        for kind, block in (("reg", "registers"), ("field", "fields")):
+            bounds = entry.get(block)
+            for b in bounds if isinstance(bounds, list) else []:
+                if not isinstance(b, dict) or not b.get("name"):
+                    continue
+                try:
+                    err = int(b.get("err_q32"))
+                except (TypeError, ValueError):
+                    continue
+                out[f"{app}/{kind}/{b['name']}"] = err
+    if not out and not allow_missing:
+        print(f"bench_compare: no precision bounds in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def compare_precision(args):
+    if args.threshold:
+        # Bounds are proofs; a percentage slack makes no sense here.
+        print("bench_compare: --precision ignores --threshold "
+              "(comparison is exact)", file=sys.stderr)
+    base = load_precision_bounds(args.baseline, allow_missing=True)
+    if not base:
+        return skip_note(args.baseline, "registers/fields")
+    cand = load_precision_bounds(args.candidate)
+    base_apps = {name.split("/", 1)[0] for name in base}
+    cand_apps = {name.split("/", 1)[0] for name in cand}
+    missing = sorted(base_apps - cand_apps)
+    if missing:
+        for app in missing:
+            print(
+                f"bench_compare: baseline app '{app}' is missing from "
+                f"{args.candidate} (catalog lost an app, or the candidate "
+                "report is incomplete)",
+                file=sys.stderr,
+            )
+        return 2
+    failures = []
+    width = max(len(n) for n in set(base) | set(cand))
+    print(f"{'app/kind/name':<{width}}  {'base err_q32':>22}  "
+          f"{'cand err_q32':>22}  status")
+    for name in sorted(set(base) | set(cand)):
+        if name not in base or name not in cand:
+            status = "new" if name not in base else "retired"
+            v = cand.get(name, base.get(name))
+            print(f"{name:<{width}}  {'':>22}  {v:22d}  {status}")
+            continue
+        b, c = base[name], cand[name]
+        if c > b:
+            status = "FAIL"
+            failures.append(name)
+        elif c < b:
+            status = "better"
+        else:
+            status = "ok"
+        print(f"{name:<{width}}  {b:22d}  {c:22d}  {status}")
+    if failures:
+        print(
+            f"\nbench_compare: {len(failures)} proven error bound(s) "
+            f"loosened vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name in failures:
+            print(f"  {name}: {base[name]} -> {cand[name]} (Q32)",
+                  file=sys.stderr)
+        print("regenerate the baseline if intended: "
+              "build/tools/stat4_lint --app=all --precision --json "
+              "> BENCH_precision_bounds.json",
+              file=sys.stderr)
+        return 1
+    print("\nbench_compare: precision bounds ok (exact comparison)")
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed baseline JSON")
@@ -239,10 +343,22 @@ def main(argv=None):
         help="inputs are stat4_opt --json static-cost reports; gate on "
         "post-optimization cost growth (threshold defaults to 0)",
     )
+    ap.add_argument(
+        "--precision",
+        action="store_true",
+        help="inputs are stat4_lint --precision --json reports; gate on "
+        "any proven error bound loosening (exact comparison)",
+    )
     args = ap.parse_args(argv)
 
+    if args.static and args.precision:
+        print("bench_compare: --static and --precision are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
     if args.threshold is None:
-        args.threshold = 0.0 if args.static else 25.0
+        args.threshold = 0.0 if (args.static or args.precision) else 25.0
+    if args.precision:
+        return compare_precision(args)
     if args.static:
         return compare_static(args)
 

@@ -1,0 +1,55 @@
+// Polynomial fixpoint acceleration shared by the abstract interpreters.
+//
+// Both the overflow pass and the precision pass iterate an abstract packet
+// at a time and watch per-cell scalar histories (interval highs, error
+// bounds).  When the last kWindow samples of a history grow with a constant
+// non-negative second difference, the remaining budget of iterations can be
+// jumped in closed form instead of simulated — the degree<=2 polynomial is
+// an upper bound on any further growth with those differences, so the jump
+// stays sound (saturating U128 arithmetic caps at kInf).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "analysis/interval.hpp"
+
+namespace analysis {
+
+/// Growth samples kept per accelerated history.
+inline constexpr std::size_t kAccelWindow = 8;
+
+using AccelHistory = std::array<U128, kAccelWindow>;
+
+/// Shifts the window left and appends the newest sample.
+inline void accel_push(AccelHistory& h, U128 sample) {
+  for (std::size_t i = 0; i + 1 < kAccelWindow; ++i) h[i] = h[i + 1];
+  h[kAccelWindow - 1] = sample;
+}
+
+/// Polynomial (degree <= 2) fit of a monotone growth window: true when the
+/// second difference is a non-negative constant.  Fills d1 (latest first
+/// difference) and d2.
+inline bool poly_fit(const AccelHistory& h, U128* d1, U128* d2) {
+  std::array<U128, kAccelWindow - 1> diff1{};
+  for (std::size_t i = 0; i + 1 < kAccelWindow; ++i) {
+    if (h[i + 1] < h[i]) return false;  // not monotone
+    diff1[i] = h[i + 1] - h[i];
+  }
+  for (std::size_t i = 0; i + 2 < kAccelWindow; ++i) {
+    if (diff1[i + 1] < diff1[i]) return false;  // concave: do not extrapolate
+    if (diff1[i + 1] - diff1[i] != diff1[1] - diff1[0]) return false;
+  }
+  *d1 = diff1[kAccelWindow - 2];
+  *d2 = diff1[1] - diff1[0];
+  return true;
+}
+
+/// Closed-form jump of R further steps: h += d1*R + d2*R*(R+1)/2.
+inline U128 poly_jump(U128 h, U128 d1, U128 d2, U128 r) {
+  U128 out = sat_add(h, sat_mul(d1, r));
+  const U128 tri = sat_mul(r, sat_add(r, 1)) / 2;
+  return sat_add(out, sat_mul(d2, tri));
+}
+
+}  // namespace analysis

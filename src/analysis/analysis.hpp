@@ -10,6 +10,8 @@
 #include "analysis/overflow.hpp"      // IWYU pragma: export
 #include "analysis/pass_manager.hpp"  // IWYU pragma: export
 #include "analysis/passes.hpp"        // IWYU pragma: export
+#include "analysis/pipeline_model.hpp"  // IWYU pragma: export
+#include "analysis/precision.hpp"     // IWYU pragma: export
 #include "analysis/symbolic.hpp"      // IWYU pragma: export
 #include "analysis/validate.hpp"      // IWYU pragma: export
 #include "analysis/verifier.hpp"      // IWYU pragma: export

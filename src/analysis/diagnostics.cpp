@@ -98,6 +98,24 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"S4-TV-005", Severity::kWarning,
        "symbolic execution node budget exceeded before the pass could be "
        "validated (error under strict)"},
+      {"S4-PREC-001", Severity::kError,
+       "an output register or field carries a vacuous error bound (half its "
+       "ring): the precision analysis proves nothing about its accuracy"},
+      {"S4-PREC-002", Severity::kWarning,
+       "error growth did not stabilize and is not polynomial; the bound at "
+       "the observation budget is assumed at the vacuous half-ring"},
+      {"S4-PREC-003", Severity::kNote,
+       "proven per-output max |error| and value bound under the configured "
+       "observation budget"},
+      {"S4-PREC-004", Severity::kError,
+       "approx-span accuracy metadata is invalid (bad instruction range, "
+       "output temp, or zero denominator); the span is ignored"},
+      {"S4-PREC-005", Severity::kError,
+       "no sketch geometry can meet the requested eps-delta target within "
+       "the hash layout's width/depth caps"},
+      {"S4-PREC-006", Severity::kNote,
+       "recommended count-min/count-sketch width and depth for the "
+       "requested eps-delta target and observation budget"},
   };
   return kRules;
 }

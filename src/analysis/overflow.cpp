@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/acceleration.hpp"
 #include "p4sim/disasm.hpp"
 
 namespace analysis {
@@ -16,7 +17,7 @@ using p4sim::Instruction;
 using p4sim::Op;
 using p4sim::Program;
 
-constexpr std::size_t kWindow = 8;  ///< growth samples kept per register
+constexpr std::size_t kWindow = kAccelWindow;  ///< samples per register
 
 /// Abstract register state: one interval of IDEAL (unwrapped, 128-bit)
 /// accumulated values per register array, index-insensitive.
@@ -218,30 +219,8 @@ struct Stepper {
   }
 };
 
-/// Polynomial (degree <= 2) fit of a monotone growth window: true when the
-/// second difference is a non-negative constant.  Fills d1 (latest first
-/// difference) and d2.
-bool poly_fit(const std::array<U128, kWindow>& h, U128* d1, U128* d2) {
-  std::array<U128, kWindow - 1> diff1{};
-  for (std::size_t i = 0; i + 1 < kWindow; ++i) {
-    if (h[i + 1] < h[i]) return false;  // not monotone (cannot happen)
-    diff1[i] = h[i + 1] - h[i];
-  }
-  for (std::size_t i = 0; i + 2 < kWindow; ++i) {
-    if (diff1[i + 1] < diff1[i]) return false;  // concave: do not extrapolate
-    if (diff1[i + 1] - diff1[i] != diff1[1] - diff1[0]) return false;
-  }
-  *d1 = diff1[kWindow - 2];
-  *d2 = diff1[1] - diff1[0];
-  return true;
-}
-
-/// Closed-form jump of R further steps: h += d1*R + d2*R*(R+1)/2.
-U128 poly_jump(U128 h, U128 d1, U128 d2, U128 r) {
-  U128 out = sat_add(h, sat_mul(d1, r));
-  const U128 tri = sat_mul(r, sat_add(r, 1)) / 2;
-  return sat_add(out, sat_mul(d2, tri));
-}
+// poly_fit / poly_jump live in analysis/acceleration.hpp, shared with the
+// precision pass.
 
 }  // namespace
 

@@ -386,7 +386,12 @@ OptimizeResult optimize_switch(P4Switch& sw,
       if (enabled.strength) run_checked("strength", run_strength_reduction);
       if (enabled.cse) run_checked("cse", run_cse);
       if (enabled.dce) run_checked("dce", run_dce);
-      if (n != 0) sw.replace_action(id, std::move(program));
+      if (n != 0) {
+        // Rewrites invalidate the builder-recorded approx-span instruction
+        // ranges; drop them rather than ship stale accuracy metadata.
+        program.approx_spans.clear();
+        sw.replace_action(id, std::move(program));
+      }
       round_rewrites += n;
     }
     if (enabled.pack) {
@@ -512,6 +517,8 @@ OptimizeResult optimize_program_impl(Program& program,
       res.fixpoint = true;
       break;
     }
+    // Any rewrite invalidates builder-recorded approx-span ranges.
+    program.approx_spans.clear();
   }
 
   if (!res.fixpoint) {

@@ -1,0 +1,28 @@
+// Shared abstract model of an installed switch pipeline.
+//
+// verify_switch and analyze_precision both need the same view of a
+// P4Switch: per-stage action alternatives whose action-data bounds are
+// joined over every installed table entry (plus the default action, which
+// the executor runs on a miss), and a per-action scope list for the hazard
+// pass.  Building it once here keeps the two analyses from drifting on
+// which programs they consider reachable.
+#pragma once
+
+#include <vector>
+
+#include "analysis/hazards.hpp"
+#include "analysis/overflow.hpp"
+#include "p4sim/switch.hpp"
+
+namespace analysis {
+
+struct PipelineModel {
+  AbstractPipeline pipe;            ///< references sw's programs/registers
+  std::vector<HazardScope> scopes;  ///< one per reachable (stage, action)
+};
+
+/// Builds the abstract pipeline for `sw`.  The result borrows `sw`'s
+/// actions and register file — keep the switch alive while using it.
+[[nodiscard]] PipelineModel build_pipeline_model(const p4sim::P4Switch& sw);
+
+}  // namespace analysis

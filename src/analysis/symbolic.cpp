@@ -1,6 +1,7 @@
 #include "analysis/symbolic.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
 #include <string>
@@ -168,7 +169,20 @@ NodeId Dag::linear(Word c0, std::vector<std::pair<Word, NodeId>> terms) {
       bounded = false;  // the sum can wrap: no useful bound
     }
   }
+  // Divisibility survives wrapping: if every term (and the constant) is a
+  // multiple of 2^z, so is the sum mod 2^64 — which proves the low z bits
+  // zero even when the magnitude bound above is useless.  This is what
+  // lets the precision pass see that (x << s) >> s divides exactly.
+  unsigned tz = c0 == 0 ? 64 : static_cast<unsigned>(std::countr_zero(c0));
+  for (std::size_t i = 0; i < n.ops.size() && tz > 0; ++i) {
+    const Word tb = nodes_[n.ops[i]].bits;
+    const unsigned term_tz =
+        static_cast<unsigned>(std::countr_zero(n.coeffs[i])) +
+        (tb == 0 ? 64u : static_cast<unsigned>(std::countr_zero(tb)));
+    tz = std::min(tz, term_tz);
+  }
   n.bits = bounded ? smear(max) : kAllOnes;
+  n.bits &= tz >= 64 ? Word{0} : ~((Word{1} << tz) - 1);
   return intern(std::move(n));
 }
 
@@ -756,6 +770,13 @@ void sym_execute_onto(const Program& program, Dag& dag, const SymEnv& env,
                       SymState& st) {
   std::vector<NodeId>& t = st.temps;
   for (const Instruction& ins : program.code) {
+    bool writes_temp = true;
+    switch (ins.op) {
+      case Op::kStoreField:
+      case Op::kStoreReg:
+      case Op::kDigest: writes_temp = false; break;
+      default: break;
+    }
     switch (ins.op) {
       case Op::kConst: t[ins.dst] = dag.constant(ins.imm); break;
       case Op::kParam:
@@ -834,6 +855,10 @@ void sym_execute_onto(const Program& program, Dag& dag, const SymEnv& env,
                               dag.truthy(t[ins.c]), t[ins.a], t[ins.b],
                               t[ins.dst]});
         break;
+    }
+    if (env.dst_bits != nullptr) {
+      env.dst_bits->push_back(writes_temp ? dag.node(t[ins.dst]).bits
+                                          : kAllOnes);
     }
   }
 }

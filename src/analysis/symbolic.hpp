@@ -230,6 +230,12 @@ struct SymEnv {
   const p4sim::RegisterFile* registers = nullptr;
   /// Temps an earlier stage may have written (free variables instead of 0).
   TempSet dirty_on_entry;
+  /// When non-null, sym_execute_onto appends one Word per executed
+  /// instruction: the possible-bits over-approximation of the dst temp
+  /// after that instruction, or all-ones for instructions that write no
+  /// temp (stores, digests).  Lets interval-domain passes (precision)
+  /// consume the DAG's bit facts without holding node ids.
+  std::vector<Word>* dst_bits = nullptr;
 };
 
 /// Symbolically executes `program` from the entry state the environment

@@ -6,6 +6,7 @@
 #include "analysis/constraints.hpp"
 #include "analysis/hazards.hpp"
 #include "analysis/overflow.hpp"
+#include "analysis/pipeline_model.hpp"
 #include "p4gen/emitter.hpp"
 
 namespace analysis {
@@ -66,17 +67,10 @@ AnalysisResult verify_program(const p4sim::Program& program,
   return result;
 }
 
-AnalysisResult verify_switch(const p4sim::P4Switch& sw,
-                             const AnalysisOptions& options) {
-  AnalysisResult result;
-
-  // Per-stage action alternatives with action-data bounds joined over the
-  // actually installed entries (plus the default action, which the executor
-  // runs on a miss).
-  AbstractPipeline pipe;
-  pipe.name = sw.name();
-  pipe.registers = &sw.registers();
-  std::vector<HazardScope> scopes;
+PipelineModel build_pipeline_model(const p4sim::P4Switch& sw) {
+  PipelineModel model;
+  model.pipe.name = sw.name();
+  model.pipe.registers = &sw.registers();
 
   for (std::size_t si = 0; si < sw.pipeline().size(); ++si) {
     const p4sim::P4Switch::Stage& stage = sw.pipeline()[si];
@@ -102,18 +96,30 @@ AnalysisResult verify_switch(const p4sim::P4Switch& sw,
       fold(table.default_action(), table.default_action_data());
       for (auto& [action, params] : bounds) {
         alts.push_back(StageAlternative{&sw.action(action), params});
-        scopes.push_back(HazardScope{&sw.action(action), si});
+        model.scopes.push_back(HazardScope{&sw.action(action), si});
       }
     } else if (stage.action) {
       alts.push_back(StageAlternative{&sw.action(*stage.action), {}});
-      scopes.push_back(HazardScope{&sw.action(*stage.action), si});
+      model.scopes.push_back(HazardScope{&sw.action(*stage.action), si});
     }
-    pipe.stages.push_back(std::move(alts));
+    model.pipe.stages.push_back(std::move(alts));
   }
+  return model;
+}
+
+AnalysisResult verify_switch(const p4sim::P4Switch& sw,
+                             const AnalysisOptions& options) {
+  AnalysisResult result;
+
+  // Per-stage action alternatives with action-data bounds joined over the
+  // actually installed entries (plus the default action, which the executor
+  // runs on a miss).
+  PipelineModel model = build_pipeline_model(sw);
+  const AbstractPipeline& pipe = model.pipe;
 
   if (options.run_overflow) run_overflow_pass(pipe, options, result);
   if (options.run_hazards) {
-    run_hazard_pass(scopes, sw.registers(), sw.name(), options.profile,
+    run_hazard_pass(model.scopes, sw.registers(), sw.name(), options.profile,
                     result);
   }
   if (options.run_constraints) {

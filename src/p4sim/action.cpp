@@ -286,7 +286,25 @@ void ProgramBuilder::digest_if(TempId cond, std::uint32_t id, TempId w0,
   program_.code.push_back(ins);
 }
 
+void ProgramBuilder::record_span(ApproxSpan::Fn fn, std::size_t begin,
+                                 TempId in_a, TempId in_b, TempId out,
+                                 std::uint32_t rel_num, std::uint32_t rel_den,
+                                 std::uint64_t abs) {
+  ApproxSpan span;
+  span.fn = fn;
+  span.begin = static_cast<std::uint32_t>(begin);
+  span.end = static_cast<std::uint32_t>(program_.code.size());
+  span.in_a = in_a;
+  span.in_b = in_b;
+  span.out = out;
+  span.rel_num = rel_num;
+  span.rel_den = rel_den;
+  span.abs = abs;
+  program_.approx_spans.push_back(span);
+}
+
 TempId ProgramBuilder::approx_mul(TempId a, TempId b) {
+  const std::size_t begin = program_.code.size();
   const TempId ea = msb_index(a);
   const TempId eb = msb_index(b);
   const TempId one = konst(1);
@@ -300,7 +318,11 @@ TempId ProgramBuilder::approx_mul(TempId a, TempId b) {
   const TempId a_zero = eq(a, zero);
   const TempId b_zero = eq(b, zero);
   const TempId any_zero = bor(a_zero, b_zero);
-  return select(any_zero, zero, result);
+  const TempId out = select(any_zero, zero, result);
+  // Only the r_a*r_b cross term is dropped and r_x/x < 1/2, so the product
+  // under-approximates by strictly less than a*b/4.
+  record_span(ApproxSpan::Fn::kMul, begin, a, b, out, 1, 4, 0);
+  return out;
 }
 
 TempId ProgramBuilder::hash1(TempId a) {
@@ -373,6 +395,7 @@ TempId ProgramBuilder::approx_sqrt(TempId y) {
   // Figure 2: pseudo-float shift.  e = msb(y), m = y - 2^e;
   // e1 = e >> 1; m1 = (m >> 1) | (parity(e) << (e-1));
   // result = 2^e1 | (m1 >> (e - e1)); inputs <= 1 pass through.
+  const std::size_t begin = program_.code.size();
   const TempId one = konst(1);
   const TempId e = msb_index(y);
   const TempId pow_e = shl(one, e);
@@ -388,12 +411,18 @@ TempId ProgramBuilder::approx_sqrt(TempId y) {
   const TempId tail = shr(m1, tail_shift);
   const TempId result = bor(pow_e1, tail);
   const TempId is_small = le(y, one);
-  return select(is_small, y, result);
+  const TempId out = select(is_small, y, result);
+  // The linear-mantissa interpolation overshoots sqrt(y) by at most
+  // (3 - 2*sqrt(2)) ~ 6.1% and the mantissa truncation undershoots by at
+  // most ~2 units, so 1/8 relative + 2 absolute covers both directions.
+  record_span(ApproxSpan::Fn::kSqrt, begin, y, y, out, 1, 8, 2);
+  return out;
 }
 
 TempId ProgramBuilder::approx_log2(TempId y) {
   // e = msb(y); m = y - 2^e; frac = (e >= 8) ? m >> (e-8) : m << (8-e);
   // result = (e << 8) | frac; inputs <= 1 map to 0.
+  const std::size_t begin = program_.code.size();
   const TempId zero = konst(0);
   const TempId one = konst(1);
   const TempId frac_bits = konst(stat4::kLog2FracBits);
@@ -407,12 +436,18 @@ TempId ProgramBuilder::approx_log2(TempId y) {
   const TempId frac = select(wide, right, left);
   const TempId result = bor(shl(e, frac_bits), frac);
   const TempId small = le(y, one);
-  return select(small, zero, result);
+  const TempId out = select(small, zero, result);
+  // Max error of the linear-fraction approximation is ~0.086 bits, i.e.
+  // ~22 output units at 8 fractional bits; 24 rounds up (y <= 1 -> 0 is
+  // the declared convention, not an error).
+  record_span(ApproxSpan::Fn::kLog2, begin, y, y, out, 0, 1, 24);
+  return out;
 }
 
 TempId ProgramBuilder::approx_square(TempId y) {
   // Shift-based squaring (Section 2 / Ding et al.):
   //   y^2 ~= 2^(2e) + r * 2^(e+1)   with e = msb(y), r = y - 2^e.
+  const std::size_t begin = program_.code.size();
   const TempId one = konst(1);
   const TempId e = msb_index(y);
   const TempId pow_e = shl(one, e);
@@ -424,7 +459,10 @@ TempId ProgramBuilder::approx_square(TempId y) {
   const TempId result = add(lead, cross);
   const TempId zero = konst(0);
   const TempId is_zero = eq(y, zero);
-  return select(is_zero, zero, result);
+  const TempId out = select(is_zero, zero, result);
+  // Drops only r^2 and r = y - 2^e < y/2, so the undershoot is < y^2/4.
+  record_span(ApproxSpan::Fn::kSquare, begin, y, y, out, 1, 4, 0);
+  return out;
 }
 
 Program ProgramBuilder::take() { return std::move(program_); }

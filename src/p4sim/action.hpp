@@ -87,9 +87,40 @@ struct Digest {
   stat4::TimeNs time = 0;
 };
 
+/// Declared-accuracy metadata for one approximate-helper expansion.
+///
+/// ProgramBuilder's approx_* helpers emit straight-line shift/select code
+/// whose *ideal* meaning (sqrt, square, product, log2) is not recoverable
+/// from the instructions alone.  Each helper therefore records the
+/// instruction range it emitted together with a declared error contract
+///
+///     |implemented - ideal_fn(input)| <= ideal-scale * rel_num/rel_den + abs
+///
+/// which the precision analysis (src/analysis/precision.cpp) consumes to
+/// bound output error instead of propagating through the opaque bitwise
+/// body.  kTableLookup is the hook for the future table-based pseudo-float
+/// tier: a lookup extern with a declared per-entry error, analysed the same
+/// way.  Spans are only meaningful for the exact code the builder emitted;
+/// the optimizer drops them whenever it rewrites a program.
+struct ApproxSpan {
+  enum class Fn : std::uint8_t { kSqrt, kSquare, kMul, kLog2, kTableLookup };
+  Fn fn = Fn::kSqrt;
+  std::uint32_t begin = 0;  ///< index of the first emitted instruction
+  std::uint32_t end = 0;    ///< one past the last emitted instruction
+  TempId in_a = 0;          ///< primary input temp (live at `begin`)
+  TempId in_b = 0;          ///< second input (kMul only; otherwise == in_a)
+  TempId out = 0;           ///< result temp, written by code[end - 1]
+  std::uint32_t rel_num = 0;  ///< relative error numerator
+  std::uint32_t rel_den = 1;  ///< relative error denominator (non-zero)
+  std::uint64_t abs = 0;      ///< absolute error, in output value units
+};
+
 struct Program {
   std::string name;
   std::vector<Instruction> code;
+  /// Accuracy contracts for approx-helper expansions inside `code`,
+  /// ordered by `begin`.  Cleared by any pass that rewrites `code`.
+  std::vector<ApproxSpan> approx_spans;
 
   /// Throws std::invalid_argument when the program exceeds the profile
   /// (unknown temp, too long, multiplication on a no-mul target, ...).
@@ -205,6 +236,9 @@ class ProgramBuilder {
  private:
   TempId fresh();
   TempId emit2(Op op, TempId a, TempId b);
+  void record_span(ApproxSpan::Fn fn, std::size_t begin, TempId in_a,
+                   TempId in_b, TempId out, std::uint32_t rel_num,
+                   std::uint32_t rel_den, std::uint64_t abs);
 
   Program program_;
   TempId next_temp_ = 0;

@@ -1,0 +1,80 @@
+#include "sketch/sizing.hpp"
+
+#include <cmath>
+
+#include "sketch/hashing.hpp"
+
+namespace sketch {
+
+namespace {
+
+/// Smallest power of two >= x (x expressed as a double from the inversion;
+/// values below 1 round up to 1).
+std::uint64_t ceil_pow2(double x) {
+  std::uint64_t w = 1;
+  while (static_cast<double>(w) < x && w < (std::uint64_t{1} << 62)) w <<= 1;
+  return w;
+}
+
+}  // namespace
+
+SketchSizing suggest_sizing(double eps, double delta,
+                            std::uint64_t observations) {
+  SketchSizing s;
+  s.eps = eps;
+  s.delta = delta;
+  s.observations = observations;
+
+  if (!(eps > 0.0) || !(eps < 1.0) || !(delta > 0.0) || !(delta < 1.0)) {
+    s.note = "eps and delta must lie in (0, 1)";
+    return s;
+  }
+
+  // Count-min: excess <= 2N/w w.p. >= 1 - 2^-d (docs/SKETCH.md), so
+  // w = ceil_pow2(2/eps) and d = ceil(log2(1/delta)).
+  s.cm_width = ceil_pow2(2.0 / eps);
+  s.cm_depth = static_cast<std::uint64_t>(std::ceil(std::log2(1.0 / delta)));
+  if (s.cm_depth == 0) s.cm_depth = 1;
+
+  // Count-sketch: |err| <= 2*sqrt(N2)/sqrt(w) <= 2N/sqrt(w) w.h.p., so
+  // w = ceil_pow2(4/eps^2); median-of-depth drives the tail like CM.
+  s.cs_width = ceil_pow2(4.0 / (eps * eps));
+  s.cs_depth = s.cm_depth;
+
+  if (s.cm_width > kMaxWidth || s.cs_width > kMaxWidth) {
+    s.note = "required width exceeds the hash layout cap (kMaxWidth = 2^" +
+             std::to_string(kColumnShift) + "); relax eps";
+    return s;
+  }
+  // The column-shift hash yields at most 64/kColumnShift independent rows
+  // per 64-bit hash; the engines chain two hashes, bounding usable depth.
+  constexpr std::uint64_t kMaxDepth = 2 * (64 / kColumnShift);
+  if (s.cm_depth > kMaxDepth) {
+    s.note = "required depth " + std::to_string(s.cm_depth) +
+             " exceeds the " + std::to_string(kMaxDepth) +
+             " independent hash rows available; relax delta";
+    return s;
+  }
+
+  // Re-check: never report a configuration whose ACHIEVED bounds miss the
+  // request (the power-of-two rounding can only tighten, but verify).
+  s.cm_achieved_eps = 2.0 / static_cast<double>(s.cm_width);
+  s.cm_achieved_delta = std::pow(2.0, -static_cast<double>(s.cm_depth));
+  s.cs_achieved_eps = 2.0 / std::sqrt(static_cast<double>(s.cs_width));
+  if (s.cm_achieved_eps > eps || s.cm_achieved_delta > delta ||
+      s.cs_achieved_eps > eps) {
+    s.note = "internal sizing re-check failed";
+    return s;
+  }
+
+  const double excess = std::ceil(
+      2.0 * static_cast<double>(observations) /
+      static_cast<double>(s.cm_width));
+  s.cm_max_excess = static_cast<std::uint64_t>(excess);
+  s.cm_memory_bytes = s.cm_depth * s.cm_width * 8;
+  s.cs_memory_bytes = s.cs_depth * s.cs_width * 8;
+  s.feasible = true;
+  return s;
+}
+
+}  // namespace sketch

@@ -1,0 +1,50 @@
+// Sketch auto-sizing: inverting the epsilon-delta guarantees.
+//
+// docs/SKETCH.md states the forward bounds this module inverts:
+//
+//   count-min:    excess <= 2N/w with prob >= 1 - 2^-d  ->  w ~ 2/eps
+//   count-sketch: |err| <= 2*sqrt(N2)/sqrt(w) w.h.p.    ->  w ~ 4/eps^2
+//
+// Given a caller's (eps, delta) target and the verifier's observation
+// budget N (AnalysisOptions::max_observations, the same N the precision
+// pass proves its bounds under), suggest_sizing returns power-of-two
+// widths/depths that ACHIEVE the target, re-checks the achieved bounds
+// (never trust the inversion: report eps'/delta' actually delivered), and
+// flags infeasible requests — a width past hashing.hpp's kMaxWidth cannot
+// be indexed by the column-shift hash layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sketch {
+
+struct SketchSizing {
+  double eps = 0;    ///< requested relative error (of N)
+  double delta = 0;  ///< requested failure probability
+  std::uint64_t observations = 0;
+
+  // Count-min suggestion.
+  std::uint64_t cm_width = 0;
+  std::uint64_t cm_depth = 0;
+  std::uint64_t cm_memory_bytes = 0;
+  double cm_achieved_eps = 0;    ///< 2/width (re-checked, <= eps if feasible)
+  double cm_achieved_delta = 0;  ///< 2^-depth
+  std::uint64_t cm_max_excess = 0;  ///< ceil(2N/width) in counts
+
+  // Count-sketch suggestion (unbiased; width from the variance bound).
+  std::uint64_t cs_width = 0;
+  std::uint64_t cs_depth = 0;
+  std::uint64_t cs_memory_bytes = 0;
+  double cs_achieved_eps = 0;  ///< 2/sqrt(width)
+
+  bool feasible = false;
+  std::string note;  ///< human-readable reason when infeasible
+};
+
+/// Computes the suggestion.  eps and delta must be in (0, 1); observations
+/// is the stream-length budget the bounds are stated against.
+[[nodiscard]] SketchSizing suggest_sizing(double eps, double delta,
+                                          std::uint64_t observations);
+
+}  // namespace sketch

@@ -208,7 +208,7 @@ TEST(RuleCatalogue, IdsAreUniqueAndStable) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate " << rule.id;
     EXPECT_EQ(std::string(rule.id).substr(0, 3), "S4-");
   }
-  EXPECT_EQ(ids.size(), 29u);
+  EXPECT_EQ(ids.size(), 35u);
   EXPECT_TRUE(ids.count("S4-OVF-003"));
   EXPECT_TRUE(ids.count("S4-HAZ-001"));
   EXPECT_TRUE(ids.count("S4-TGT-001"));
@@ -217,6 +217,8 @@ TEST(RuleCatalogue, IdsAreUniqueAndStable) {
   EXPECT_TRUE(ids.count("S4-OPT-007"));
   EXPECT_TRUE(ids.count("S4-TV-001"));
   EXPECT_TRUE(ids.count("S4-TV-005"));
+  EXPECT_TRUE(ids.count("S4-PREC-001"));
+  EXPECT_TRUE(ids.count("S4-PREC-006"));
 }
 
 TEST(Catalogue, UnknownAppThrows) {

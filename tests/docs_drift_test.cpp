@@ -44,4 +44,42 @@ TEST(DocsDrift, RuleTableMatchesCatalogueBothWays) {
   }
 }
 
+// The precision family is newer than the generic both-ways sweep above;
+// pin it explicitly so a renumbering (or a dropped rule) is reported by
+// name, and require the prose section that explains the error domain —
+// rule rows alone are not enough to act on an S4-PREC finding.
+TEST(DocsDrift, PrecisionFamilyIsDocumentedWithItsSection) {
+  std::set<std::string> code_prec;
+  for (const analysis::RuleInfo& rule : analysis::rule_catalogue()) {
+    if (std::string(rule.id).rfind("S4-PREC-", 0) == 0) {
+      code_prec.insert(rule.id);
+    }
+  }
+  const std::set<std::string> expected = {
+      "S4-PREC-001", "S4-PREC-002", "S4-PREC-003",
+      "S4-PREC-004", "S4-PREC-005", "S4-PREC-006",
+  };
+  EXPECT_EQ(code_prec, expected);
+
+  std::ifstream doc(STAT4_DOC_ANALYSIS);
+  ASSERT_TRUE(doc.is_open()) << STAT4_DOC_ANALYSIS;
+  bool has_section = false;
+  std::set<std::string> doc_prec;
+  const std::regex prec_re("S4-PREC-[0-9]{3}");
+  std::string line;
+  while (std::getline(doc, line)) {
+    if (line.rfind("## Precision analysis", 0) == 0) has_section = true;
+    for (std::sregex_iterator it(line.begin(), line.end(), prec_re), end;
+         it != end; ++it) {
+      doc_prec.insert(it->str());
+    }
+  }
+  EXPECT_TRUE(has_section)
+      << "docs/ANALYSIS.md lost its '## Precision analysis' section";
+  for (const std::string& id : expected) {
+    EXPECT_TRUE(doc_prec.count(id) != 0)
+        << id << " is missing from docs/ANALYSIS.md";
+  }
+}
+
 }  // namespace
